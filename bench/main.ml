@@ -1,0 +1,96 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. The paper reproduction — regenerates every table and figure of the
+      evaluation section (Tables 2-6, Figures 1, 2, 9-14) plus the
+      ablations, printing measured values next to the paper's.  Run all
+      with no arguments, or a subset with e.g.
+        dune exec bench/main.exe -- table3 fig9
+   2. Bechamel micro-benchmarks of the analysis algorithms (one
+      Test.make group per pipeline stage), enabled with the `micro`
+      argument. *)
+
+module R = Prefix_experiments.Report
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  (* A mid-size synthetic input shared by the analysis benches. *)
+  let wl = Prefix_workloads.Registry.find "libc" in
+  let trace = wl.generate ~scale:Profiling ~seed:7 () in
+  let stats = Prefix_trace.Trace_stats.analyze trace in
+  let seq = Prefix_hds.Detector.hot_sequence stats trace in
+  let seq = Array.sub seq 0 (min 2048 (Array.length seq)) in
+  let ohds = Prefix_hds.Detector.detect_with_stats stats trace in
+  let tests =
+    [ Test.make ~name:"trace-stats" (Staged.stage (fun () ->
+          ignore (Prefix_trace.Trace_stats.analyze trace)));
+      Test.make ~name:"lcs-dp" (Staged.stage (fun () ->
+          let a = Array.sub seq 0 (min 256 (Array.length seq)) in
+          ignore (Prefix_hds.Lcs.lcs a a)));
+      Test.make ~name:"sequitur" (Staged.stage (fun () ->
+          ignore (Prefix_hds.Sequitur.build seq)));
+      Test.make ~name:"detector-lcs" (Staged.stage (fun () ->
+          ignore (Prefix_hds.Detector.detect_with_stats stats trace)));
+      Test.make ~name:"detector-sequitur" (Staged.stage (fun () ->
+          ignore
+            (Prefix_hds.Detector.detect_with_stats ~method_:Prefix_hds.Detector.Sequitur
+               stats trace)));
+      Test.make ~name:"reconstitute" (Staged.stage (fun () ->
+          ignore (Prefix_core.Layout.reconstitute ohds)));
+      Test.make ~name:"plan-pipeline" (Staged.stage (fun () ->
+          ignore
+            (Prefix_core.Pipeline.plan_with_stats ~variant:Prefix_core.Plan.HdsHot stats
+               trace)));
+      Test.make ~name:"allocator-churn" (Staged.stage (fun () ->
+          let a = Prefix_heap.Allocator.create () in
+          let addrs = Array.init 512 (fun i -> Prefix_heap.Allocator.malloc a (16 + (i mod 8 * 16))) in
+          Array.iter (fun addr -> Prefix_heap.Allocator.free a addr) addrs));
+      Test.make ~name:"cache-access" (Staged.stage (fun () ->
+          let h = Prefix_cachesim.Hierarchy.create ~config:Prefix_cachesim.Hierarchy.scaled_config () in
+          for i = 0 to 4095 do
+            Prefix_cachesim.Hierarchy.access h (i * 48)
+          done)) ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.25 in
+    Benchmark.all (Benchmark.cfg ~limit:1000 ~quota ~kde:None ()) Instance.[ monotonic_clock ] test
+  in
+  let analyze raw =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark (Test.make_grouped ~name:"g" [ test ])) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-20s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-20s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "micro" ] ->
+    print_endline "=== Bechamel micro-benchmarks (analysis pipeline) ===";
+    run_micro ()
+  | "csv" :: rest ->
+    let dir = match rest with [ d ] -> d | _ -> "results" in
+    Prefix_experiments.Export.write_all dir
+  | [] ->
+    print_endline "=== PreFix paper reproduction: all tables and figures ===";
+    print_string (R.run_all ());
+    print_endline "=== done ==="
+  | ids ->
+    List.iter
+      (fun id ->
+        match R.find id with
+        | Some e -> print_string (e.run ())
+        | None ->
+          Printf.printf "unknown experiment %S; available: %s, micro\n" id
+            (String.concat ", " (List.map (fun (e : R.experiment) -> e.id) R.all
+                                  @ [ "csv" ])))
+      ids

@@ -1,0 +1,291 @@
+(* prefix — command-line front end for the PreFix reproduction.
+
+   Sub-commands:
+     list                      benchmarks and experiments
+     trace <bench>             generate and dump a workload trace
+     plan <bench>              show the PreFix plans for a benchmark
+     run <bench>               replay a benchmark under all six policies
+     experiment <id>...        reproduce specific tables/figures
+     all                       reproduce everything *)
+
+open Cmdliner
+
+module Workload = Prefix_workloads.Workload
+module Registry = Prefix_workloads.Registry
+module Trace_stats = Prefix_trace.Trace_stats
+module Pipeline = Prefix_core.Pipeline
+module Plan = Prefix_core.Plan
+module Harness = Prefix_experiments.Harness
+module Report = Prefix_experiments.Report
+module M = Prefix_runtime.Metrics
+
+let bench_arg =
+  let doc = "Benchmark name (one of the 13 workload models)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let scale_arg =
+  let doc = "Input scale: 'profiling' (training input) or 'long'." in
+  let scale =
+    Arg.enum [ ("profiling", Workload.Profiling); ("long", Workload.Long) ]
+  in
+  Arg.(value & opt scale Workload.Long & info [ "scale" ] ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print progress to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let get_workload name =
+  match List.find_opt (fun (w : Workload.t) -> w.name = name) Registry.all with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %S (try: %s)" name
+         (String.concat ", " Registry.names))
+
+(* --- list *)
+
+let list_cmd =
+  let run () =
+    print_endline "benchmarks:";
+    List.iter
+      (fun (w : Workload.t) -> Printf.printf "  %-9s %s\n" w.name w.description)
+      Registry.all;
+    print_endline "experiments:";
+    List.iter
+      (fun (e : Report.experiment) -> Printf.printf "  %-9s %s\n" e.id e.what)
+      Report.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and experiments")
+    Term.(const run $ const ())
+
+(* --- trace *)
+
+let trace_cmd =
+  let run name scale seed limit =
+    match get_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok w ->
+      let trace = w.generate ~scale ~seed () in
+      let n = Prefix_trace.Trace.length trace in
+      let shown = match limit with Some l -> min l n | None -> n in
+      for i = 0 to shown - 1 do
+        print_endline
+          (Prefix_trace.Serialize.event_to_line (Prefix_trace.Trace.get trace i))
+      done;
+      if shown < n then Printf.eprintf "(%d of %d events shown)\n" shown n;
+      0
+  in
+  let limit =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Print at most N events.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Generate and dump a workload trace")
+    Term.(const run $ bench_arg $ scale_arg $ seed_arg $ limit)
+
+(* --- plan *)
+
+let plan_cmd =
+  let run name seed =
+    match get_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok w ->
+      let trace = w.generate ~scale:Workload.Profiling ~seed () in
+      let stats = Trace_stats.analyze trace in
+      List.iter
+        (fun variant ->
+          let plan =
+            Pipeline.plan_with_stats ~config:Harness.pipeline_config ~variant stats trace
+          in
+          Format.printf "%a@." Plan.pp_summary plan;
+          List.iter
+            (fun (cp : Plan.counter_plan) ->
+              Format.printf "  counter %d: sites [%s], pattern %a, %s@." cp.counter
+                (String.concat ";" (List.map string_of_int cp.counter_sites))
+                Prefix_core.Context.pp cp.pattern
+                (match cp.recycle with
+                | Some rb -> Printf.sprintf "recycling %d slots of %d B" rb.n_slots rb.slot_bytes
+                | None -> Printf.sprintf "%d placements" (List.length cp.placements)))
+            plan.counters;
+          print_newline ())
+        [ Plan.Hot; Plan.Hds; Plan.HdsHot ];
+      0
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Show the PreFix plans built from a profiling run")
+    Term.(const run $ bench_arg $ seed_arg)
+
+(* --- run *)
+
+let run_cmd =
+  let run name verbose =
+    match get_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok w ->
+      Harness.verbose := verbose;
+      let r = Harness.find w.name in
+      let line label (pr : Harness.policy_run) =
+        Printf.printf "%-14s %12.0f cycles  %+7.2f%%  L1 %5.2f%%  LLC %7.4f%%  peak %s B\n"
+          label pr.metrics.M.cycles.total_cycles
+          (Harness.time_delta r pr)
+          (100. *. pr.metrics.M.l1_miss_rate)
+          (100. *. pr.metrics.M.llc_miss_rate)
+          (Prefix_util.Tablefmt.fmt_int pr.metrics.M.peak_bytes)
+      in
+      line "baseline" r.baseline;
+      line "HDS [8]" r.hds;
+      line "HALO" r.halo;
+      line "PreFix:Hot" r.prefix_hot;
+      line "PreFix:HDS" r.prefix_hds;
+      line "PreFix:HDS+Hot" r.prefix_hdshot;
+      0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
+    Term.(const run $ bench_arg $ verbose_arg)
+
+(* --- experiment *)
+
+let experiment_cmd =
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  let run ids verbose =
+    Harness.verbose := verbose;
+    List.fold_left
+      (fun rc id ->
+        match Report.find id with
+        | Some e -> print_string (e.run ()); rc
+        | None ->
+          Printf.eprintf "unknown experiment %S\n" id;
+          1)
+      0 ids
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
+    Term.(const run $ ids $ verbose_arg)
+
+(* --- hotspots *)
+
+let hotspots_cmd =
+  let run name =
+    match get_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok w ->
+      let trace = w.generate ~scale:Workload.Long ~seed:8 () in
+      let prof = w.generate ~scale:Workload.Profiling ~seed:7 () in
+      let stats = Trace_stats.analyze prof in
+      let plan = Pipeline.plan_with_stats ~config:Harness.pipeline_config
+          ~variant:Plan.HdsHot stats prof in
+      let costs = Prefix_runtime.Executor.default_config.costs in
+      let run_with label policy =
+        let o = Prefix_runtime.Executor.run ~attribute:true ~policy trace in
+        Printf.printf "--- %s: top allocation sites by L1 misses ---\n" label;
+        match o.Prefix_runtime.Executor.attribution with
+        | Some a -> print_string (Prefix_runtime.Attribution.render ~n:8 a)
+        | None -> ()
+      in
+      run_with "baseline" (fun heap -> Prefix_runtime.Policy.baseline costs heap);
+      run_with "PreFix" (fun heap ->
+          Prefix_runtime.Prefix_policy.policy costs heap plan
+            Prefix_runtime.Policy.no_classification);
+      0
+  in
+  Cmd.v
+    (Cmd.info "hotspots"
+       ~doc:"Attribute cache/TLB misses to allocation sites, baseline vs PreFix")
+    Term.(const run $ bench_arg)
+
+(* --- lifetimes *)
+
+let lifetimes_cmd =
+  let run name =
+    match get_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok w ->
+      let trace = w.generate ~scale:Workload.Profiling ~seed:7 () in
+      let stats = Trace_stats.analyze trace in
+      let plan = Pipeline.plan_with_stats ~config:Harness.pipeline_config
+          ~variant:Plan.HdsHot stats trace in
+      print_string
+        (Prefix_core.Lifetimes.report stats
+           ~trace_len:(Prefix_trace.Trace.length trace)
+           plan.placed_objects);
+      0
+  in
+  Cmd.v
+    (Cmd.info "lifetimes"
+       ~doc:"Classify a benchmark's placed objects by profiled lifetime range")
+    Term.(const run $ bench_arg)
+
+(* --- validate *)
+
+let validate_cmd =
+  let run () =
+    let failures = ref 0 in
+    let check name ok detail =
+      if not ok then begin
+        incr failures;
+        Printf.printf "FAIL %-30s %s\n" name detail
+      end
+      else Printf.printf "ok   %s\n" name
+    in
+    List.iter
+      (fun (w : Workload.t) ->
+        List.iter
+          (fun scale ->
+            let trace = w.generate ~scale ~seed:7 () in
+            let violations = Prefix_trace.Trace.validate trace in
+            check
+              (Printf.sprintf "%s/%s trace" w.name (Workload.scale_name scale))
+              (violations = [])
+              (match violations with
+              | [] -> ""
+              | v :: _ -> Format.asprintf "%a" Prefix_trace.Trace.pp_violation v);
+            if scale = Workload.Profiling then begin
+              let stats = Trace_stats.analyze trace in
+              List.iter
+                (fun variant ->
+                  let plan =
+                    Pipeline.plan_with_stats ~config:Harness.pipeline_config ~variant stats
+                      trace
+                  in
+                  check
+                    (Printf.sprintf "%s plan %s" w.name (Plan.variant_name variant))
+                    (Plan.validate plan = Ok ())
+                    (match Plan.validate plan with Error e -> e | Ok () -> ""))
+                [ Plan.Hot; Plan.Hds; Plan.HdsHot ]
+            end)
+          [ Workload.Profiling; Workload.Long ])
+      Registry.all;
+    if !failures = 0 then begin
+      print_endline "all checks passed";
+      0
+    end
+    else begin
+      Printf.printf "%d failures\n" !failures;
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate every workload trace and every generated plan")
+    Term.(const run $ const ())
+
+(* --- all *)
+
+let all_cmd =
+  let run verbose =
+    Harness.verbose := verbose;
+    print_string (Report.run_all ());
+    0
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Reproduce every table and figure")
+    Term.(const run $ verbose_arg)
+
+let () =
+  let info =
+    Cmd.info "prefix" ~version:"1.0.0"
+      ~doc:"PreFix (CGO 2025) reproduction: profile-guided heap layout optimization"
+  in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; all_cmd ]))

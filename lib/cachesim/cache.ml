@@ -1,0 +1,111 @@
+type t = {
+  name : string;
+  sets : int;
+  assoc : int;
+  line_bits : int;
+  set_mask : int;
+  tags : int array; (* sets * assoc; -1 = invalid *)
+  stamps : int array; (* LRU timestamps, parallel to tags *)
+  dirty : bool array; (* written since fill, parallel to tags *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let make ~name ~sets ~assoc ~line_bytes =
+  if not (is_pow2 line_bytes) then invalid_arg "Cache: line size must be a power of two";
+  if not (is_pow2 sets) then invalid_arg "Cache: set count must be a power of two";
+  if assoc <= 0 then invalid_arg "Cache: associativity must be positive";
+  { name;
+    sets;
+    assoc;
+    line_bits = log2 line_bytes;
+    set_mask = sets - 1;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    dirty = Array.make (sets * assoc) false;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    writebacks = 0 }
+
+let create ?(name = "cache") ~size_bytes ~assoc ~line_bytes () =
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by assoc * line";
+  make ~name ~sets:(size_bytes / (assoc * line_bytes)) ~assoc ~line_bytes
+
+let create_entries ?(name = "tlb") ~entries ~assoc ~page_bytes () =
+  if entries mod assoc <> 0 then invalid_arg "Cache.create_entries: entries not divisible by assoc";
+  make ~name ~sets:(entries / assoc) ~assoc ~line_bytes:page_bytes
+
+let name t = t.name
+let sets t = t.sets
+let assoc t = t.assoc
+let line_bytes t = 1 lsl t.line_bits
+
+let access ?(write = false) t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = addr lsr t.line_bits in
+  let set = line land t.set_mask in
+  let tag = line in
+  let base = set * t.assoc in
+  let hit = ref false in
+  let way = ref (-1) in
+  (* Look for the tag; remember the LRU way in case of a miss. *)
+  let lru_way = ref 0 in
+  let lru_stamp = ref max_int in
+  for w = 0 to t.assoc - 1 do
+    let i = base + w in
+    if t.tags.(i) = tag then begin
+      hit := true;
+      way := w
+    end;
+    if t.stamps.(i) < !lru_stamp then begin
+      lru_stamp := t.stamps.(i);
+      lru_way := w
+    end
+  done;
+  if !hit then begin
+    let i = base + !way in
+    t.stamps.(i) <- t.clock;
+    if write then t.dirty.(i) <- true;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let i = base + !lru_way in
+    (* Write-back policy: evicting a dirty line costs a memory write. *)
+    if t.tags.(i) >= 0 && t.dirty.(i) then t.writebacks <- t.writebacks + 1;
+    t.tags.(i) <- tag;
+    t.stamps.(i) <- t.clock;
+    t.dirty.(i) <- write;
+    false
+  end
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses
+
+let writebacks t = t.writebacks
+
+let reset_counters t =
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  t.clock <- 0;
+  reset_counters t

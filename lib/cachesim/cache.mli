@@ -1,0 +1,41 @@
+(** Set-associative cache with true-LRU replacement.
+
+    One structure serves both the data caches and (with block size = page
+    size) the TLBs.  Geometry matches the paper's testbed: 32 KB 8-way L1
+    with 64 B lines and a 40 MB 20-way LLC (§3.2). *)
+
+type t
+
+val create : ?name:string -> size_bytes:int -> assoc:int -> line_bytes:int -> unit -> t
+(** Raises [Invalid_argument] unless [line_bytes] is a power of two,
+    [size_bytes] is divisible by [assoc * line_bytes] and the resulting
+    set count is a power of two. *)
+
+val create_entries : ?name:string -> entries:int -> assoc:int -> page_bytes:int -> unit -> t
+(** TLB-style constructor: [entries] translation entries covering pages
+    of [page_bytes]. *)
+
+val name : t -> string
+val sets : t -> int
+val assoc : t -> int
+val line_bytes : t -> int
+
+val access : ?write:bool -> t -> int -> bool
+(** [access t addr] simulates one reference; [true] = hit.  The line is
+    installed (and the LRU way evicted) on a miss.  [write] marks the
+    line dirty (write-back policy; default false). *)
+
+val accesses : t -> int
+val misses : t -> int
+
+val writebacks : t -> int
+(** Dirty lines evicted so far. *)
+
+val miss_rate : t -> float
+(** misses / accesses; 0 before the first access. *)
+
+val reset_counters : t -> unit
+(** Zero the hit/miss counters but keep cache contents (for warmup). *)
+
+val flush : t -> unit
+(** Invalidate all lines and zero counters. *)

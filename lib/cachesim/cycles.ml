@@ -1,0 +1,48 @@
+type params = {
+  issue_width : float;
+  l1_hit_cycles : float;
+  llc_hit_cycles : float;
+  dram_cycles : float;
+  l2_tlb_hit_cycles : float;
+  page_walk_cycles : float;
+  mlp : float;
+}
+
+let default_params =
+  { issue_width = 4.0;
+    l1_hit_cycles = 4.0;
+    llc_hit_cycles = 14.0;
+    dram_cycles = 220.0;
+    l2_tlb_hit_cycles = 8.0;
+    page_walk_cycles = 120.0;
+    mlp = 3.0 }
+
+type estimate = {
+  total_cycles : float;
+  compute_cycles : float;
+  memory_stall_cycles : float;
+  backend_stall_pct : float;
+}
+
+let estimate ?(params = default_params) ~instructions (c : Hierarchy.counters) =
+  let f = float_of_int in
+  let compute_cycles = f instructions /. params.issue_width in
+  let llc_hits = c.l1_misses - c.llc_misses in
+  let l2_tlb_hits = c.l1_tlb_misses - c.l2_tlb_misses in
+  let raw_stall =
+    (f llc_hits *. params.llc_hit_cycles)
+    +. (f c.llc_misses *. params.dram_cycles)
+    +. (f l2_tlb_hits *. params.l2_tlb_hit_cycles)
+    +. (f c.l2_tlb_misses *. params.page_walk_cycles)
+    (* Write-backs mostly overlap with execution; charge a small
+       fraction of a DRAM access for memory-bandwidth pressure. *)
+    +. (f c.writebacks *. params.dram_cycles *. 0.1)
+  in
+  let memory_stall_cycles = raw_stall /. params.mlp in
+  let total_cycles = compute_cycles +. memory_stall_cycles in
+  let backend_stall_pct =
+    if total_cycles = 0. then 0. else memory_stall_cycles /. total_cycles *. 100.
+  in
+  { total_cycles; compute_cycles; memory_stall_cycles; backend_stall_pct }
+
+let time_seconds ?(ghz = 3.0) e = e.total_cycles /. (ghz *. 1e9)

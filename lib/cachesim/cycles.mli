@@ -1,0 +1,36 @@
+(** Cycle and backend-stall model.
+
+    The paper reports wall-clock times on real hardware; we substitute a
+    standard analytic model on top of the simulated miss counts (see
+    DESIGN.md).  Cycles are split into a compute component (issue-limited)
+    and a memory-stall component (miss-penalty-limited), which also gives
+    the Figure 13 "percentage of cycles stalled by the backend" à la the
+    Top-Down method [Yasin 2014]. *)
+
+type params = {
+  issue_width : float;  (** instructions retired per cycle when not stalled *)
+  l1_hit_cycles : float;  (** hidden by the pipeline; kept for completeness *)
+  llc_hit_cycles : float;  (** penalty of an L1 miss that hits LLC *)
+  dram_cycles : float;  (** penalty of an LLC miss *)
+  l2_tlb_hit_cycles : float;  (** penalty of an L1-TLB miss that hits L2 TLB *)
+  page_walk_cycles : float;  (** penalty of a full TLB miss *)
+  mlp : float;  (** memory-level parallelism divisor applied to miss penalties *)
+}
+
+val default_params : params
+(** Skylake-class server values: 4-wide issue, 14-cycle LLC-hit penalty,
+    220-cycle DRAM, 8-cycle L2-TLB hit, 120-cycle walk, MLP 3.0. *)
+
+type estimate = {
+  total_cycles : float;
+  compute_cycles : float;
+  memory_stall_cycles : float;
+  backend_stall_pct : float;  (** memory stalls as % of total cycles *)
+}
+
+val estimate : ?params:params -> instructions:int -> Hierarchy.counters -> estimate
+(** Combine an instruction count with miss counters into a cycle
+    estimate. *)
+
+val time_seconds : ?ghz:float -> estimate -> float
+(** Convenience: cycles at a clock rate (default 3.0 GHz). *)

@@ -1,0 +1,85 @@
+type t = {
+  time_buckets : int;
+  addr_buckets : int;
+  mutable points : (int * int) list; (* (time, addr), reversed; sampled *)
+  mutable count : int;
+  mutable min_addr : int;
+  mutable max_addr : int;
+  mutable min_time : int;
+  mutable max_time : int;
+  mutable stride : int; (* keep every [stride]-th point to bound memory *)
+  mutable kept : int;
+}
+
+let max_points = 200_000
+
+let create ~time_buckets ~addr_buckets () =
+  if time_buckets <= 0 || addr_buckets <= 0 then invalid_arg "Heatmap.create: bad grid";
+  { time_buckets;
+    addr_buckets;
+    points = [];
+    count = 0;
+    min_addr = max_int;
+    max_addr = min_int;
+    min_time = max_int;
+    max_time = min_int;
+    stride = 1;
+    kept = 0 }
+
+let record t ~time ~addr =
+  t.count <- t.count + 1;
+  if addr < t.min_addr then t.min_addr <- addr;
+  if addr > t.max_addr then t.max_addr <- addr;
+  if time < t.min_time then t.min_time <- time;
+  if time > t.max_time then t.max_time <- time;
+  if t.count mod t.stride = 0 then begin
+    t.points <- (time, addr) :: t.points;
+    t.kept <- t.kept + 1;
+    if t.kept > max_points then begin
+      (* Thin the sample: drop every other point and double the stride. *)
+      let rec thin i acc = function
+        | [] -> acc
+        | p :: rest -> thin (i + 1) (if i mod 2 = 0 then p :: acc else acc) rest
+      in
+      t.points <- thin 0 [] t.points;
+      t.kept <- (t.kept + 1) / 2;
+      t.stride <- t.stride * 2
+    end
+  end
+
+let footprint_bytes t = if t.count = 0 then 0 else t.max_addr - t.min_addr
+
+let samples t = t.count
+
+let render t =
+  if t.count = 0 then "(no samples)\n"
+  else begin
+    let grid = Array.make_matrix t.addr_buckets t.time_buckets 0 in
+    let tspan = max 1 (t.max_time - t.min_time) in
+    let aspan = max 1 (t.max_addr - t.min_addr) in
+    List.iter
+      (fun (time, addr) ->
+        let x = (time - t.min_time) * t.time_buckets / (tspan + 1) in
+        let y = (addr - t.min_addr) * t.addr_buckets / (aspan + 1) in
+        let x = min x (t.time_buckets - 1) and y = min y (t.addr_buckets - 1) in
+        grid.(y).(x) <- grid.(y).(x) + 1)
+      t.points;
+    let maxc = Array.fold_left (fun m row -> Array.fold_left max m row) 1 grid in
+    let shades = [| ' '; '.'; ':'; '+'; '*'; '#'; '@' |] in
+    let buf = Buffer.create (t.addr_buckets * (t.time_buckets + 1)) in
+    Buffer.add_string buf
+      (Printf.sprintf "footprint = %d bytes over %d refs (addr on Y, time on X)\n"
+         (footprint_bytes t) t.count);
+    for y = t.addr_buckets - 1 downto 0 do
+      for x = 0 to t.time_buckets - 1 do
+        let c = grid.(y).(x) in
+        let idx =
+          if c = 0 then 0
+          else 1 + int_of_float (Float.of_int (c * (Array.length shades - 2)) /. Float.of_int maxc)
+        in
+        Buffer.add_char buf shades.(min idx (Array.length shades - 1))
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,91 @@
+type config = {
+  l1_size : int;
+  l1_assoc : int;
+  llc_size : int;
+  llc_assoc : int;
+  line_bytes : int;
+  l1_tlb_entries : int;
+  l1_tlb_assoc : int;
+  l2_tlb_entries : int;
+  l2_tlb_assoc : int;
+  page_bytes : int;
+}
+
+let paper_config =
+  { l1_size = 32 * 1024;
+    l1_assoc = 8;
+    llc_size = 40 * 1024 * 1024;
+    llc_assoc = 20;
+    line_bytes = 64;
+    l1_tlb_entries = 64;
+    l1_tlb_assoc = 4;
+    l2_tlb_entries = 1536;
+    l2_tlb_assoc = 6;
+    page_bytes = 4096 }
+
+let scaled_config =
+  { l1_size = 8 * 1024;
+    l1_assoc = 8;
+    llc_size = 1024 * 1024;
+    llc_assoc = 16;
+    line_bytes = 64;
+    l1_tlb_entries = 16;
+    l1_tlb_assoc = 4;
+    l2_tlb_entries = 96;
+    l2_tlb_assoc = 6;
+    page_bytes = 4096 }
+
+type t = {
+  l1 : Cache.t;
+  llc : Cache.t;
+  l1_tlb : Cache.t;
+  l2_tlb : Cache.t;
+}
+
+let create ?(config = paper_config) () =
+  { l1 =
+      Cache.create ~name:"L1D" ~size_bytes:config.l1_size ~assoc:config.l1_assoc
+        ~line_bytes:config.line_bytes ();
+    llc =
+      Cache.create ~name:"LLC" ~size_bytes:config.llc_size ~assoc:config.llc_assoc
+        ~line_bytes:config.line_bytes ();
+    l1_tlb =
+      Cache.create_entries ~name:"L1TLB" ~entries:config.l1_tlb_entries
+        ~assoc:config.l1_tlb_assoc ~page_bytes:config.page_bytes ();
+    l2_tlb =
+      Cache.create_entries ~name:"L2TLB" ~entries:config.l2_tlb_entries
+        ~assoc:config.l2_tlb_assoc ~page_bytes:config.page_bytes () }
+
+let access ?(write = false) t addr =
+  if not (Cache.access ~write t.l1 addr) then ignore (Cache.access ~write t.llc addr);
+  if not (Cache.access t.l1_tlb addr) then ignore (Cache.access t.l2_tlb addr)
+
+type counters = {
+  refs : int;
+  l1_misses : int;
+  llc_misses : int;
+  l1_tlb_misses : int;
+  l2_tlb_misses : int;
+  writebacks : int;
+}
+
+let counters t =
+  { refs = Cache.accesses t.l1;
+    l1_misses = Cache.misses t.l1;
+    llc_misses = Cache.misses t.llc;
+    l1_tlb_misses = Cache.misses t.l1_tlb;
+    l2_tlb_misses = Cache.misses t.l2_tlb;
+    writebacks = Cache.writebacks t.llc }
+
+let rate num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let l1_miss_rate t = Cache.miss_rate t.l1
+let llc_miss_rate t = rate (Cache.misses t.llc) (Cache.accesses t.l1)
+let l1_tlb_miss_rate t = Cache.miss_rate t.l1_tlb
+let l2_tlb_miss_rate t = rate (Cache.misses t.l2_tlb) (Cache.accesses t.l1_tlb)
+
+let flush t =
+  Cache.flush t.l1;
+  Cache.flush t.llc;
+  Cache.flush t.l1_tlb;
+  Cache.flush t.l2_tlb

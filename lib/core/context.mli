@@ -1,0 +1,50 @@
+(** The new context definition (§2.2.1): hot objects are identified by
+    (static malloc site, dynamic allocation instance) pairs, and the set
+    of hot instance ids of a site is compressed into one of three
+    patterns checked at runtime:
+
+    - [Fixed ids]: an explicit small set, e.g. the 1st, 3rd and 8th
+      allocation of the site;
+    - [Regular ids]: an arithmetic progression, e.g. every odd instance
+      among the first fifteen;
+    - [All ids]: every instance is hot — no check needed at all.
+
+    Instance ids are 1-based, matching the paper's "ObjectID = Counter+1"
+    instrumentation (Figure 4). *)
+
+type pattern =
+  | All of { upto : int option }
+      (** Every instance; [upto = Some n] bounds it to the first [n]
+          (everything the profile saw), [None] means genuinely
+          unbounded (recycling sites). *)
+  | Regular of { start : int; step : int; count : int }
+      (** [start, start+step, ..., start+(count-1)*step]. *)
+  | Fixed of int list
+      (** Explicit sorted instance ids. *)
+
+val infer : hot_instances:int list -> total_instances:int -> pattern
+(** Categorise a site's hot instance ids (1-based, duplicates ignored).
+    Picks the cheapest pattern: [All] when every profiled instance is
+    hot, [Regular] for arithmetic progressions of length >= 3, [Fixed]
+    otherwise.  Raises [Invalid_argument] on an empty set or ids outside
+    [1, total_instances]. *)
+
+val matches : pattern -> int -> bool
+(** Runtime check: is instance id [i] hot under the pattern? *)
+
+val cardinal : pattern -> int option
+(** Number of hot instances the pattern denotes; [None] for unbounded
+    [All]. *)
+
+val instances : pattern -> int option -> int list
+(** [instances p limit] enumerates the ids (up to [limit] for unbounded
+    patterns). *)
+
+val check_cost_instrs : pattern -> int
+(** Instructions executed per allocation for the runtime check: 0 for
+    [All] (Table 1: "no check needed"), small constants otherwise. *)
+
+val kind_name : pattern -> string
+(** ["all"], ["regular"] or ["fixed"] — Table 2's type column. *)
+
+val pp : Format.formatter -> pattern -> unit

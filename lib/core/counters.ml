@@ -1,0 +1,78 @@
+type alloc = { pos : int; obj : int; hot : bool }
+
+type site_allocs = { site : int; allocs : alloc list }
+
+type group = {
+  counter : int;
+  sites : int list;
+  pattern : Context.pattern;
+  hot_assignments : (int * int) list;
+  total : int;
+}
+
+let simulate sites =
+  let merged =
+    List.concat_map (fun s -> s.allocs) sites |> List.sort (fun a b -> compare a.pos b.pos)
+  in
+  List.mapi (fun i a -> (i + 1, a.obj, a.hot)) merged
+
+(* A candidate grouping is viable if its hot ids still form a supported
+   pattern under the shared numbering: All and Regular always qualify; a
+   Fixed set qualifies when it is a single consecutive run (sites working
+   "in tandem", like mcf's three graph allocations) or stays very small. *)
+let viable ~max_fixed sites =
+  let numbered = simulate sites in
+  let hot_ids = List.filter_map (fun (id, _, hot) -> if hot then Some id else None) numbered in
+  match hot_ids with
+  | [] -> None
+  | first :: _ -> (
+    let total = List.length numbered in
+    let pattern = Context.infer ~hot_instances:hot_ids ~total_instances:total in
+    match pattern with
+    | Context.Fixed ids ->
+      let n = List.length ids in
+      let last = List.nth ids (n - 1) in
+      let consecutive = last - first + 1 = n in
+      if consecutive || n <= max_fixed then Some pattern else None
+    | _ -> Some pattern)
+
+let build_group counter sites =
+  let numbered = simulate sites in
+  let hot_ids = List.filter_map (fun (id, _, hot) -> if hot then Some id else None) numbered in
+  let total = List.length numbered in
+  let pattern = Context.infer ~hot_instances:hot_ids ~total_instances:total in
+  { counter;
+    sites = List.map (fun s -> s.site) sites;
+    pattern;
+    hot_assignments =
+      List.filter_map (fun (id, obj, hot) -> if hot then Some (id, obj) else None) numbered;
+    total }
+
+let share ?(max_fixed = 3) ?(enable = true) sites =
+  List.iter
+    (fun s ->
+      if not (List.exists (fun a -> a.hot) s.allocs) then
+        invalid_arg
+          (Printf.sprintf "Counters.share: site %d allocates no hot object" s.site))
+    sites;
+  let first_pos s = match s.allocs with [] -> max_int | a :: _ -> a.pos in
+  let sites = List.sort (fun a b -> compare (first_pos a) (first_pos b)) sites in
+  if not enable then List.mapi (fun i s -> build_group i [ s ]) sites
+  else begin
+    (* groups: list of site lists, in creation order. *)
+    let groups : site_allocs list list ref = ref [] in
+    List.iter
+      (fun s ->
+        let rec try_join acc = function
+          | [] -> groups := !groups @ [ [ s ] ]
+          | g :: rest -> (
+            match viable ~max_fixed (g @ [ s ]) with
+            | Some _ -> groups := List.rev_append acc ((g @ [ s ]) :: rest)
+            | None -> try_join (g :: acc) rest)
+        in
+        try_join [] !groups)
+      sites;
+    List.mapi build_group !groups
+  end
+
+let num_counters groups = List.length groups

@@ -1,0 +1,61 @@
+type model = {
+  site_base_bytes : int;
+  fixed_id_bytes : int;
+  regular_bytes : int;
+  recycle_bytes : int;
+  free_site_bytes : int;
+  realloc_site_bytes : int;
+  stub_bytes : int;
+  table_bytes_per_slot : int;
+}
+
+let default_model =
+  { site_base_bytes = 48;
+    fixed_id_bytes = 10;
+    regular_bytes = 24;
+    recycle_bytes = 40;
+    free_site_bytes = 24;
+    realloc_site_bytes = 40;
+    stub_bytes = 1024;
+    table_bytes_per_slot = 16 }
+
+let pattern_bytes model (cp : Plan.counter_plan) =
+  match cp.recycle with
+  | Some _ -> model.recycle_bytes
+  | None -> (
+    match cp.pattern with
+    | Context.All _ -> 0
+    | Context.Regular _ -> model.regular_bytes
+    | Context.Fixed ids -> model.fixed_id_bytes * min 16 (List.length ids))
+
+(* Placement tables are only materialised for Fixed id patterns; Regular
+   and All patterns (uniform slot sizes) compute the offset from the
+   instance id arithmetically, and recycling blocks need just the modulo
+   base — so a benchmark with many thousands of uniformly-sized hot
+   objects (health, ft) does not embed a giant table in the binary. *)
+let table_bytes model (plan : Plan.t) =
+  List.fold_left
+    (fun acc (cp : Plan.counter_plan) ->
+      match (cp.recycle, cp.pattern) with
+      | Some _, _ -> acc + 16
+      | None, Context.Fixed _ ->
+        acc + (model.table_bytes_per_slot * List.length cp.placements)
+      | None, _ -> acc + 16)
+    0 plan.counters
+
+let added_bytes ?(model = default_model) ~(plan : Plan.t) ~free_sites ~realloc_sites () =
+  let site_bytes =
+    List.fold_left
+      (fun acc (_, c) ->
+        let cp = Plan.counter_plan plan c in
+        acc + model.site_base_bytes + pattern_bytes model cp)
+      0 plan.site_counter
+  in
+  site_bytes
+  + (free_sites * model.free_site_bytes)
+  + (realloc_sites * model.realloc_site_bytes)
+  + model.stub_bytes
+  + table_bytes model plan
+
+let optimized_size ?model ~baseline ~plan ~free_sites ~realloc_sites () =
+  baseline + added_bytes ?model ~plan ~free_sites ~realloc_sites ()

@@ -1,0 +1,29 @@
+(** Static code-size model for the BOLT-style transformation (Figure 14).
+
+    We do not rewrite binaries; instead the cost of doing so is modelled
+    from the plan: each instrumented malloc site grows by a counter
+    update plus the pattern check and placement lookup, every free and
+    realloc site gains a range check against the preallocated region,
+    and a fixed runtime stub (region setup/teardown, mapping tables) is
+    linked in once. *)
+
+type model = {
+  site_base_bytes : int;  (** counter inc + branch scaffolding per site *)
+  fixed_id_bytes : int;  (** per explicit id in a [Fixed] pattern *)
+  regular_bytes : int;  (** extra bytes for a [Regular] check *)
+  recycle_bytes : int;  (** modulo + occupancy check for recycling sites *)
+  free_site_bytes : int;  (** range check per free site *)
+  realloc_site_bytes : int;  (** range + size check per realloc site *)
+  stub_bytes : int;  (** one-time runtime support *)
+  table_bytes_per_slot : int;  (** placement/occupancy table data *)
+}
+
+val default_model : model
+
+val added_bytes :
+  ?model:model -> plan:Plan.t -> free_sites:int -> realloc_sites:int -> unit -> int
+(** Total bytes added to the binary by the transformation. *)
+
+val optimized_size :
+  ?model:model -> baseline:int -> plan:Plan.t -> free_sites:int -> realloc_sites:int -> unit -> int
+(** [baseline + added_bytes], the Figure 14 "Best PreFix" bar. *)

@@ -1,0 +1,44 @@
+(** Layout determination via object reordering — Algorithm 1 of the
+    paper (§2.1).
+
+    The input is OHDS: all observed hot data streams in descending order
+    of memory references.  OHDS are not directly exploitable because an
+    object may appear in several streams; the algorithm reconstitutes
+    them into RHDS, in which every object belongs to at most one stream,
+    by one of three actions per input stream:
+
+    - {e unchanged inclusion} when it shares no object with RHDS so far;
+    - {e merging} its remainder into exactly one existing RHDS that
+      shares objects with it (an RHDS merges at most once — two streams
+      can always be laid out around their shared objects, three cannot
+      in general);
+    - {e splitting}: leftover objects form a new stream if there are at
+      least two, otherwise the lone object joins the hot singletons
+      placed at the end of the preallocated region. *)
+
+module Hds = Prefix_hds.Hds
+
+type result = {
+  rhds : Hds.t list;
+      (** Reconstituted streams, in placement order; object-disjoint. *)
+  singletons : int list;
+      (** Hot objects left over from splitting, placed after all RHDS. *)
+  coverage : coverage list;
+      (** Per input stream: how much of it survived reconstitution
+          (the right-hand column of Figure 2). *)
+}
+
+and coverage = Fully_covered | Partially_covered | Not_covered
+
+val reconstitute : Hds.t list -> result
+(** Run Algorithm 1.  The input must be sorted in descending order of
+    memory references (as {!Prefix_hds.Detector.detect} returns it);
+    [reconstitute] re-sorts defensively. *)
+
+val placement_order : result -> int list
+(** The final object order for the preallocated region: RHDS objects in
+    stream order, then singletons.  Contains no duplicates. *)
+
+val disjoint : Hds.t list -> bool
+(** Whether no object appears in more than one stream — the exploitable
+    property that RHDS guarantees; exposed for tests. *)

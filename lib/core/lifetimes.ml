@@ -1,0 +1,49 @@
+module Trace_stats = Prefix_trace.Trace_stats
+
+type class_ = Transient | Phase | Persistent
+
+let class_name = function
+  | Transient -> "transient"
+  | Phase -> "phase"
+  | Persistent -> "persistent"
+
+let classify stats ~trace_len obj =
+  let info = Trace_stats.obj_info stats obj in
+  match info.free_index with
+  | None -> Persistent
+  | Some fin ->
+    let span = float_of_int (fin - info.alloc_index) /. float_of_int (max 1 trace_len) in
+    if span < 0.05 then Transient else if span < 0.6 then Phase else Persistent
+
+let partition stats ~trace_len objs =
+  let buckets = [ (Persistent, ref []); (Phase, ref []); (Transient, ref []) ] in
+  List.iter
+    (fun o ->
+      let c = classify stats ~trace_len o in
+      let r = List.assoc c buckets in
+      r := o :: !r)
+    objs;
+  List.filter_map
+    (fun (c, r) -> match List.rev !r with [] -> None | l -> Some (c, l))
+    buckets
+
+let regroup stats ~trace_len objs =
+  List.concat_map snd (partition stats ~trace_len objs)
+
+let report stats ~trace_len objs =
+  let buf = Buffer.create 256 in
+  let total_bytes l =
+    List.fold_left
+      (fun acc o ->
+        let i = Trace_stats.obj_info stats o in
+        acc + max i.size i.alloc_size)
+      0 l
+  in
+  Buffer.add_string buf "lifetime classes (profiled):\n";
+  List.iter
+    (fun (c, l) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s %6d objects, %s bytes\n" (class_name c) (List.length l)
+           (Prefix_util.Tablefmt.fmt_int (total_bytes l))))
+    (partition stats ~trace_len objs);
+  Buffer.contents buf

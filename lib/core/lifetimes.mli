@@ -1,0 +1,33 @@
+(** Lifetime-range analysis — the paper's second future-work item
+    ("using several arenas for objects with different lifetime ranges",
+    §4 Related Work / arena allocators).
+
+    Objects are classified by the fraction of the profiled run they
+    stay live.  The pipeline can optionally regroup the preallocated
+    region so that objects of one lifetime class are contiguous: when a
+    class dies, its slots free together, so the region's live part
+    stays dense instead of developing dead holes between long-lived
+    objects. *)
+
+type class_ = Transient | Phase | Persistent
+(** Live for <5%, <60%, or the rest of the trace, respectively. *)
+
+val class_name : class_ -> string
+
+val classify : Prefix_trace.Trace_stats.t -> trace_len:int -> int -> class_
+(** Classify one object by its profiled [alloc, free) interval.
+    Objects never freed are [Persistent]. *)
+
+val partition :
+  Prefix_trace.Trace_stats.t -> trace_len:int -> int list -> (class_ * int list) list
+(** Split an object list into lifetime classes, preserving the input
+    order within each class; classes are returned longest-lived first
+    (the order used for region grouping, so transients sit at the end
+    of the region where the arena can shrink).  Empty classes are
+    omitted. *)
+
+val regroup : Prefix_trace.Trace_stats.t -> trace_len:int -> int list -> int list
+(** The flattened partition: the same objects, grouped by class. *)
+
+val report : Prefix_trace.Trace_stats.t -> trace_len:int -> int list -> string
+(** Human-readable class histogram with byte totals. *)

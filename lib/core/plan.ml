@@ -1,0 +1,106 @@
+type variant = Hot | Hds | HdsHot
+
+let variant_name = function
+  | Hot -> "PreFix:Hot"
+  | Hds -> "PreFix:HDS"
+  | HdsHot -> "PreFix:HDS+Hot"
+
+type recycle_block = { first_slot : int; n_slots : int; slot_bytes : int }
+
+type counter_plan = {
+  counter : int;
+  counter_sites : int list;
+  pattern : Context.pattern;
+  placements : (int * int) list;
+  recycle : recycle_block option;
+  required_ctx : int option;
+}
+
+type profile_summary = {
+  hot_count : int;
+  hds_count : int;
+  heap_access_share : float;
+  ohds_count : int;
+  rhds_count : int;
+}
+
+type t = {
+  variant : variant;
+  slots : Offsets.slot list;
+  region_bytes : int;
+  site_counter : (int * int) list;
+  counters : counter_plan list;
+  placed_objects : int list;
+  profile : profile_summary;
+}
+
+let counter_of_site t site = List.assoc_opt site t.site_counter
+
+let counter_plan t c = List.find (fun cp -> cp.counter = c) t.counters
+
+let num_sites t = List.length t.site_counter
+
+let num_counters t = List.length t.counters
+
+let context_kinds t =
+  let kinds =
+    List.map (fun cp -> Context.kind_name cp.pattern) t.counters |> List.sort_uniq compare
+  in
+  String.concat " & " kinds
+
+let validate t =
+  let n = List.length t.slots in
+  let used = Hashtbl.create n in
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    List.fold_left
+      (fun acc cp ->
+        let* () = acc in
+        let* () =
+          List.fold_left
+            (fun acc (id, slot) ->
+              let* () = acc in
+              if slot < 0 || slot >= n then
+                Error (Printf.sprintf "counter %d: slot %d out of range" cp.counter slot)
+              else if Hashtbl.mem used slot then
+                Error (Printf.sprintf "counter %d: slot %d assigned twice" cp.counter slot)
+              else if id < 1 then
+                Error (Printf.sprintf "counter %d: non-positive instance id" cp.counter)
+              else begin
+                Hashtbl.replace used slot ();
+                Ok ()
+              end)
+            (Ok ()) cp.placements
+        in
+        match cp.recycle with
+        | None -> Ok ()
+        | Some r ->
+          if r.first_slot < 0 || r.first_slot + r.n_slots > n then
+            Error (Printf.sprintf "counter %d: recycle block out of range" cp.counter)
+          else if cp.placements <> [] then
+            Error (Printf.sprintf "counter %d: recycling and direct placements mixed" cp.counter)
+          else begin
+            for i = r.first_slot to r.first_slot + r.n_slots - 1 do
+              Hashtbl.replace used i ()
+            done;
+            Ok ()
+          end)
+      (Ok ()) t.counters
+  in
+  let* () =
+    List.fold_left
+      (fun acc (site, c) ->
+        let* () = acc in
+        if List.exists (fun cp -> cp.counter = c) t.counters then Ok ()
+        else Error (Printf.sprintf "site %d mapped to unknown counter %d" site c))
+      (Ok ()) t.site_counter
+  in
+  Ok ()
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>%s plan: %d slots (%d bytes), %d sites, %d counters [%s]@,\
+     profile: %d hot objects (%d in HDS), %.1f%% of heap accesses@]"
+    (variant_name t.variant) (List.length t.slots) t.region_bytes (num_sites t)
+    (num_counters t) (context_kinds t) t.profile.hot_count t.profile.hds_count
+    (t.profile.heap_access_share *. 100.)

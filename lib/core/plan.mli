@@ -1,0 +1,73 @@
+(** The optimization plan: everything the instrumented binary needs at
+    runtime (Figure 8's "optimized executable", as data).
+
+    A plan maps each instrumented malloc site to a counter; each counter
+    carries the hot-id pattern to check (Figure 4) and either a direct
+    [instance id -> slot] placement table or a recycling block
+    (Figure 7).  The slot list describes the preallocated region
+    geometry. *)
+
+type variant = Hot | Hds | HdsHot
+
+val variant_name : variant -> string
+(** ["PreFix:Hot"], ["PreFix:HDS"], ["PreFix:HDS+Hot"]. *)
+
+type recycle_block = {
+  first_slot : int;  (** index of the block's first slot *)
+  n_slots : int;
+  slot_bytes : int;
+}
+
+type counter_plan = {
+  counter : int;
+  counter_sites : int list;
+  pattern : Context.pattern;
+  placements : (int * int) list;
+      (** (instance id under this counter, slot index); empty when
+          recycling *)
+  recycle : recycle_block option;
+  required_ctx : int option;
+      (** The hybrid mechanism of §2.2.2: when set, only allocations
+          carrying this call-stack signature advance the counter and are
+          eligible for placement — object ids and calling context used
+          together, for sites whose dynamic interleaving is not stable
+          across inputs. *)
+}
+
+type profile_summary = {
+  hot_count : int;  (** hot objects selected from the profile *)
+  hds_count : int;  (** hot objects that are members of some RHDS *)
+  heap_access_share : float;  (** fraction of heap accesses they cover *)
+  ohds_count : int;  (** streams detected before reconstitution *)
+  rhds_count : int;  (** streams after reconstitution *)
+}
+
+type t = {
+  variant : variant;
+  slots : Offsets.slot list;  (** preallocated region geometry, in order *)
+  region_bytes : int;
+  site_counter : (int * int) list;  (** instrumented site -> counter id *)
+  counters : counter_plan list;
+  placed_objects : int list;
+      (** profiled object ids with a dedicated slot, in slot order *)
+  profile : profile_summary;
+}
+
+val counter_of_site : t -> int -> int option
+
+val counter_plan : t -> int -> counter_plan
+(** Raises [Not_found] on unknown counter ids. *)
+
+val num_sites : t -> int
+val num_counters : t -> int
+
+val context_kinds : t -> string
+(** Table 2's "type" cell: comma-separated distinct pattern kinds in use,
+    e.g. ["fixed"] or ["fixed & all"]. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: slot indices in range, no slot assigned twice
+    outside recycling, recycling blocks within bounds, every site mapped
+    to a live counter. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+module Trace_stats = Prefix_trace.Trace_stats
+
+type decision = { n_slots : int; slot_bytes : int }
+
+type config = {
+  min_total_allocs : int;
+  max_live_ratio : float;
+  headroom : float;
+  max_slot_bytes : int;
+}
+
+let default_config =
+  { min_total_allocs = 64;
+    max_live_ratio = 0.25;
+    headroom = 1.25;
+    max_slot_bytes = 1024 * 1024 }
+
+let max_live_combined stats sites =
+  let site_set = Hashtbl.create (List.length sites) in
+  List.iter (fun s -> Hashtbl.replace site_set s ()) sites;
+  let events =
+    Trace_stats.objects stats
+    |> List.filter (fun (o : Trace_stats.obj_info) -> Hashtbl.mem site_set o.site)
+    |> List.concat_map (fun (o : Trace_stats.obj_info) ->
+           let fin = match o.free_index with Some i -> i | None -> max_int in
+           [ (o.alloc_index, 1); (fin, -1) ])
+    |> List.sort compare
+  in
+  let live = ref 0 and best = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      live := !live + d;
+      if !live > !best then best := !live)
+    events;
+  !best
+
+let analyze ?(config = default_config) stats ~sites =
+  let objs =
+    Trace_stats.objects stats
+    |> List.filter (fun (o : Trace_stats.obj_info) -> List.mem o.site sites)
+  in
+  let total = List.length objs in
+  if total < config.min_total_allocs then None
+  else begin
+    let max_live = max_live_combined stats sites in
+    let slot_bytes =
+      List.fold_left (fun m (o : Trace_stats.obj_info) -> max m (max o.size o.alloc_size)) 0 objs
+    in
+    let ratio = float_of_int max_live /. float_of_int total in
+    if ratio > config.max_live_ratio || slot_bytes > config.max_slot_bytes || max_live = 0 then
+      None
+    else
+      let n_slots = int_of_float (ceil (float_of_int max_live *. config.headroom)) in
+      Some { n_slots = max n_slots 1; slot_bytes }
+  end

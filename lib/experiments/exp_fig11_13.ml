@@ -1,0 +1,43 @@
+(* Figures 11, 12 and 13: change in L1 miss rate, LLC miss rate (misses
+   over all references, log scale in the paper) and backend-stall
+   percentage between the baseline and the best PreFix version. *)
+
+module T = Prefix_util.Tablefmt
+module M = Prefix_runtime.Metrics
+
+let title =
+  "Figures 11-13: L1 / LLC miss rates and backend stalls, baseline vs best PreFix"
+
+let report () =
+  let t =
+    T.create
+      ~headers:
+        [ "benchmark"; "L1 base%"; "L1 pfx%"; "LLC base%"; "LLC pfx%"; "stall base%";
+          "stall pfx%" ]
+  in
+  List.iter
+    (fun (r : Harness.result) ->
+      let best, _ = Harness.best_prefix r in
+      let b = r.baseline.metrics and p = best.metrics in
+      T.add_row t
+        [ r.wl.name;
+          T.fmt_f (100. *. b.M.l1_miss_rate);
+          T.fmt_f (100. *. p.M.l1_miss_rate);
+          T.fmt_f ~dec:4 (100. *. b.M.llc_miss_rate);
+          T.fmt_f ~dec:4 (100. *. p.M.llc_miss_rate);
+          T.fmt_f b.M.backend_stall_pct;
+          T.fmt_f p.M.backend_stall_pct ])
+    (Harness.run_all ());
+  let tlb = Buffer.create 256 in
+  (* The paper calls out the TLB improvements of health and analyzer. *)
+  List.iter
+    (fun name ->
+      let r = Harness.find name in
+      let best, _ = Harness.best_prefix r in
+      Buffer.add_string tlb
+        (Printf.sprintf "%s dTLB(L2) miss rate: %.3f%% -> %.3f%% (paper: %s)\n" name
+           (100. *. r.baseline.metrics.M.l2_tlb_miss_rate)
+           (100. *. best.metrics.M.l2_tlb_miss_rate)
+           (if name = "health" then "10% -> 0.1%" else "0.62% -> 0%")))
+    [ "health"; "analyzer" ];
+  title ^ "\n" ^ T.render t ^ Buffer.contents tlb

@@ -1,0 +1,58 @@
+(* Figure 14: static binary sizes, baseline vs best PreFix.  We have no
+   binaries to rewrite; the instrumentation model of
+   {!Prefix_core.Instrument} prices each transformed site and the
+   runtime stub against a nominal baseline text size scaled from the
+   paper's bars. *)
+
+module T = Prefix_util.Tablefmt
+module Instrument = Prefix_core.Instrument
+module Trace_stats = Prefix_trace.Trace_stats
+module Event = Prefix_trace.Event
+module Trace = Prefix_trace.Trace
+
+let title = "Figure 14: binary size, baseline -> best PreFix (modelled)"
+
+(* Nominal baseline text sizes (KB), set to each program's rough scale. *)
+let baseline_kb =
+  [ ("mysql", 48_000); ("perl", 2_800); ("mcf", 40); ("omnetpp", 3_400); ("xalanc", 6_200);
+    ("povray", 1_900); ("roms", 2_100); ("leela", 640); ("swissmap", 380); ("libc", 210);
+    ("health", 34); ("ft", 28); ("analyzer", 450) ]
+
+(* free/realloc sites in the model: one synthetic site per workload
+   module's free/realloc call points, estimated from the trace (distinct
+   sites whose objects get freed / realloc'd is not recorded, so we use
+   a small constant plus a term in the number of instrumented sites). *)
+let free_sites (r : Harness.result) =
+  let has_free = ref false and has_realloc = ref false in
+  Trace.iter
+    (fun e ->
+      match (e : Event.t) with
+      | Free _ -> has_free := true
+      | Realloc _ -> has_realloc := true
+      | _ -> ())
+    r.profiling_trace;
+  ((if !has_free then 4 else 0), if !has_realloc then 2 else 0)
+
+let report () =
+  let t =
+    T.create
+      ~headers:[ "benchmark"; "baseline KB"; "best PreFix KB"; "growth %"; "paper note" ]
+  in
+  List.iter
+    (fun (r : Harness.result) ->
+      let best, _ = Harness.best_prefix r in
+      let plan = Option.get best.plan in
+      let base = List.assoc r.wl.name baseline_kb * 1024 in
+      let frees, reallocs = free_sites r in
+      let opt =
+        Instrument.optimized_size ~baseline:base ~plan ~free_sites:frees
+          ~realloc_sites:reallocs ()
+      in
+      T.add_row t
+        [ r.wl.name;
+          T.fmt_int (base / 1024);
+          T.fmt_int (opt / 1024);
+          T.fmt_pct (Prefix_util.Stats.pct_change ~before:(float_of_int base) ~after:(float_of_int opt));
+          "small growth; BOLT .bolt.org.text excluded" ])
+    (Harness.run_all ());
+  title ^ "\n" ^ T.render t

@@ -1,0 +1,28 @@
+(* Table 2: context used per benchmark — id pattern kinds, instrumented
+   site count and counter count, from the PreFix:HDS+Hot plan. *)
+
+module T = Prefix_util.Tablefmt
+module Plan = Prefix_core.Plan
+
+let title = "Table 2: context used (measured vs paper)"
+
+let report () =
+  let t =
+    T.create
+      ~headers:[ "benchmark"; "type"; "#sites"; "#counters"; "paper type"; "(sites,counters)" ]
+  in
+  List.iter
+    (fun (r : Harness.result) ->
+      match r.prefix_hdshot.plan with
+      | None -> ()
+      | Some plan ->
+        let p = Paper_data.find_table2 r.wl.name in
+        T.add_row t
+          [ r.wl.name;
+            Plan.context_kinds plan;
+            string_of_int (Plan.num_sites plan);
+            string_of_int (Plan.num_counters plan);
+            p.kinds;
+            Printf.sprintf "(%d, %d)" p.sites p.counters ])
+    (Harness.run_all ());
+  title ^ "\n" ^ T.render t

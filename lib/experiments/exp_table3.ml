@@ -1,0 +1,64 @@
+(* Table 3: execution-time changes of HDS, HALO and the three PreFix
+   versions relative to the baseline.  "Time" is the cycle estimate of
+   the analytic model over the simulated cache hierarchy (see
+   DESIGN.md); the paper's wall-clock seconds appear alongside for
+   comparison of shape. *)
+
+module T = Prefix_util.Tablefmt
+module M = Prefix_runtime.Metrics
+
+let title = "Table 3: relative execution-time changes (measured | paper)"
+
+let cell measured paper =
+  let p = match paper with Some x -> Printf.sprintf "%+.1f" x | None -> "na" in
+  Printf.sprintf "%+.1f | %s" measured p
+
+let report () =
+  let t =
+    T.create
+      ~headers:
+        [ "benchmark"; "base Mcycles"; "mem refs"; "HDS [8] %"; "HALO %"; "PFX:Hot %";
+          "PFX:HDS %"; "PFX:HDS+Hot %"; "best %" ]
+  in
+  let m_best = ref [] and p_best = ref [] in
+  let m_hds = ref [] and p_hds = ref [] in
+  List.iter
+    (fun (r : Harness.result) ->
+      let d p = Harness.time_delta r p in
+      let pp = Paper_data.find_table3 r.wl.name in
+      let best, _ = Harness.best_prefix r in
+      m_best := d best :: !m_best;
+      p_best := pp.best_pct :: !p_best;
+      (match pp.hds_pct with
+      | Some x ->
+        m_hds := d r.hds :: !m_hds;
+        p_hds := x :: !p_hds
+      | None -> ());
+      T.add_row t
+        [ r.wl.name;
+          T.fmt_f (r.baseline.metrics.M.cycles.total_cycles /. 1e6);
+          T.fmt_int r.baseline.metrics.M.mem_refs;
+          cell (d r.hds) pp.hds_pct;
+          cell (d r.halo) pp.halo_pct;
+          cell (d r.prefix_hot) (Some pp.hot_pct);
+          cell (d r.prefix_hds) pp.hds_v_pct;
+          cell (d r.prefix_hdshot) pp.hdshot_pct;
+          cell (d best) (Some pp.best_pct) ])
+    (Harness.run_all ());
+  T.add_sep t;
+  let mean l = Prefix_util.Stats.mean l in
+  T.add_row t
+    [ "mean"; ""; ""; cell (mean !m_hds) (Some (mean !p_hds)); ""; ""; ""; "";
+      cell (mean !m_best) (Some (mean !p_best)) ];
+  let chart =
+    Prefix_util.Barchart.create ~unit_label:"%"
+      ~title:"best PreFix vs baseline (a = measured, b = paper)" ()
+  in
+  List.iter
+    (fun (r : Harness.result) ->
+      let best, _ = Harness.best_prefix r in
+      let pp = Paper_data.find_table3 r.wl.name in
+      Prefix_util.Barchart.add_pair chart ~label:r.wl.name (Harness.time_delta r best)
+        pp.best_pct)
+    (Harness.run_all ());
+  title ^ "\n" ^ T.render t ^ Prefix_util.Barchart.render chart

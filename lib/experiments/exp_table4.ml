@@ -1,0 +1,34 @@
+(* Table 4: pollution in the HDS [8] and HALO memory regions — how many
+   objects each technique directed to its special regions during the
+   long run, and how many of those were actually hot. *)
+
+module T = Prefix_util.Tablefmt
+module M = Prefix_runtime.Metrics
+
+let title = "Table 4: pollution in HDS and HALO regions (measured | paper)"
+
+let report () =
+  let t =
+    T.create
+      ~headers:
+        [ "benchmark"; "HDS hot"; "HDS all"; "HALO hot"; "HALO all"; "paper HDS (hot/all)";
+          "paper HALO (hot/all)" ]
+  in
+  List.iter
+    (fun (r : Harness.result) ->
+      let p = Paper_data.find_table4 r.wl.name in
+      let halo_paper =
+        match (p.halo_hot, p.halo_all) with
+        | Some h, Some a -> Printf.sprintf "%s / %s" (T.fmt_int h) (T.fmt_int a)
+        | _ -> "na"
+      in
+      T.add_row t
+        [ r.wl.name;
+          T.fmt_int r.hds.metrics.M.region_hot_objects;
+          T.fmt_int r.hds.metrics.M.region_objects;
+          T.fmt_int r.halo.metrics.M.region_hot_objects;
+          T.fmt_int r.halo.metrics.M.region_objects;
+          Printf.sprintf "%s / %s" (T.fmt_int p.hds_hot) (T.fmt_int p.hds_all);
+          halo_paper ])
+    (Harness.run_all ());
+  title ^ "\n" ^ T.render t

@@ -1,0 +1,33 @@
+(* Table 6: costs and benefits of the best PreFix version — malloc/free
+   calls avoided, dynamic instruction-count change, and peak memory
+   before/after. *)
+
+module T = Prefix_util.Tablefmt
+module M = Prefix_runtime.Metrics
+
+let title = "Table 6: best PreFix costs and benefits (measured | paper)"
+
+let report () =
+  let t =
+    T.create
+      ~headers:
+        [ "benchmark"; "best"; "calls avoided"; "instr change"; "peak KB (base->pfx)";
+          "paper avoided"; "paper instr"; "paper peak MB" ]
+  in
+  List.iter
+    (fun (r : Harness.result) ->
+      let best, label = Harness.best_prefix r in
+      let p = Paper_data.find_table6 r.wl.name in
+      T.add_row t
+        [ r.wl.name;
+          label;
+          T.fmt_int best.metrics.M.calls_avoided;
+          T.fmt_pct (M.instr_pct_change ~baseline:r.baseline.metrics best.metrics);
+          Printf.sprintf "%s -> %s"
+            (T.fmt_int (r.baseline.metrics.M.peak_bytes / 1024))
+            (T.fmt_int (best.metrics.M.peak_bytes / 1024));
+          T.fmt_int p.calls_avoided;
+          T.fmt_pct p.instr_pct;
+          Printf.sprintf "%.1f -> %.1f" p.peak_before_mb p.peak_after_mb ])
+    (Harness.run_all ());
+  title ^ "\n" ^ T.render t

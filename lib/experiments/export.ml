@@ -1,0 +1,87 @@
+(* Structured CSV export of the headline results, for plotting outside
+   this repository.  `bench/main.exe -- csv [dir]` writes:
+
+     table3.csv   per-benchmark time deltas, all policies, plus paper values
+     miss_rates.csv  L1/LLC/TLB rates and stalls, baseline vs best PreFix
+     capture.csv  capture + pollution accounting per policy
+
+   Fields are plain numbers; percentages are signed deltas vs baseline. *)
+
+module M = Prefix_runtime.Metrics
+
+let csv_line cells = String.concat "," cells ^ "\n"
+
+let fmt f = Printf.sprintf "%.6f" f
+
+let opt = function Some x -> fmt x | None -> ""
+
+let table3_csv () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (csv_line
+       [ "benchmark"; "hds_pct"; "halo_pct"; "hot_pct"; "hdsv_pct"; "hdshot_pct"; "best_pct";
+         "paper_hds_pct"; "paper_halo_pct"; "paper_best_pct" ]);
+  List.iter
+    (fun (r : Harness.result) ->
+      let d p = Harness.time_delta r p in
+      let best, _ = Harness.best_prefix r in
+      let pp = Paper_data.find_table3 r.wl.name in
+      Buffer.add_string buf
+        (csv_line
+           [ r.wl.name; fmt (d r.hds); fmt (d r.halo); fmt (d r.prefix_hot);
+             fmt (d r.prefix_hds); fmt (d r.prefix_hdshot); fmt (d best);
+             opt pp.hds_pct; opt pp.halo_pct; fmt pp.best_pct ]))
+    (Harness.run_all ());
+  Buffer.contents buf
+
+let miss_rates_csv () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (csv_line
+       [ "benchmark"; "l1_base"; "l1_pfx"; "llc_base"; "llc_pfx"; "tlb2_base"; "tlb2_pfx";
+         "stall_base"; "stall_pfx"; "writebacks_base"; "writebacks_pfx" ]);
+  List.iter
+    (fun (r : Harness.result) ->
+      let best, _ = Harness.best_prefix r in
+      let b = r.baseline.metrics and p = best.metrics in
+      Buffer.add_string buf
+        (csv_line
+           [ r.wl.name; fmt b.M.l1_miss_rate; fmt p.M.l1_miss_rate; fmt b.M.llc_miss_rate;
+             fmt p.M.llc_miss_rate; fmt b.M.l2_tlb_miss_rate; fmt p.M.l2_tlb_miss_rate;
+             fmt b.M.backend_stall_pct; fmt p.M.backend_stall_pct;
+             string_of_int b.M.counters.writebacks; string_of_int p.M.counters.writebacks ]))
+    (Harness.run_all ());
+  Buffer.contents buf
+
+let capture_csv () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (csv_line
+       [ "benchmark"; "policy"; "region_objects"; "region_hot"; "region_hds"; "calls_avoided";
+         "peak_bytes" ]);
+  List.iter
+    (fun (r : Harness.result) ->
+      List.iter
+        (fun (label, (pr : Harness.policy_run)) ->
+          let m = pr.metrics in
+          Buffer.add_string buf
+            (csv_line
+               [ r.wl.name; label; string_of_int m.M.region_objects;
+                 string_of_int m.M.region_hot_objects; string_of_int m.M.region_hds_objects;
+                 string_of_int m.M.calls_avoided; string_of_int m.M.peak_bytes ]))
+        [ ("baseline", r.baseline); ("hds", r.hds); ("halo", r.halo);
+          ("prefix_hot", r.prefix_hot); ("prefix_hds", r.prefix_hds);
+          ("prefix_hdshot", r.prefix_hdshot) ])
+    (Harness.run_all ());
+  Buffer.contents buf
+
+let write_all dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name content =
+    let oc = open_out (Filename.concat dir name) in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+  in
+  write "table3.csv" (table3_csv ());
+  write "miss_rates.csv" (miss_rates_csv ());
+  write "capture.csv" (capture_csv ());
+  Printf.printf "wrote table3.csv, miss_rates.csv, capture.csv to %s/\n" dir

@@ -1,0 +1,15 @@
+(** CSV export of the headline results for plotting outside the
+    repository. *)
+
+val table3_csv : unit -> string
+(** Per-benchmark time deltas for every policy, with paper values. *)
+
+val miss_rates_csv : unit -> string
+(** L1/LLC/TLB rates, backend stalls and write-backs, baseline vs best
+    PreFix. *)
+
+val capture_csv : unit -> string
+(** Region capture / pollution and peak-memory accounting per policy. *)
+
+val write_all : string -> unit
+(** Write all three files into the directory (created if missing). *)

@@ -1,0 +1,130 @@
+module Metrics = Prefix_runtime.Metrics
+module Plan = Prefix_core.Plan
+module Pipeline = Prefix_core.Pipeline
+module Executor = Prefix_runtime.Executor
+module Policy = Prefix_runtime.Policy
+module Hds_policy = Prefix_runtime.Hds_policy
+module Halo_policy = Prefix_runtime.Halo_policy
+module Prefix_policy = Prefix_runtime.Prefix_policy
+module Trace_stats = Prefix_trace.Trace_stats
+module Detector = Prefix_hds.Detector
+module Hds = Prefix_hds.Hds
+module Workload = Prefix_workloads.Workload
+
+type policy_run = { metrics : Metrics.t; plan : Plan.t option }
+
+type result = {
+  wl : Workload.t;
+  profiling_trace : Prefix_trace.Trace.t;
+  long_trace : Prefix_trace.Trace.t;
+  profiling_stats : Trace_stats.t;
+  long_stats : Trace_stats.t;
+  baseline : policy_run;
+  hds : policy_run;
+  halo : policy_run;
+  prefix_hot : policy_run;
+  prefix_hds : policy_run;
+  prefix_hdshot : policy_run;
+  long_hot_set : (int, unit) Hashtbl.t;
+  long_hds_set : (int, unit) Hashtbl.t;
+}
+
+let seed = 7
+
+let pipeline_config = Pipeline.default_config
+
+let exec_config = Executor.default_config
+
+let verbose = ref false
+
+let progress fmt =
+  Printf.ksprintf (fun s -> if !verbose then Printf.eprintf "[harness] %s\n%!" s) fmt
+
+let run_benchmark (wl : Workload.t) =
+  progress "%s: generating traces" wl.name;
+  let profiling_trace = wl.generate ~scale:Profiling ~seed () in
+  let long_trace = wl.generate ~scale:Long ~seed:(seed + 1) () in
+  let profiling_stats = Trace_stats.analyze profiling_trace in
+  let long_stats = Trace_stats.analyze long_trace in
+  (* Long-run classification, for pollution and capture accounting. *)
+  let long_hot_set = Hashtbl.create 1024 in
+  List.iter
+    (fun (o : Trace_stats.obj_info) -> Hashtbl.replace long_hot_set o.obj ())
+    (Trace_stats.hot_objects ~coverage:pipeline_config.coverage long_stats);
+  let long_hds_set = Hashtbl.create 1024 in
+  progress "%s: detecting long-run streams" wl.name;
+  let long_ohds =
+    Detector.detect_with_stats ~config:pipeline_config.detector long_stats long_trace
+  in
+  List.iter
+    (fun h -> List.iter (fun o -> Hashtbl.replace long_hds_set o ()) (Hds.objs h))
+    long_ohds;
+  let cls =
+    { Policy.is_hot = Hashtbl.mem long_hot_set; is_hds = Hashtbl.mem long_hds_set }
+  in
+  let costs = exec_config.costs in
+  (* Profile-side plans. *)
+  progress "%s: planning" wl.name;
+  let plan_of variant =
+    Pipeline.plan_with_stats ~config:pipeline_config ~variant profiling_stats profiling_trace
+  in
+  let plan_hot = plan_of Plan.Hot in
+  let plan_hds = plan_of Plan.Hds in
+  let plan_hdshot = plan_of Plan.HdsHot in
+  let hds_plan = Hds_policy.plan_of_trace ~detector:pipeline_config.detector profiling_stats profiling_trace in
+  let halo_plan = Prefix_halo.Halo.plan_of_trace profiling_stats profiling_trace in
+  (* Long-run replays. *)
+  let replay name policy plan =
+    progress "%s: replaying %s" wl.name name;
+    let outcome = Executor.run ~config:exec_config ~policy long_trace in
+    { metrics = outcome.metrics; plan }
+  in
+  let baseline = replay "baseline" (fun heap -> Policy.baseline costs heap) None in
+  let hds = replay "HDS" (fun heap -> Hds_policy.policy costs heap hds_plan cls) None in
+  let halo = replay "HALO" (fun heap -> Halo_policy.policy costs heap halo_plan cls) None in
+  let prefix_run plan =
+    replay (Plan.variant_name plan.Plan.variant)
+      (fun heap -> Prefix_policy.policy costs heap plan cls)
+      (Some plan)
+  in
+  let prefix_hot = prefix_run plan_hot in
+  let prefix_hds = prefix_run plan_hds in
+  let prefix_hdshot = prefix_run plan_hdshot in
+  { wl;
+    profiling_trace;
+    long_trace;
+    profiling_stats;
+    long_stats;
+    baseline;
+    hds;
+    halo;
+    prefix_hot;
+    prefix_hds;
+    prefix_hdshot;
+    long_hot_set;
+    long_hds_set }
+
+let cache : (string, result) Hashtbl.t = Hashtbl.create 16
+
+let find name =
+  match Hashtbl.find_opt cache name with
+  | Some r -> r
+  | None ->
+    let r = run_benchmark (Prefix_workloads.Registry.find name) in
+    Hashtbl.replace cache name r;
+    r
+
+let run_all () = List.map (fun (w : Workload.t) -> find w.name) Prefix_workloads.Registry.all
+
+let time_delta r (p : policy_run) = Metrics.time_pct_change ~baseline:r.baseline.metrics p.metrics
+
+let best_prefix r =
+  let candidates =
+    [ (r.prefix_hot, "Hot"); (r.prefix_hds, "HDS"); (r.prefix_hdshot, "HDS+Hot") ]
+  in
+  List.fold_left
+    (fun (bp, bl) (p, l) ->
+      if p.metrics.Metrics.cycles.total_cycles < bp.metrics.Metrics.cycles.total_cycles then
+        (p, l)
+      else (bp, bl))
+    (List.hd candidates) (List.tl candidates)

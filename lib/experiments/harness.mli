@@ -1,0 +1,58 @@
+(** Shared experiment machinery.
+
+    Every table and figure derives from the same set of runs: for each
+    benchmark we profile on the short input, build the plans, and replay
+    the long input under six policies (baseline, HDS [8], HALO, and the
+    three PreFix variants).  [run_benchmark] performs that once;
+    [run_all] memoizes across experiments so `bench/main.exe` replays
+    each (benchmark, policy) pair exactly once however many tables ask
+    for it. *)
+
+module Metrics = Prefix_runtime.Metrics
+module Plan = Prefix_core.Plan
+
+type policy_run = { metrics : Metrics.t; plan : Plan.t option }
+
+type result = {
+  wl : Prefix_workloads.Workload.t;
+  profiling_trace : Prefix_trace.Trace.t;
+  long_trace : Prefix_trace.Trace.t;
+  profiling_stats : Prefix_trace.Trace_stats.t;
+  long_stats : Prefix_trace.Trace_stats.t;
+  baseline : policy_run;
+  hds : policy_run;
+  halo : policy_run;
+  prefix_hot : policy_run;
+  prefix_hds : policy_run;
+  prefix_hdshot : policy_run;
+  long_hot_set : (int, unit) Hashtbl.t;  (** hot objects of the long run *)
+  long_hds_set : (int, unit) Hashtbl.t;  (** long-run hot objects in streams *)
+}
+
+val seed : int
+(** The fixed experiment seed (7). *)
+
+val pipeline_config : Prefix_core.Pipeline.config
+(** The configuration used for every benchmark's plans. *)
+
+val exec_config : Prefix_runtime.Executor.config
+(** Scaled hierarchy + default costs (see DESIGN.md). *)
+
+val best_prefix : result -> policy_run * string
+(** The best-performing PreFix variant (by cycles) and its short label
+    ("Hot" / "HDS" / "HDS+Hot"). *)
+
+val time_delta : result -> policy_run -> float
+(** % execution-time change vs the run's baseline (negative = faster). *)
+
+val run_benchmark : Prefix_workloads.Workload.t -> result
+(** Run one benchmark end to end (not cached). *)
+
+val run_all : unit -> result list
+(** All 13 benchmarks, memoized for the lifetime of the process. *)
+
+val find : string -> result
+(** Memoized lookup by benchmark name. *)
+
+val verbose : bool ref
+(** When set, progress lines are printed to stderr as runs execute. *)

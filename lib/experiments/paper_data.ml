@@ -1,0 +1,175 @@
+type table3_row = {
+  name : string;
+  baseline_s : float;
+  mem_refs : string;
+  hds_pct : float option;
+  halo_pct : float option;
+  hot_pct : float;
+  hds_v_pct : float option;
+  hdshot_pct : float option;
+  best_pct : float;
+}
+
+(* Table 3.  A [None] in hds_v/hdshot means the paper prints one merged
+   cell for all PreFix versions (the recycling benchmarks). *)
+let table3 =
+  [ { name = "mysql"; baseline_s = 152.7; mem_refs = "560 million"; hds_pct = Some 3.9;
+      halo_pct = None; hot_pct = -13.7; hds_v_pct = Some (-10.2); hdshot_pct = Some (-5.2);
+      best_pct = -13.7 };
+    { name = "perl"; baseline_s = 106.0; mem_refs = "337 billion"; hds_pct = Some (-6.3);
+      halo_pct = None; hot_pct = -7.6; hds_v_pct = Some (-8.3); hdshot_pct = Some (-7.8);
+      best_pct = -8.3 };
+    { name = "mcf"; baseline_s = 11.74; mem_refs = "13.3 billion"; hds_pct = Some 0.8;
+      halo_pct = Some (-1.2); hot_pct = -4.9; hds_v_pct = Some (-5.1); hdshot_pct = Some (-7.3);
+      best_pct = -7.3 };
+    { name = "omnetpp"; baseline_s = 434.5; mem_refs = "556 billion"; hds_pct = Some 0.6;
+      halo_pct = None; hot_pct = -10.6; hds_v_pct = Some (-13.2); hdshot_pct = Some (-10.2);
+      best_pct = -13.2 };
+    { name = "xalanc"; baseline_s = 43.38; mem_refs = "138 billion"; hds_pct = Some (-1.2);
+      halo_pct = None; hot_pct = -4.0; hds_v_pct = Some (-3.9); hdshot_pct = Some (-4.3);
+      best_pct = -4.3 };
+    { name = "povray"; baseline_s = 502.3; mem_refs = "1.6 trillion"; hds_pct = Some 0.001;
+      halo_pct = None; hot_pct = -3.44; hds_v_pct = None; hdshot_pct = None; best_pct = -3.44 };
+    { name = "roms"; baseline_s = 390.2; mem_refs = "450 billion"; hds_pct = Some (-0.02);
+      halo_pct = Some (-0.1); hot_pct = -17.8; hds_v_pct = None; hdshot_pct = None;
+      best_pct = -17.8 };
+    { name = "leela"; baseline_s = 555.8; mem_refs = "837 billion"; hds_pct = Some 0.9;
+      halo_pct = Some (-0.8); hot_pct = -25.3; hds_v_pct = None; hdshot_pct = None;
+      best_pct = -25.3 };
+    { name = "swissmap"; baseline_s = 2.275; mem_refs = "1.6 billion"; hds_pct = Some 1.1;
+      halo_pct = Some (-1.5); hot_pct = -11.1; hds_v_pct = None; hdshot_pct = None;
+      best_pct = -11.1 };
+    { name = "libc"; baseline_s = 1.080; mem_refs = "630 million"; hds_pct = Some 0.01;
+      halo_pct = Some (-0.73); hot_pct = -1.85; hds_v_pct = Some (-2.77);
+      hdshot_pct = Some (-0.93); best_pct = -2.77 };
+    { name = "health"; baseline_s = 32.73; mem_refs = "5.6 billion"; hds_pct = Some (-35.9);
+      halo_pct = Some (-43.1); hot_pct = -43.3; hds_v_pct = Some (-1.31);
+      hdshot_pct = Some (-43.4); best_pct = -43.4 };
+    { name = "ft"; baseline_s = 5.04; mem_refs = "768 million"; hds_pct = Some (-42.8);
+      halo_pct = Some (-47.0); hot_pct = -73.0; hds_v_pct = Some (-1.0);
+      hdshot_pct = Some (-74.0); best_pct = -74.0 };
+    { name = "analyzer"; baseline_s = 18.08; mem_refs = "10.1 billion"; hds_pct = Some (-15.9);
+      halo_pct = Some (-17.6); hot_pct = -57.1; hds_v_pct = Some (-18.4);
+      hdshot_pct = Some (-58.9); best_pct = -58.9 } ]
+
+type table2_row = { name : string; kinds : string; sites : int; counters : int }
+
+let table2 =
+  [ { name = "mysql"; kinds = "fixed"; sites = 10; counters = 6 };
+    { name = "perl"; kinds = "regular & fixed"; sites = 15; counters = 7 };
+    { name = "mcf"; kinds = "fixed"; sites = 6; counters = 2 };
+    { name = "omnetpp"; kinds = "fixed"; sites = 52; counters = 6 };
+    { name = "xalanc"; kinds = "fixed"; sites = 2; counters = 2 };
+    { name = "povray"; kinds = "all"; sites = 8; counters = 1 };
+    { name = "roms"; kinds = "all"; sites = 20; counters = 1 };
+    { name = "leela"; kinds = "all"; sites = 4; counters = 1 };
+    { name = "swissmap"; kinds = "all"; sites = 1; counters = 1 };
+    { name = "libc"; kinds = "fixed"; sites = 6; counters = 2 };
+    { name = "health"; kinds = "fixed & all"; sites = 3; counters = 2 };
+    { name = "ft"; kinds = "fixed & all"; sites = 3; counters = 2 };
+    { name = "analyzer"; kinds = "fixed & all"; sites = 5; counters = 3 } ]
+
+type table4_row = {
+  name : string;
+  hds_hot : int;
+  hds_all : int;
+  halo_hot : int option;
+  halo_all : int option;
+}
+
+let table4 =
+  [ { name = "mysql"; hds_hot = 2; hds_all = 80; halo_hot = None; halo_all = None };
+    { name = "perl"; hds_hot = 76; hds_all = 32_977_460; halo_hot = None; halo_all = None };
+    { name = "mcf"; hds_hot = 4; hds_all = 33; halo_hot = Some 10; halo_all = Some 59_847 };
+    { name = "omnetpp"; hds_hot = 67; hds_all = 123_727; halo_hot = None; halo_all = None };
+    { name = "xalanc"; hds_hot = 54; hds_all = 27_464; halo_hot = None; halo_all = None };
+    { name = "povray"; hds_hot = 0; hds_all = 16_879; halo_hot = None; halo_all = None };
+    { name = "roms"; hds_hot = 0; hds_all = 10_690; halo_hot = Some 0; halo_all = Some 226_552 };
+    { name = "leela"; hds_hot = 0; hds_all = 809; halo_hot = Some 1; halo_all = Some 198_816 };
+    { name = "swissmap"; hds_hot = 7; hds_all = 149_191; halo_hot = Some 4; halo_all = Some 59_864 };
+    { name = "libc"; hds_hot = 8; hds_all = 1_072; halo_hot = Some 6; halo_all = Some 6_639 };
+    { name = "health"; hds_hot = 683_334; hds_all = 683_334; halo_hot = Some 1_318_819;
+      halo_all = Some 1_318_819 };
+    { name = "ft"; hds_hot = 13_334; hds_all = 40_000; halo_hot = Some 20_000;
+      halo_all = Some 59_998 };
+    { name = "analyzer"; hds_hot = 2_242; hds_all = 2_242; halo_hot = Some 8_196;
+      halo_all = Some 8_196 } ]
+
+type table5_row = {
+  name : string;
+  prof_ha : float;
+  prof_hot : int;
+  prof_hds : int;
+  long_ha : float;
+  long_hot : int;
+  long_hds : int;
+}
+
+let table5 =
+  [ { name = "mysql"; prof_ha = 93.0; prof_hot = 13; prof_hds = 7; long_ha = 86.5; long_hot = 7; long_hds = 5 };
+    { name = "perl"; prof_ha = 60.8; prof_hot = 174; prof_hds = 120; long_ha = 53.5; long_hot = 109; long_hds = 85 };
+    { name = "mcf"; prof_ha = 89.3; prof_hot = 6; prof_hds = 3; long_ha = 99.9; long_hot = 6; long_hds = 3 };
+    { name = "omnetpp"; prof_ha = 61.1; prof_hot = 230; prof_hds = 94; long_ha = 52.1; long_hot = 153; long_hds = 80 };
+    { name = "xalanc"; prof_ha = 75.4; prof_hot = 236; prof_hds = 67; long_ha = 72.9; long_hot = 101; long_hds = 67 };
+    { name = "povray"; prof_ha = 50.1; prof_hot = 20; prof_hds = 20; long_ha = 28.9; long_hot = 20; long_hds = 20 };
+    { name = "roms"; prof_ha = 33.4; prof_hot = 20; prof_hds = 20; long_ha = 74.5; long_hot = 20; long_hds = 20 };
+    { name = "leela"; prof_ha = 37.2; prof_hot = 5; prof_hds = 5; long_ha = 70.1; long_hot = 5; long_hds = 5 };
+    { name = "swissmap"; prof_ha = 87.5; prof_hot = 8; prof_hds = 8; long_ha = 97.5; long_hot = 8; long_hds = 8 };
+    { name = "libc"; prof_ha = 94.5; prof_hot = 438; prof_hds = 384; long_ha = 93.1; long_hot = 429; long_hds = 376 };
+    { name = "health"; prof_ha = 97.2; prof_hot = 1_733_377; prof_hds = 213; long_ha = 99.9; long_hot = 1_733_377; long_hds = 213 };
+    { name = "ft"; prof_ha = 82.2; prof_hot = 20_000; prof_hds = 868; long_ha = 98.5; long_hot = 20_000; long_hds = 868 };
+    { name = "analyzer"; prof_ha = 98.5; prof_hot = 103_613; prof_hds = 3; long_ha = 88.5; long_hot = 103_613; long_hds = 3 } ]
+
+type table6_row = {
+  name : string;
+  calls_avoided : int;
+  instr_pct : float;
+  peak_before_mb : float;
+  peak_after_mb : float;
+}
+
+let table6 =
+  [ { name = "mysql"; calls_avoided = 12; instr_pct = -1.5; peak_before_mb = 18.; peak_after_mb = 426. };
+    { name = "perl"; calls_avoided = 119; instr_pct = 0.07; peak_before_mb = 92.; peak_after_mb = 94. };
+    { name = "mcf"; calls_avoided = 5; instr_pct = 0.3; peak_before_mb = 292.; peak_after_mb = 333. };
+    { name = "omnetpp"; calls_avoided = 93; instr_pct = 1.6; peak_before_mb = 248.; peak_after_mb = 250. };
+    { name = "xalanc"; calls_avoided = 235; instr_pct = -0.31; peak_before_mb = 368.; peak_after_mb = 405. };
+    { name = "povray"; calls_avoided = 10_833; instr_pct = -0.2; peak_before_mb = 8.8; peak_after_mb = 8.6 };
+    { name = "roms"; calls_avoided = 1_415_999; instr_pct = -0.1; peak_before_mb = 867.; peak_after_mb = 862. };
+    { name = "leela"; calls_avoided = 30_263_160; instr_pct = -25.2; peak_before_mb = 28.; peak_after_mb = 20. };
+    { name = "swissmap"; calls_avoided = 148_479; instr_pct = 9.5; peak_before_mb = 619.; peak_after_mb = 318. };
+    { name = "libc"; calls_avoided = 383; instr_pct = -7.1; peak_before_mb = 81.; peak_after_mb = 88. };
+    { name = "health"; calls_avoided = 1_733_376; instr_pct = -2.0; peak_before_mb = 56.; peak_after_mb = 43. };
+    { name = "ft"; calls_avoided = 19_999; instr_pct = -1.1; peak_before_mb = 7.1; peak_after_mb = 6.5 };
+    { name = "analyzer"; calls_avoided = 103_612; instr_pct = -0.1; peak_before_mb = 18.; peak_after_mb = 10. } ]
+
+type fig1_row = { name : string; heap_pct : float; hot_pct : float; hot_objs : int }
+
+(* Figure 1 bar heights are approximate visual reads; the object counts
+   printed in the bars equal Table 5's profiling Hot column. *)
+let fig1 =
+  [ { name = "mysql"; heap_pct = 96.; hot_pct = 93.0; hot_objs = 13 };
+    { name = "perl"; heap_pct = 80.; hot_pct = 60.8; hot_objs = 174 };
+    { name = "mcf"; heap_pct = 95.; hot_pct = 89.3; hot_objs = 6 };
+    { name = "omnetpp"; heap_pct = 85.; hot_pct = 61.1; hot_objs = 230 };
+    { name = "xalanc"; heap_pct = 88.; hot_pct = 75.4; hot_objs = 236 };
+    { name = "povray"; heap_pct = 70.; hot_pct = 50.1; hot_objs = 20 };
+    { name = "roms"; heap_pct = 60.; hot_pct = 33.4; hot_objs = 20 };
+    { name = "leela"; heap_pct = 65.; hot_pct = 37.2; hot_objs = 5 };
+    { name = "swissmap"; heap_pct = 95.; hot_pct = 87.5; hot_objs = 8 };
+    { name = "libc"; heap_pct = 97.; hot_pct = 94.5; hot_objs = 438 };
+    { name = "health"; heap_pct = 99.; hot_pct = 97.2; hot_objs = 1_733_377 };
+    { name = "ft"; heap_pct = 90.; hot_pct = 82.2; hot_objs = 20_000 };
+    { name = "analyzer"; heap_pct = 99.; hot_pct = 98.5; hot_objs = 103_613 } ]
+
+(* Figure 10, approximate reads. *)
+let fig10_mysql = [ (2, 4.6); (4, 8.2); (8, 12.3); (16, 15.4) ]
+let fig10_mcf = [ (2, 10.1); (4, 6.4); (8, -1.2); (16, 1.3) ]
+
+let find_table3 name = List.find (fun (r : table3_row) -> r.name = name) table3
+let find_table2 name = List.find (fun (r : table2_row) -> r.name = name) table2
+let find_table4 name = List.find (fun (r : table4_row) -> r.name = name) table4
+let find_table5 name = List.find (fun (r : table5_row) -> r.name = name) table5
+let find_table6 name = List.find (fun (r : table6_row) -> r.name = name) table6
+
+let benchmarks = List.map (fun (r : table2_row) -> r.name) table2

@@ -1,0 +1,74 @@
+(** Paper-reported numbers, embedded so every harness can print
+    paper-vs-measured side by side (and EXPERIMENTS.md can record the
+    comparison).  All values are transcribed from the CGO'25 paper. *)
+
+type table3_row = {
+  name : string;
+  baseline_s : float;  (** baseline execution time, seconds *)
+  mem_refs : string;  (** as printed in the paper, e.g. "13.3 billion" *)
+  hds_pct : float option;  (** HDS [8] time change, % *)
+  halo_pct : float option;  (** HALO, % ([None] = "na") *)
+  hot_pct : float;
+  hds_v_pct : float option;  (** PreFix:HDS ([None] = merged cell) *)
+  hdshot_pct : float option;
+  best_pct : float;
+}
+
+val table3 : table3_row list
+
+type table2_row = { name : string; kinds : string; sites : int; counters : int }
+
+val table2 : table2_row list
+
+type table4_row = {
+  name : string;
+  hds_hot : int;
+  hds_all : int;
+  halo_hot : int option;
+  halo_all : int option;
+}
+
+val table4 : table4_row list
+
+type table5_row = {
+  name : string;
+  prof_ha : float;
+  prof_hot : int;
+  prof_hds : int;
+  long_ha : float;
+  long_hot : int;
+  long_hds : int;
+}
+
+val table5 : table5_row list
+
+type table6_row = {
+  name : string;
+  calls_avoided : int;
+  instr_pct : float;
+  peak_before_mb : float;
+  peak_after_mb : float;
+}
+
+val table6 : table6_row list
+
+type fig1_row = { name : string; heap_pct : float; hot_pct : float; hot_objs : int }
+
+val fig1 : fig1_row list
+(** Approximate reads of Figure 1's bars: % of memory accesses from all
+    heap objects and from hot heap objects, and the dynamic hot-object
+    count printed in the bar (= Table 5 profiling Hot). *)
+
+val fig10_mysql : (int * float) list
+(** (threads, improvement %) for mysql, Figure 10 (positive = faster). *)
+
+val fig10_mcf : (int * float) list
+
+val find_table3 : string -> table3_row
+val find_table2 : string -> table2_row
+val find_table4 : string -> table4_row
+val find_table5 : string -> table5_row
+val find_table6 : string -> table6_row
+
+val benchmarks : string list
+(** The 13 names, in paper order. *)

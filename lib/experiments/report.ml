@@ -1,0 +1,30 @@
+(* The full experiment suite: one entry per table/figure plus the
+   ablations, runnable individually (CLI, bench) or all together. *)
+
+type experiment = {
+  id : string;
+  what : string;
+  run : unit -> string;
+}
+
+let all =
+  [ { id = "fig1"; what = "heap vs hot-heap access shares"; run = Exp_fig1.report };
+    { id = "fig2"; what = "layout determination example (cc1)"; run = Exp_fig2.report };
+    { id = "table2"; what = "context kinds, sites, counters"; run = Exp_table2.report };
+    { id = "table3"; what = "execution-time changes"; run = Exp_table3.report };
+    { id = "table4"; what = "pollution in HDS and HALO"; run = Exp_table4.report };
+    { id = "table5"; what = "capture, profiling vs long run"; run = Exp_table5.report };
+    { id = "table6"; what = "calls avoided, instructions, peak memory"; run = Exp_table6.report };
+    { id = "fig9"; what = "access heatmaps (leela)"; run = Exp_fig9.report };
+    { id = "fig10"; what = "multithreaded speedups"; run = Exp_fig10.report };
+    { id = "fig11-13"; what = "miss rates and backend stalls"; run = Exp_fig11_13.report };
+    { id = "fig14"; what = "binary size model"; run = Exp_fig14.report };
+    { id = "ablations"; what = "LCS vs Sequitur, sharing, recycling, merge rule, hybrid";
+      run = Ablations.report };
+    { id = "stability"; what = "best-PreFix delta across workload seeds";
+      run = Exp_stability.report } ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all () =
+  String.concat "\n" (List.map (fun e -> e.run ()) all)

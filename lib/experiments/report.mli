@@ -1,0 +1,15 @@
+(** The experiment registry: one entry per table/figure of the paper's
+    evaluation, plus the ablations and the seed-stability check. *)
+
+type experiment = {
+  id : string;  (** e.g. ["table3"], ["fig9"] *)
+  what : string;  (** one-line description *)
+  run : unit -> string;  (** produce the rendered report *)
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val run_all : unit -> string
+(** Every experiment's report, concatenated (the default bench run). *)

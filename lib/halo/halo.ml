@@ -1,0 +1,109 @@
+module Trace = Prefix_trace.Trace
+module Trace_stats = Prefix_trace.Trace_stats
+module Event = Prefix_trace.Event
+
+type plan = { groups : int list list; hot_ctxs : int list }
+
+type config = {
+  hot_ctx_coverage : float;
+  affinity_window : int;
+  min_affinity : float;
+}
+
+let default_config = { hot_ctx_coverage = 0.9; affinity_window = 64; min_affinity = 0.1 }
+
+(* Contexts that allocate at least one hot object. *)
+let hot_contexts config stats =
+  let hot = Trace_stats.hot_objects ~coverage:config.hot_ctx_coverage stats in
+  let ctxs = Hashtbl.create 64 in
+  List.iter
+    (fun (o : Trace_stats.obj_info) ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt ctxs o.ctx) in
+      Hashtbl.replace ctxs o.ctx (cur + o.accesses))
+    hot;
+  Hashtbl.fold (fun ctx w acc -> (ctx, w) :: acc) ctxs []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst
+
+(* Affinity: sliding window over the heap-access stream; every pair of hot
+   contexts co-occurring within the window gets a tick.  Normalised by the
+   smaller context's access count. *)
+let affinity_matrix config stats trace hot_ctxs =
+  let is_hot_ctx = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace is_hot_ctx c ()) hot_ctxs;
+  let ctx_of_obj = Hashtbl.create 1024 in
+  List.iter
+    (fun (o : Trace_stats.obj_info) ->
+      if Hashtbl.mem is_hot_ctx o.ctx then Hashtbl.replace ctx_of_obj o.obj o.ctx)
+    (Trace_stats.objects stats);
+  let counts : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let ctx_accesses : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let window = Queue.create () in
+  let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  Trace.iter
+    (fun e ->
+      match (e : Event.t) with
+      | Access { obj; _ } -> (
+        match Hashtbl.find_opt ctx_of_obj obj with
+        | None -> ()
+        | Some ctx ->
+          bump ctx_accesses ctx;
+          Queue.iter
+            (fun other ->
+              if other <> ctx then begin
+                let key = (min ctx other, max ctx other) in
+                bump counts key
+              end)
+            window;
+          Queue.push ctx window;
+          if Queue.length window > config.affinity_window then ignore (Queue.pop window))
+      | _ -> ())
+    trace;
+  let accesses c = Option.value ~default:0 (Hashtbl.find_opt ctx_accesses c) in
+  Hashtbl.fold
+    (fun (a, b) ticks acc ->
+      let denom = min (accesses a) (accesses b) in
+      if denom = 0 then acc
+      else ((a, b), float_of_int ticks /. float_of_int denom) :: acc)
+    counts []
+  |> List.sort (fun (_, x) (_, y) -> compare y x)
+
+(* Greedy union-find grouping over pairs above the affinity threshold. *)
+let group config pairs hot_ctxs =
+  let parent = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace parent c c) hot_ctxs;
+  let rec find c =
+    let p = Hashtbl.find parent c in
+    if p = c then c
+    else begin
+      let root = find p in
+      Hashtbl.replace parent c root;
+      root
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun ((a, b), w) -> if w >= config.min_affinity then union a b) pairs;
+  let groups : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let r = find c in
+      Hashtbl.replace groups r (c :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    hot_ctxs;
+  Hashtbl.fold (fun _ g acc -> List.sort compare g :: acc) groups []
+  |> List.sort compare
+
+let plan_of_trace ?(config = default_config) stats trace =
+  let hot_ctxs = hot_contexts config stats in
+  let pairs = affinity_matrix config stats trace hot_ctxs in
+  let groups = group config pairs hot_ctxs in
+  { groups; hot_ctxs }
+
+let ctx_in_plan plan ctx =
+  let rec go i = function
+    | [] -> None
+    | g :: rest -> if List.mem ctx g then Some i else go (i + 1) rest
+  in
+  go 0 plan.groups

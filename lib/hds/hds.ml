@@ -1,0 +1,45 @@
+module IntSet = Set.Make (Int)
+
+type t = {
+  objs : int list; (* distinct, in preferred adjacency order *)
+  set : IntSet.t;
+  refs : int;
+}
+
+let dedup objs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun o ->
+      if Hashtbl.mem seen o then false
+      else begin
+        Hashtbl.replace seen o ();
+        true
+      end)
+    objs
+
+let make ~objs ~refs =
+  let objs = dedup objs in
+  { objs; set = IntSet.of_list objs; refs }
+
+let objs t = t.objs
+let obj_set t = t.set
+let refs t = t.refs
+let cardinal t = IntSet.cardinal t.set
+let mem o t = IntSet.mem o t.set
+let inter a b = IntSet.inter a.set b.set
+let diff_objs t set = List.filter (fun o -> not (IntSet.mem o set)) t.objs
+
+let concat t extra =
+  let extra = List.filter (fun o -> not (IntSet.mem o t.set)) (dedup extra) in
+  { objs = t.objs @ extra; set = IntSet.union t.set (IntSet.of_list extra); refs = t.refs }
+
+let equal_sets a b = IntSet.equal a.set b.set
+
+let compare_by_refs a b =
+  match compare b.refs a.refs with 0 -> compare a.objs b.objs | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "{%a | refs=%d}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    t.objs t.refs

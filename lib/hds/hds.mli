@@ -1,0 +1,44 @@
+(** Hot data streams.
+
+    Following Chilimbi & Shaham [8], a hot data stream is a set of hot
+    objects that are accessed together; colocating its members improves
+    inter-object spatial locality.  We keep the member objects in their
+    preferred adjacency order (the order in which the stream visits
+    them), since PreFix — unlike prior work — can realise that order in
+    the preallocated region. *)
+
+type t
+
+val make : objs:int list -> refs:int -> t
+(** [make ~objs ~refs] builds a stream over the distinct object ids
+    [objs] (order preserved, duplicates dropped) that accounted for
+    [refs] memory references in the profile. *)
+
+val objs : t -> int list
+(** Member objects in preferred adjacency order. *)
+
+val obj_set : t -> Set.Make(Int).t
+
+val refs : t -> int
+(** Profile weight: memory references attributed to the stream. *)
+
+val cardinal : t -> int
+
+val mem : int -> t -> bool
+
+val inter : t -> t -> Set.Make(Int).t
+(** Objects shared by two streams. *)
+
+val diff_objs : t -> Set.Make(Int).t -> int list
+(** Members not in the given set, order preserved. *)
+
+val concat : t -> int list -> t
+(** [concat t extra] appends [extra] objects (deduplicated) at the end
+    of [t]'s order, keeping [t]'s weight. *)
+
+val equal_sets : t -> t -> bool
+
+val compare_by_refs : t -> t -> int
+(** Descending by [refs], ties broken deterministically by members. *)
+
+val pp : Format.formatter -> t -> unit

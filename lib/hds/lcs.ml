@@ -1,0 +1,55 @@
+let table a b =
+  let n = Array.length a and m = Array.length b in
+  let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = 1 to n do
+    for j = 1 to m do
+      dp.(i).(j) <-
+        (if a.(i - 1) = b.(j - 1) then dp.(i - 1).(j - 1) + 1
+         else max dp.(i - 1).(j) dp.(i).(j - 1))
+    done
+  done;
+  dp
+
+let lcs_with_positions a b =
+  let dp = table a b in
+  let rec back i j acc =
+    if i = 0 || j = 0 then acc
+    else if a.(i - 1) = b.(j - 1) && dp.(i).(j) = dp.(i - 1).(j - 1) + 1 then
+      back (i - 1) (j - 1) ((a.(i - 1), i - 1, j - 1) :: acc)
+    else if dp.(i - 1).(j) >= dp.(i).(j - 1) then back (i - 1) j acc
+    else back i (j - 1) acc
+  in
+  back (Array.length a) (Array.length b) []
+
+let lcs a b = Array.of_list (List.map (fun (v, _, _) -> v) (lcs_with_positions a b))
+
+let length a b =
+  (* Two-row DP; keep the shorter sequence as the row. *)
+  let a, b = if Array.length a < Array.length b then (b, a) else (a, b) in
+  let m = Array.length b in
+  let prev = Array.make (m + 1) 0 and cur = Array.make (m + 1) 0 in
+  Array.iter
+    (fun ai ->
+      for j = 1 to m do
+        cur.(j) <- (if ai = b.(j - 1) then prev.(j - 1) + 1 else max prev.(j) cur.(j - 1))
+      done;
+      Array.blit cur 0 prev 0 (m + 1);
+      Array.fill cur 0 (m + 1) 0)
+    a;
+  prev.(m)
+
+let similarity a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then 0.
+  else 2. *. float_of_int (length a b) /. float_of_int (n + m)
+
+let split_runs ~max_gap matches =
+  let rec go acc cur last = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | (v, i, j) :: rest -> (
+      match last with
+      | Some (pi, pj) when i - pi > max_gap || j - pj > max_gap ->
+        go (List.rev cur :: acc) [ v ] (Some (i, j)) rest
+      | _ -> go acc (v :: cur) (Some (i, j)) rest)
+  in
+  go [] [] None matches |> List.filter (fun r -> r <> [])

@@ -1,0 +1,224 @@
+(* Faithful port of the classic Sequitur implementation (sequitur.info),
+   maintaining digram uniqueness and rule utility online. *)
+
+type value = Dummy | Guard of rule | Term of int | NonTerm of rule
+
+and symbol = { mutable v : value; mutable prev : symbol; mutable next : symbol }
+
+and rule = { id : int; mutable guard : symbol; mutable refcount : int }
+
+type key = KT of int | KN of int
+
+type grammar = {
+  start : rule;
+  index : (key * key, symbol) Hashtbl.t;
+  mutable next_rule_id : int;
+}
+
+let new_rule g =
+  let rec guard = { v = Dummy; prev = guard; next = guard } in
+  let r = { id = g.next_rule_id; guard; refcount = 0 } in
+  g.next_rule_id <- g.next_rule_id + 1;
+  guard.v <- Guard r;
+  r
+
+let is_guard s = match s.v with Guard _ | Dummy -> true | _ -> false
+
+let key_of s =
+  match s.v with
+  | Term t -> KT t
+  | NonTerm r -> KN r.id
+  | Guard _ | Dummy -> invalid_arg "Sequitur: guard has no digram key"
+
+let dkey s = (key_of s, key_of s.next)
+
+(* Remove the digram starting at [s] from the index iff the index entry is
+   [s] itself. *)
+let delete_digram g s =
+  if (not (is_guard s)) && not (is_guard s.next) then
+    match Hashtbl.find_opt g.index (dkey s) with
+    | Some m when m == s -> Hashtbl.remove g.index (dkey s)
+    | _ -> ()
+
+let join left right =
+  left.next <- right;
+  right.prev <- left
+
+(* Unlink and discard a symbol, maintaining the digram index and rule
+   reference counts.  The value is tombstoned to [Dummy] so that stale
+   index entries pointing at this symbol can never validate (the classic
+   implementation achieves the same by re-comparing symbol values on
+   every hash-table probe). *)
+let delete_symbol g s =
+  delete_digram g s;
+  (match s.v with NonTerm r -> r.refcount <- r.refcount - 1 | _ -> ());
+  join s.prev s.next;
+  s.v <- Dummy
+
+(* An index entry is only meaningful if the symbol it points at still
+   forms exactly the digram used as the key. *)
+let entry_valid k m =
+  (not (is_guard m)) && (not (is_guard m.next)) && dkey m = k
+
+let insert_after g left value =
+  ignore g;
+  let s = { v = value; prev = left; next = left.next } in
+  (match value with NonTerm r -> r.refcount <- r.refcount + 1 | _ -> ());
+  left.next.prev <- s;
+  left.next <- s;
+  s
+
+let rule_of_nonterm s =
+  match s.v with NonTerm r -> r | _ -> invalid_arg "Sequitur: not a nonterminal"
+
+(* Expand a nonterminal symbol [s] whose rule is used exactly once:
+   splice the rule body in place of [s] and delete the rule. *)
+let expand g s =
+  let r = rule_of_nonterm s in
+  let left = s.prev and right = s.next in
+  let first = r.guard.next and last = r.guard.prev in
+  delete_digram g s;
+  (* No refcount bookkeeping for body symbols: they move, not die. *)
+  join left first;
+  join last right;
+  s.v <- Dummy;
+  Hashtbl.replace g.index (dkey last) last
+
+let rec check g s =
+  if is_guard s || is_guard s.next then false
+  else begin
+    let k = dkey s in
+    match Hashtbl.find_opt g.index k with
+    | Some m when not (entry_valid k m) ->
+      (* Stale entry from a deleted or rewritten digram: claim the slot. *)
+      Hashtbl.replace g.index k s;
+      false
+    | None ->
+      Hashtbl.replace g.index k s;
+      false
+    | Some m when m == s || m.next == s || s.next == m ->
+      (* Same or overlapping occurrence (e.g. "aaa"): leave as is. *)
+      false
+    | Some m ->
+      match_digrams g s m;
+      true
+  end
+
+(* [s] and [m] are two non-overlapping occurrences of the same digram. *)
+and match_digrams g s m =
+  let r =
+    if is_guard m.prev && is_guard m.next.next then begin
+      (* [m..m.next] is the whole body of an existing rule: reuse it. *)
+      let r = match m.prev.v with Guard r -> r | _ -> assert false in
+      substitute g s r;
+      r
+    end
+    else begin
+      let r = new_rule g in
+      (* Build the rule body as a copy of the digram. *)
+      let a = insert_after g r.guard.prev s.v in
+      let _b = insert_after g r.guard.prev s.next.v in
+      substitute g m r;
+      substitute g s r;
+      Hashtbl.replace g.index (dkey a) a;
+      r
+    end
+  in
+  (* Rule utility: if the rule's first symbol is a nonterminal used once,
+     inline it. *)
+  let first = r.guard.next in
+  match first.v with
+  | NonTerm r' when r'.refcount = 1 -> expand g first
+  | _ -> ()
+
+(* Replace the digram [(s, s.next)] by nonterminal [r]. *)
+and substitute g s r =
+  let q = s.prev in
+  let s2 = s.next in
+  delete_symbol g s;
+  delete_symbol g s2;
+  let n = insert_after g q (NonTerm r) in
+  if not (check g q) then ignore (check g n)
+
+let append g value =
+  let last = g.start.guard.prev in
+  let s = insert_after g last value in
+  ignore (check g s.prev)
+
+let build seq =
+  let rec guard = { v = Dummy; prev = guard; next = guard } in
+  let start = { id = 0; guard; refcount = 0 } in
+  guard.v <- Guard start;
+  let g = { start; index = Hashtbl.create 1024; next_rule_id = 1 } in
+  Array.iter (fun t -> append g (Term t)) seq;
+  g
+
+let iter_body r f =
+  let rec go s = if not (is_guard s) then begin f s; go s.next end in
+  go r.guard.next
+
+let rec expand_rule acc r =
+  iter_body r (fun s ->
+      match s.v with
+      | Term t -> acc := t :: !acc
+      | NonTerm r' -> expand_rule acc r'
+      | Guard _ | Dummy -> ())
+
+let expand_start g =
+  let acc = ref [] in
+  expand_rule acc g.start;
+  Array.of_list (List.rev !acc)
+
+let collect_rules g =
+  (* Walk the reachable grammar from the start rule. *)
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let rec visit r =
+    if not (Hashtbl.mem seen r.id) then begin
+      Hashtbl.replace seen r.id ();
+      out := r :: !out;
+      iter_body r (fun s -> match s.v with NonTerm r' -> visit r' | _ -> ())
+    end
+  in
+  visit g.start;
+  List.rev !out
+
+let rules g =
+  collect_rules g
+  |> List.filter (fun r -> r.id <> g.start.id)
+  |> List.map (fun r ->
+         let acc = ref [] in
+         expand_rule acc r;
+         (Array.of_list (List.rev !acc), r.refcount))
+
+let num_rules g = List.length (collect_rules g)
+
+let check_digram_uniqueness g =
+  let seen = Hashtbl.create 256 in
+  let ok = ref true in
+  List.iter
+    (fun r ->
+      let rec go s =
+        if not (is_guard s) then begin
+          if not (is_guard s.next) then begin
+            let k = dkey s in
+            (* Same-symbol digrams ("aa") are exempt: the classic
+               algorithm skips overlapping occurrences inside runs like
+               "aaa", and after surrounding deletions such a skipped
+               digram can legitimately coexist with an indexed one.  The
+               uniqueness guarantee only covers digrams of distinct
+               symbols. *)
+            (match k with
+            | ka, kb when ka = kb -> ()
+            | _ -> (
+              match Hashtbl.find_opt seen k with
+              | Some m when m != s && m.next != s && s.next != m -> ok := false
+              | Some _ -> ()
+              | None -> Hashtbl.replace seen k s));
+            go s.next
+          end
+        end
+      in
+      go r.guard.next)
+    (collect_rules g);
+  !ok

@@ -1,0 +1,31 @@
+(** Sequitur grammar inference (Nevill-Manning & Witten 1997).
+
+    The original HDS work [8] mined hot data streams with Sequitur; the
+    paper replaces it with LCS, claiming equal effectiveness at lower
+    cost (§3.1).  We implement both so the claim can be benchmarked
+    (see the ablation benches).
+
+    Sequitur builds a context-free grammar from a sequence online while
+    maintaining two invariants: {e digram uniqueness} (no pair of
+    adjacent symbols occurs twice in the grammar) and {e rule utility}
+    (every rule other than the start rule is used at least twice). *)
+
+type grammar
+
+val build : int array -> grammar
+(** Infer a grammar for the whole sequence. *)
+
+val expand_start : grammar -> int array
+(** Expansion of the start rule — always equal to the input sequence
+    (checked by property tests). *)
+
+val rules : grammar -> (int array * int) list
+(** Every non-start rule as [(terminal expansion, usage count)], where
+    usage is the number of references to the rule from other rules.
+    By rule utility, usage >= 2. *)
+
+val num_rules : grammar -> int
+(** Number of rules, start rule included. *)
+
+val check_digram_uniqueness : grammar -> bool
+(** Verify the digram-uniqueness invariant; exposed for tests. *)

@@ -1,0 +1,168 @@
+type addr = int
+
+let alignment = 16
+
+(* Free blocks ordered by (size, addr) for best-fit lookup. *)
+module SzSet = Set.Make (struct
+  type t = int * int (* size, addr *)
+
+  let compare = compare
+end)
+
+type t = {
+  base : addr;
+  mutable top : addr; (* next fresh address *)
+  mutable free_set : SzSet.t;
+  free_by_addr : (addr, int) Hashtbl.t; (* addr -> size *)
+  ends : (addr, addr) Hashtbl.t; (* end addr -> start addr, free blocks only *)
+  allocated : (addr, int) Hashtbl.t; (* addr -> rounded size *)
+  mutable live : int;
+  mutable peak : int;
+  mutable mallocs : int;
+  mutable frees : int;
+  mutable reallocs : int;
+}
+
+let create ?(base = 0x10000) () =
+  { base;
+    top = base;
+    free_set = SzSet.empty;
+    free_by_addr = Hashtbl.create 1024;
+    ends = Hashtbl.create 1024;
+    allocated = Hashtbl.create 1024;
+    live = 0;
+    peak = 0;
+    mallocs = 0;
+    frees = 0;
+    reallocs = 0 }
+
+let round_up size = (size + alignment - 1) / alignment * alignment
+
+let add_free t addr size =
+  t.free_set <- SzSet.add (size, addr) t.free_set;
+  Hashtbl.replace t.free_by_addr addr size;
+  Hashtbl.replace t.ends (addr + size) addr
+
+let remove_free t addr size =
+  t.free_set <- SzSet.remove (size, addr) t.free_set;
+  Hashtbl.remove t.free_by_addr addr;
+  Hashtbl.remove t.ends (addr + size)
+
+let note_alloc t addr size =
+  Hashtbl.replace t.allocated addr size;
+  t.live <- t.live + size;
+  if t.live > t.peak then t.peak <- t.live
+
+let malloc t size =
+  if size <= 0 then invalid_arg "Allocator.malloc: size must be positive";
+  t.mallocs <- t.mallocs + 1;
+  let want = round_up size in
+  match SzSet.find_first_opt (fun (s, _) -> s >= want) t.free_set with
+  | Some (bsize, addr) ->
+    remove_free t addr bsize;
+    if bsize - want >= alignment then add_free t (addr + want) (bsize - want);
+    (* Remainders below one granule are absorbed into the block. *)
+    let got = if bsize - want >= alignment then want else bsize in
+    note_alloc t addr got;
+    addr
+  | None ->
+    let addr = t.top in
+    t.top <- t.top + want;
+    note_alloc t addr want;
+    addr
+
+let free t addr =
+  match Hashtbl.find_opt t.allocated addr with
+  | None -> invalid_arg "Allocator.free: address not allocated"
+  | Some size ->
+    t.frees <- t.frees + 1;
+    Hashtbl.remove t.allocated addr;
+    t.live <- t.live - size;
+    (* Coalesce with free left neighbour. *)
+    let addr, size =
+      match Hashtbl.find_opt t.ends addr with
+      | Some left ->
+        let lsize = Hashtbl.find t.free_by_addr left in
+        remove_free t left lsize;
+        (left, lsize + size)
+      | None -> (addr, size)
+    in
+    (* Coalesce with free right neighbour. *)
+    let size =
+      match Hashtbl.find_opt t.free_by_addr (addr + size) with
+      | Some rsize ->
+        remove_free t (addr + size) rsize;
+        size + rsize
+      | None -> size
+    in
+    add_free t addr size
+
+let block_size t addr = Hashtbl.find_opt t.allocated addr
+
+let is_allocated t addr = Hashtbl.mem t.allocated addr
+
+let realloc t addr size =
+  if size <= 0 then invalid_arg "Allocator.realloc: size must be positive";
+  match Hashtbl.find_opt t.allocated addr with
+  | None -> invalid_arg "Allocator.realloc: address not allocated"
+  | Some cur ->
+    t.reallocs <- t.reallocs + 1;
+    let want = round_up size in
+    if want <= cur then addr (* shrink / fits in place *)
+    else begin
+      let fresh = malloc t size in
+      t.mallocs <- t.mallocs - 1; (* internal call, not a user malloc *)
+      free t addr;
+      t.frees <- t.frees - 1;
+      fresh
+    end
+
+let live_bytes t = t.live
+let peak_bytes t = t.peak
+let heap_extent t = t.top - t.base
+let malloc_calls t = t.mallocs
+let free_calls t = t.frees
+let realloc_calls t = t.reallocs
+
+let check_invariants t =
+  let ( let* ) r f = Result.bind r f in
+  (* Free set and free_by_addr agree. *)
+  let* () =
+    if SzSet.cardinal t.free_set <> Hashtbl.length t.free_by_addr then
+      Error "free_set and free_by_addr disagree on cardinality"
+    else Ok ()
+  in
+  let* () =
+    SzSet.fold
+      (fun (size, addr) acc ->
+        let* () = acc in
+        match Hashtbl.find_opt t.free_by_addr addr with
+        | Some s when s = size -> Ok ()
+        | _ -> Error (Printf.sprintf "free block (%d,%d) missing from addr index" addr size))
+      t.free_set (Ok ())
+  in
+  (* Collect all blocks and check disjointness + coalescing. *)
+  let blocks =
+    Hashtbl.fold (fun a s acc -> (a, s, `Free) :: acc) t.free_by_addr []
+    @ Hashtbl.fold (fun a s acc -> (a, s, `Alloc) :: acc) t.allocated []
+  in
+  let blocks = List.sort compare blocks in
+  let rec check = function
+    | (a1, s1, k1) :: ((a2, _, k2) :: _ as rest) ->
+      if a1 + s1 > a2 then Error (Printf.sprintf "overlapping blocks at %d and %d" a1 a2)
+      else if k1 = `Free && k2 = `Free && a1 + s1 = a2 then
+        Error (Printf.sprintf "uncoalesced free blocks at %d and %d" a1 a2)
+      else check rest
+    | _ -> Ok ()
+  in
+  let* () = check blocks in
+  let* () =
+    List.fold_left
+      (fun acc (a, s, _) ->
+        let* () = acc in
+        if a < t.base || a + s > t.top then Error (Printf.sprintf "block %d outside heap" a)
+        else Ok ())
+      (Ok ()) blocks
+  in
+  let live = Hashtbl.fold (fun _ s acc -> acc + s) t.allocated 0 in
+  if live <> t.live then Error "live byte accounting drifted" else Ok ()

@@ -1,0 +1,59 @@
+(** Simulated heap allocator over a virtual address space.
+
+    This stands in for the C allocator underneath the paper's native
+    binaries.  It is a classic best-fit allocator with address-ordered
+    coalescing and 16-byte alignment: objects allocated back-to-back get
+    adjacent addresses (allocation-order locality), freed space is reused
+    (address reuse), and fragmentation behaves the way the paper's
+    locality arguments assume.  Addresses are plain byte offsets into a
+    virtual space, suitable for feeding straight into the cache
+    simulator. *)
+
+type t
+
+type addr = int
+
+val alignment : int
+(** Allocation granule (16 bytes, as in glibc). *)
+
+val create : ?base:addr -> unit -> t
+(** Fresh allocator; [base] is the lowest address it will hand out
+    (default 0x10000, so that 0 is never a valid object address). *)
+
+val malloc : t -> int -> addr
+(** [malloc t size] returns the address of a new block of at least
+    [size] bytes.  Raises [Invalid_argument] on non-positive sizes. *)
+
+val free : t -> addr -> unit
+(** Releases a block previously returned by {!malloc}/{!realloc}.
+    Raises [Invalid_argument] for addresses not currently allocated
+    (double free / wild free). *)
+
+val realloc : t -> addr -> int -> addr
+(** [realloc t a size] grows or shrinks the block at [a]; returns the
+    (possibly moved) address.  Shrinks and growth within the block's
+    rounded size are in place. *)
+
+val block_size : t -> addr -> int option
+(** Rounded size of a currently-allocated block, or [None]. *)
+
+val is_allocated : t -> addr -> bool
+
+val live_bytes : t -> int
+(** Bytes currently allocated (rounded sizes). *)
+
+val peak_bytes : t -> int
+(** High-water mark of {!live_bytes} over the allocator's lifetime. *)
+
+val heap_extent : t -> int
+(** Total span of address space touched so far ([top - base]); the
+    footprint that the access heatmap of Figure 9 visualises. *)
+
+val malloc_calls : t -> int
+val free_calls : t -> int
+val realloc_calls : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Internal consistency: free blocks are disjoint, coalesced (no two
+    adjacent free blocks), and disjoint from allocated blocks.  Used by
+    property tests. *)

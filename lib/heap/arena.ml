@@ -1,0 +1,85 @@
+type slot = { slot_offset : int; slot_size : int }
+
+type t = {
+  base : Allocator.addr;
+  size : int;
+  slots : slot array; (* sorted by offset *)
+  free : bool array; (* per-slot occupancy; true = free *)
+}
+
+let create alloc slots =
+  let slots = Array.of_list slots in
+  Array.sort (fun a b -> compare a.slot_offset b.slot_offset) slots;
+  (* Check disjointness. *)
+  Array.iteri
+    (fun i s ->
+      if s.slot_offset < 0 || s.slot_size <= 0 then
+        invalid_arg "Arena.create: bad slot geometry";
+      if i > 0 then begin
+        let p = slots.(i - 1) in
+        if p.slot_offset + p.slot_size > s.slot_offset then
+          invalid_arg "Arena.create: overlapping slots"
+      end)
+    slots;
+  let size =
+    if Array.length slots = 0 then 0
+    else
+      let last = slots.(Array.length slots - 1) in
+      last.slot_offset + last.slot_size
+  in
+  let base = if size = 0 then 0 else Allocator.malloc alloc size in
+  { base; size; slots; free = Array.make (Array.length slots) true }
+
+let base t = t.base
+let size t = t.size
+let num_slots t = Array.length t.slots
+
+let check_idx t i =
+  if i < 0 || i >= Array.length t.slots then invalid_arg "Arena: slot index out of range"
+
+let slot_addr t i =
+  check_idx t i;
+  t.base + t.slots.(i).slot_offset
+
+let slot_size t i =
+  check_idx t i;
+  t.slots.(i).slot_size
+
+let contains t addr = t.size > 0 && addr >= t.base && addr < t.base + t.size
+
+let slot_of_addr t addr =
+  if not (contains t addr) then None
+  else begin
+    let off = addr - t.base in
+    (* Binary search for the last slot with slot_offset <= off. *)
+    let lo = ref 0 and hi = ref (Array.length t.slots - 1) and found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.slots.(mid).slot_offset <= off then begin
+        found := Some mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    match !found with
+    | Some i when off < t.slots.(i).slot_offset + t.slots.(i).slot_size -> Some i
+    | _ -> None
+  end
+
+let occupy t i =
+  check_idx t i;
+  if not t.free.(i) then invalid_arg "Arena.occupy: slot already live";
+  t.free.(i) <- false
+
+let release t i =
+  check_idx t i;
+  if t.free.(i) then invalid_arg "Arena.release: slot already free";
+  t.free.(i) <- true
+
+let is_free t i =
+  check_idx t i;
+  t.free.(i)
+
+let live_slots t = Array.fold_left (fun n f -> if f then n else n + 1) 0 t.free
+
+let dispose t alloc = if t.size > 0 then Allocator.free alloc t.base

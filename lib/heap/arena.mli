@@ -1,0 +1,52 @@
+(** Preallocated memory regions ("the preallocated region" of the paper).
+
+    An arena is a contiguous block reserved from the {!Allocator} once, at
+    program start, into which PreFix places hot objects at predetermined
+    offsets.  The arena also carries per-slot occupancy state used by the
+    free interception of Figure 5 and the recycling scheme of Figure 7. *)
+
+type t
+
+type slot = {
+  slot_offset : int;  (** byte offset of the slot within the arena *)
+  slot_size : int;  (** reserved bytes for the slot *)
+}
+
+val create : Allocator.t -> slot list -> t
+(** [create alloc slots] reserves one contiguous region big enough for all
+    [slots] (which must be disjoint and in-bounds of their computed span)
+    and returns the arena.  Raises [Invalid_argument] on overlapping
+    slots.  Reserving an empty slot list yields a zero-slot arena that
+    [contains] nothing. *)
+
+val base : t -> Allocator.addr
+val size : t -> int
+val num_slots : t -> int
+
+val slot_addr : t -> int -> Allocator.addr
+(** Address of slot [i]; raises [Invalid_argument] out of range. *)
+
+val slot_size : t -> int -> int
+
+val contains : t -> Allocator.addr -> bool
+(** Whether an address falls inside the arena (the
+    [ObjectAddress ∈ PreallocMemory] test of Figures 5–7). *)
+
+val slot_of_addr : t -> Allocator.addr -> int option
+(** The slot whose reserved range covers the address, if any. *)
+
+val occupy : t -> int -> unit
+(** Mark slot [i] live.  Raises [Invalid_argument] if already live —
+    placement must never overwrite a live object. *)
+
+val release : t -> int -> unit
+(** Mark slot [i] free (the "Mark ObjectAddress as free" of Figure 5).
+    Raises [Invalid_argument] if already free. *)
+
+val is_free : t -> int -> bool
+
+val live_slots : t -> int
+
+val dispose : t -> Allocator.t -> unit
+(** Return the whole region to the allocator ("freed at the end",
+    Table 1).  No-op for zero-slot arenas. *)

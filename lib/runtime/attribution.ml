@@ -1,0 +1,63 @@
+type site_counters = {
+  site : int;
+  accesses : int;
+  l1_misses : int;
+  llc_misses : int;
+  tlb_misses : int;
+}
+
+type cell = {
+  mutable acc : int;
+  mutable l1 : int;
+  mutable llc : int;
+  mutable tlb : int;
+}
+
+type t = { cells : (int, cell) Hashtbl.t; mutable total : int }
+
+let create () = { cells = Hashtbl.create 64; total = 0 }
+
+let record t ~site ~l1_miss ~llc_miss ~tlb_miss =
+  t.total <- t.total + 1;
+  let c =
+    match Hashtbl.find_opt t.cells site with
+    | Some c -> c
+    | None ->
+      let c = { acc = 0; l1 = 0; llc = 0; tlb = 0 } in
+      Hashtbl.replace t.cells site c;
+      c
+  in
+  c.acc <- c.acc + 1;
+  if l1_miss then c.l1 <- c.l1 + 1;
+  if llc_miss then c.llc <- c.llc + 1;
+  if tlb_miss then c.tlb <- c.tlb + 1
+
+let sites t =
+  Hashtbl.fold
+    (fun site c acc ->
+      { site; accesses = c.acc; l1_misses = c.l1; llc_misses = c.llc; tlb_misses = c.tlb }
+      :: acc)
+    t.cells []
+  |> List.sort (fun a b -> compare b.l1_misses a.l1_misses)
+
+let top ?(n = 10) t = List.filteri (fun i _ -> i < n) (sites t)
+
+let total_accesses t = t.total
+
+let render ?(n = 10) t =
+  let tbl =
+    Prefix_util.Tablefmt.create
+      ~headers:[ "site"; "accesses"; "L1 misses"; "LLC misses"; "TLB misses"; "share %" ]
+  in
+  List.iter
+    (fun s ->
+      Prefix_util.Tablefmt.add_row tbl
+        [ string_of_int s.site;
+          Prefix_util.Tablefmt.fmt_int s.accesses;
+          Prefix_util.Tablefmt.fmt_int s.l1_misses;
+          Prefix_util.Tablefmt.fmt_int s.llc_misses;
+          Prefix_util.Tablefmt.fmt_int s.tlb_misses;
+          Prefix_util.Tablefmt.fmt_f
+            (100. *. float_of_int s.accesses /. float_of_int (max 1 t.total)) ])
+    (top ~n t);
+  Prefix_util.Tablefmt.render tbl

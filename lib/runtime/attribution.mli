@@ -1,0 +1,35 @@
+(** Per-site miss attribution (the DrCacheSim-style diagnostic view).
+
+    While replaying a trace, the executor can attribute every data
+    reference — and the misses it causes — to the allocation site of
+    the object being touched.  This is how one finds the "interesting
+    malloc sites" of §2.1 by hand, and it makes before/after comparisons
+    concrete: the optimized run should move a hot site's misses to
+    (near) zero without touching the others. *)
+
+type site_counters = {
+  site : int;
+  accesses : int;
+  l1_misses : int;
+  llc_misses : int;
+  tlb_misses : int;  (** first-level TLB misses *)
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> site:int -> l1_miss:bool -> llc_miss:bool -> tlb_miss:bool -> unit
+(** Account one data reference. *)
+
+val sites : t -> site_counters list
+(** All sites, descending by L1 misses. *)
+
+val top : ?n:int -> t -> site_counters list
+(** The [n] (default 10) sites with the most L1 misses. *)
+
+val total_accesses : t -> int
+
+val render : ?n:int -> t -> string
+(** A table of the top sites. *)

@@ -1,0 +1,22 @@
+type t = {
+  malloc_instrs : int;
+  free_instrs : int;
+  realloc_instrs : int;
+  bump_alloc_instrs : int;
+  counter_instrs : int;
+  place_instrs : int;
+  arena_free_instrs : int;
+  halo_check_instrs : int;
+  memcpy_instrs_per_16b : int;
+}
+
+let default =
+  { malloc_instrs = 100;
+    free_instrs = 80;
+    realloc_instrs = 140;
+    bump_alloc_instrs = 12;
+    counter_instrs = 2;
+    place_instrs = 8;
+    arena_free_instrs = 4;
+    halo_check_instrs = 15;
+    memcpy_instrs_per_16b = 1 }

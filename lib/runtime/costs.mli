@@ -1,0 +1,20 @@
+(** Instruction-cost constants for the allocation paths.
+
+    Used by every policy to account for the dynamic instructions its
+    memory management executes, feeding the Table 6 instruction-count
+    deltas and, through the cycle model, Table 3.  Values are rough
+    x86-64 footprints of the corresponding glibc / inlined code paths. *)
+
+type t = {
+  malloc_instrs : int;  (** a glibc-class malloc call (default 100) *)
+  free_instrs : int;  (** a free call (default 80) *)
+  realloc_instrs : int;  (** a realloc call (default 140) *)
+  bump_alloc_instrs : int;  (** pointer-bump pool allocation (default 12) *)
+  counter_instrs : int;  (** counter increment at a PreFix site (default 2) *)
+  place_instrs : int;  (** placement-table lookup + bounds check (default 8) *)
+  arena_free_instrs : int;  (** range check + occupancy mark (default 4) *)
+  halo_check_instrs : int;  (** call-stack hash + signature compare (default 15) *)
+  memcpy_instrs_per_16b : int;  (** realloc copy cost per 16 bytes (default 1) *)
+}
+
+val default : t

@@ -1,0 +1,180 @@
+module Allocator = Prefix_heap.Allocator
+module Trace = Prefix_trace.Trace
+module Event = Prefix_trace.Event
+module Cache = Prefix_cachesim.Cache
+module Hierarchy = Prefix_cachesim.Hierarchy
+module Cycles = Prefix_cachesim.Cycles
+module Heatmap = Prefix_cachesim.Heatmap
+
+type config = {
+  hierarchy : Hierarchy.config;
+  cycle_params : Cycles.params;
+  costs : Costs.t;
+}
+
+let default_config =
+  { hierarchy = Hierarchy.scaled_config;
+    cycle_params = Cycles.default_params;
+    costs = Costs.default }
+
+type outcome = {
+  metrics : Metrics.t;
+  heatmap : Heatmap.t option;
+  attribution : Attribution.t option;
+}
+
+(* Per-thread private L1 + TLBs, shared LLC. *)
+type mem_system = {
+  cfg : Hierarchy.config;
+  llc : Cache.t;
+  mutable l1s : Cache.t array; (* indexed by dense thread index *)
+  mutable l1_tlbs : Cache.t array;
+  mutable l2_tlbs : Cache.t array;
+  thread_index : (int, int) Hashtbl.t;
+}
+
+let mem_create cfg =
+  { cfg;
+    llc =
+      Cache.create ~name:"LLC" ~size_bytes:cfg.Hierarchy.llc_size ~assoc:cfg.llc_assoc
+        ~line_bytes:cfg.line_bytes ();
+    l1s = [||];
+    l1_tlbs = [||];
+    l2_tlbs = [||];
+    thread_index = Hashtbl.create 4 }
+
+let thread_slot m thread =
+  match Hashtbl.find_opt m.thread_index thread with
+  | Some i -> i
+  | None ->
+    let i = Array.length m.l1s in
+    Hashtbl.replace m.thread_index thread i;
+    let cfg = m.cfg in
+    m.l1s <-
+      Array.append m.l1s
+        [| Cache.create ~name:"L1D" ~size_bytes:cfg.l1_size ~assoc:cfg.l1_assoc
+             ~line_bytes:cfg.line_bytes () |];
+    m.l1_tlbs <-
+      Array.append m.l1_tlbs
+        [| Cache.create_entries ~name:"L1TLB" ~entries:cfg.l1_tlb_entries
+             ~assoc:cfg.l1_tlb_assoc ~page_bytes:cfg.page_bytes () |];
+    m.l2_tlbs <-
+      Array.append m.l2_tlbs
+        [| Cache.create_entries ~name:"L2TLB" ~entries:cfg.l2_tlb_entries
+             ~assoc:cfg.l2_tlb_assoc ~page_bytes:cfg.page_bytes () |];
+    i
+
+(* Returns (l1_miss, llc_miss, tlb1_miss) for attribution. *)
+let mem_access m thread ~write addr =
+  let i = thread_slot m thread in
+  let l1_hit = Cache.access ~write m.l1s.(i) addr in
+  let llc_miss = if l1_hit then false else not (Cache.access ~write m.llc addr) in
+  let tlb1_hit = Cache.access m.l1_tlbs.(i) addr in
+  if not tlb1_hit then ignore (Cache.access m.l2_tlbs.(i) addr);
+  (not l1_hit, llc_miss, not tlb1_hit)
+
+let mem_counters m : Hierarchy.counters =
+  let sum f arr = Array.fold_left (fun acc c -> acc + f c) 0 arr in
+  { refs = sum Cache.accesses m.l1s;
+    l1_misses = sum Cache.misses m.l1s;
+    llc_misses = Cache.misses m.llc;
+    l1_tlb_misses = sum Cache.misses m.l1_tlbs;
+    l2_tlb_misses = sum Cache.misses m.l2_tlbs;
+    writebacks = Cache.writebacks m.llc }
+
+let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy trace =
+  let heap = Allocator.create () in
+  let p = policy heap in
+  let mem = mem_create config.hierarchy in
+  let heatmap =
+    Option.map (fun _ -> Heatmap.create ~time_buckets:72 ~addr_buckets:24 ()) heatmap_objs
+  in
+  let attribution = if attribute then Some (Attribution.create ()) else None in
+  let site_of : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let live : (int, int * int) Hashtbl.t = Hashtbl.create 4096 in
+  let mem_refs = ref 0 in
+  Trace.iteri
+    (fun index e ->
+      match (e : Event.t) with
+      | Compute _ -> ()
+      | Alloc { obj; site; ctx; size; _ } ->
+        if Hashtbl.mem live obj then
+          invalid_arg (Printf.sprintf "Executor: object %d allocated twice" obj);
+        let addr = p.Policy.alloc ~obj ~site ~ctx ~size in
+        if attribute then Hashtbl.replace site_of obj site;
+        Hashtbl.replace live obj (addr, size)
+      | Access { obj; offset; thread; write } -> (
+        match Hashtbl.find_opt live obj with
+        | None -> invalid_arg (Printf.sprintf "Executor: access to unknown object %d" obj)
+        | Some (addr, _) ->
+          incr mem_refs;
+          let a = addr + offset in
+          let l1_miss, llc_miss, tlb_miss = mem_access mem thread ~write a in
+          (match attribution with
+          | Some attr ->
+            let site = Option.value ~default:0 (Hashtbl.find_opt site_of obj) in
+            Attribution.record attr ~site ~l1_miss ~llc_miss ~tlb_miss
+          | None -> ());
+          (match (heatmap, heatmap_objs) with
+          | Some hm, Some pred -> if pred obj then Heatmap.record hm ~time:index ~addr:a
+          | _ -> ()))
+      | Free { obj; _ } -> (
+        match Hashtbl.find_opt live obj with
+        | None -> invalid_arg (Printf.sprintf "Executor: free of unknown object %d" obj)
+        | Some (addr, size) ->
+          p.Policy.dealloc ~obj ~addr ~size;
+          Hashtbl.remove live obj)
+      | Realloc { obj; new_size; _ } -> (
+        match Hashtbl.find_opt live obj with
+        | None -> invalid_arg (Printf.sprintf "Executor: realloc of unknown object %d" obj)
+        | Some (addr, old_size) ->
+          let fresh = p.Policy.realloc ~obj ~addr ~old_size ~new_size in
+          Hashtbl.replace live obj (fresh, new_size)))
+    trace;
+  let peak = Allocator.peak_bytes heap in
+  let extent = Allocator.heap_extent heap in
+  p.Policy.finish ();
+  let counters = mem_counters mem in
+  let instructions = Trace.total_instructions trace + p.Policy.stats.mgmt_instrs in
+  let threads = max 1 (Array.length mem.l1s) in
+  let est = Cycles.estimate ~params:config.cycle_params ~instructions counters in
+  (* Perfectly-parallel wall-clock model across threads. *)
+  let est =
+    if threads = 1 then est
+    else
+      { est with
+        total_cycles = est.total_cycles /. float_of_int threads;
+        compute_cycles = est.compute_cycles /. float_of_int threads;
+        memory_stall_cycles = est.memory_stall_cycles /. float_of_int threads }
+  in
+  let rate num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+  let metrics =
+    { Metrics.policy_name = p.Policy.name;
+      instructions;
+      mem_refs = !mem_refs;
+      cycles = est;
+      counters;
+      l1_miss_rate = rate counters.l1_misses counters.refs;
+      llc_miss_rate = rate counters.llc_misses counters.refs;
+      l1_tlb_miss_rate = rate counters.l1_tlb_misses counters.refs;
+      l2_tlb_miss_rate = rate counters.l2_tlb_misses counters.refs;
+      backend_stall_pct = est.backend_stall_pct;
+      peak_bytes = peak;
+      heap_extent = extent;
+      malloc_calls = Allocator.malloc_calls heap;
+      free_calls = Allocator.free_calls heap;
+      realloc_calls = Allocator.realloc_calls heap;
+      calls_avoided = p.Policy.stats.calls_avoided;
+      mgmt_instrs = p.Policy.stats.mgmt_instrs;
+      region_objects = p.Policy.stats.region_objects;
+      region_hot_objects = p.Policy.stats.region_hot_objects;
+      region_hds_objects = p.Policy.stats.region_hds_objects;
+      threads }
+  in
+  { metrics; heatmap; attribution }
+
+let run_baseline ?config trace =
+  let costs =
+    match config with Some c -> c.costs | None -> default_config.costs
+  in
+  run ?config ~policy:(fun heap -> Policy.baseline costs heap) trace

@@ -1,0 +1,42 @@
+(** Trace replay: run a workload trace through a policy, feed the
+    resulting address stream into the cache hierarchy, and produce the
+    run's {!Metrics.t}.
+
+    Multithreaded traces get one private L1 and TLB pair per thread and
+    a shared LLC; total cycles are divided by the thread count (a
+    perfectly-parallel model, adequate for the {e relative} comparisons
+    of Figure 10). *)
+
+type config = {
+  hierarchy : Prefix_cachesim.Hierarchy.config;
+  cycle_params : Prefix_cachesim.Cycles.params;
+  costs : Costs.t;
+}
+
+val default_config : config
+(** Scaled hierarchy (see {!Prefix_cachesim.Hierarchy.scaled_config}),
+    default cycle parameters and costs. *)
+
+type outcome = {
+  metrics : Metrics.t;
+  heatmap : Prefix_cachesim.Heatmap.t option;
+  attribution : Attribution.t option;
+      (** per-site miss attribution, when requested *)
+}
+
+val run :
+  ?config:config ->
+  ?heatmap_objs:(int -> bool) ->
+  ?attribute:bool ->
+  policy:(Prefix_heap.Allocator.t -> Policy.t) ->
+  Prefix_trace.Trace.t ->
+  outcome
+(** [run ~policy trace] creates a fresh simulated heap, instantiates the
+    policy on it, and replays every event.  [heatmap_objs] selects the
+    objects whose accesses feed the Figure 9 heatmap; [attribute] turns
+    on per-site miss attribution (both off by default — they cost
+    memory).  Raises [Invalid_argument] on malformed traces (allocation
+    of a live id, access to an unknown id, ...). *)
+
+val run_baseline : ?config:config -> Prefix_trace.Trace.t -> outcome
+(** Shorthand for running the {!Policy.baseline}. *)

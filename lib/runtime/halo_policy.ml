@@ -1,0 +1,58 @@
+module Allocator = Prefix_heap.Allocator
+module Halo = Prefix_halo.Halo
+
+let policy (costs : Costs.t) heap (plan : Halo.plan) (cls : Policy.classification) =
+  let stats = Policy.fresh_stats () in
+  let group_of_ctx = Hashtbl.create 64 in
+  List.iteri
+    (fun i g -> List.iter (fun ctx -> Hashtbl.replace group_of_ctx ctx i) g)
+    plan.groups;
+  let pools =
+    Array.init (List.length plan.groups) (fun _ -> Region.create heap ~chunk_bytes:(16 * 1024))
+  in
+  let in_any_pool addr = Array.exists (fun p -> Region.contains p addr) pools in
+  { Policy.name = "HALO";
+    alloc =
+      (fun ~obj ~site:_ ~ctx ~size ->
+        (* Signature check on the allocation path. *)
+        stats.mgmt_instrs <- stats.mgmt_instrs + costs.halo_check_instrs;
+        match Hashtbl.find_opt group_of_ctx ctx with
+        | Some g ->
+          (* Pool management (size classes, growth checks, chunk
+             bookkeeping) costs about as much as a regular malloc —
+             HALO's savings are meant to come from locality, not from
+             a cheaper allocation path. *)
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;
+          stats.region_objects <- stats.region_objects + 1;
+          if cls.is_hot obj then stats.region_hot_objects <- stats.region_hot_objects + 1;
+          if cls.is_hds obj then stats.region_hds_objects <- stats.region_hds_objects + 1;
+          Region.alloc pools.(g) size
+        | None ->
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;
+          Allocator.malloc heap size);
+    dealloc =
+      (fun ~obj:_ ~addr ~size ->
+        match Array.find_opt (fun p -> Region.contains p addr) pools with
+        | Some pool ->
+          (* Returned to the pool's free list; the bookkeeping costs
+             about as much as a regular free. *)
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.free_instrs;
+          Region.release pool addr size
+        | None ->
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.free_instrs;
+          Allocator.free heap addr);
+    realloc =
+      (fun ~obj:_ ~addr ~old_size ~new_size ->
+        stats.mgmt_instrs <- stats.mgmt_instrs + costs.realloc_instrs;
+        if in_any_pool addr then begin
+          if new_size <= old_size then addr
+          else begin
+            stats.mgmt_instrs <-
+              stats.mgmt_instrs + (old_size / 16 * costs.memcpy_instrs_per_16b);
+            Allocator.malloc heap new_size
+          end
+        end
+        else Allocator.realloc heap addr new_size);
+    finish = (fun () -> Array.iter Region.dispose pools);
+    stats;
+    regions = (fun () -> Array.to_list pools |> List.concat_map Region.chunks) }

@@ -1,0 +1,14 @@
+(** The HALO [21] baseline at runtime: one pool per affinity group; an
+    allocation whose call-stack signature belongs to a group goes to
+    that group's pool, in allocation order.  Every allocation pays the
+    signature check (Table 1: "get the call stack of the malloc
+    instance and check against a signature"), and every object sharing
+    a grouped signature lands in the pool whether hot or not (Table 4's
+    pollution). *)
+
+val policy :
+  Costs.t ->
+  Prefix_heap.Allocator.t ->
+  Prefix_halo.Halo.plan ->
+  Policy.classification ->
+  Policy.t

@@ -1,0 +1,59 @@
+module Allocator = Prefix_heap.Allocator
+module Detector = Prefix_hds.Detector
+module Hds = Prefix_hds.Hds
+module Trace_stats = Prefix_trace.Trace_stats
+
+type plan = { interesting_sites : int list }
+
+let plan_of_trace ?detector stats trace =
+  let config = Option.value ~default:Detector.default_config detector in
+  let ohds = Detector.detect_with_stats ~config stats trace in
+  let sites =
+    List.concat_map Hds.objs ohds
+    |> List.map (fun o -> (Trace_stats.obj_info stats o).site)
+    |> List.sort_uniq compare
+  in
+  { interesting_sites = sites }
+
+let policy (costs : Costs.t) heap plan (cls : Policy.classification) =
+  let stats = Policy.fresh_stats () in
+  let interesting = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace interesting s ()) plan.interesting_sites;
+  let region = Region.create heap ~chunk_bytes:(256 * 1024) in
+  { Policy.name = "HDS";
+    alloc =
+      (fun ~obj ~site ~ctx:_ ~size ->
+        if Hashtbl.mem interesting site then begin
+          (* Redirected wholesale: allocation order, no checks.  The cost
+             is "similar to other heap objects" (Table 1). *)
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;
+          stats.region_objects <- stats.region_objects + 1;
+          if cls.is_hot obj then stats.region_hot_objects <- stats.region_hot_objects + 1;
+          if cls.is_hds obj then stats.region_hds_objects <- stats.region_hds_objects + 1;
+          Region.alloc region size
+        end
+        else begin
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;
+          Allocator.malloc heap size
+        end);
+    dealloc =
+      (fun ~obj:_ ~addr ~size ->
+        stats.mgmt_instrs <- stats.mgmt_instrs + costs.free_instrs;
+        if Region.contains region addr then Region.release region addr size
+        else Allocator.free heap addr);
+    realloc =
+      (fun ~obj:_ ~addr ~old_size ~new_size ->
+        stats.mgmt_instrs <- stats.mgmt_instrs + costs.realloc_instrs;
+        if Region.contains region addr then begin
+          if new_size <= old_size then addr
+          else begin
+            (* Move out of the region; copy cost applies. *)
+            stats.mgmt_instrs <-
+              stats.mgmt_instrs + (old_size / 16 * costs.memcpy_instrs_per_16b);
+            Allocator.malloc heap new_size
+          end
+        end
+        else Allocator.realloc heap addr new_size);
+    finish = (fun () -> Region.dispose region);
+    stats;
+    regions = (fun () -> Region.chunks region) }

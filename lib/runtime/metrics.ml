@@ -1,0 +1,40 @@
+type t = {
+  policy_name : string;
+  instructions : int;
+  mem_refs : int;
+  cycles : Prefix_cachesim.Cycles.estimate;
+  counters : Prefix_cachesim.Hierarchy.counters;
+  l1_miss_rate : float;
+  llc_miss_rate : float;
+  l1_tlb_miss_rate : float;
+  l2_tlb_miss_rate : float;
+  backend_stall_pct : float;
+  peak_bytes : int;
+  heap_extent : int;
+  malloc_calls : int;
+  free_calls : int;
+  realloc_calls : int;
+  calls_avoided : int;
+  mgmt_instrs : int;
+  region_objects : int;
+  region_hot_objects : int;
+  region_hds_objects : int;
+  threads : int;
+}
+
+let time_pct_change ~baseline t =
+  Prefix_util.Stats.pct_change ~before:baseline.cycles.total_cycles
+    ~after:t.cycles.total_cycles
+
+let instr_pct_change ~baseline t =
+  Prefix_util.Stats.pct_change
+    ~before:(float_of_int baseline.instructions)
+    ~after:(float_of_int t.instructions)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: %d refs, %d instrs, %.0f cycles (%.1f%% backend-stalled)@,\
+     L1 %.2f%%  LLC %.4f%%  dTLB %.2f%%  peak %d B  calls avoided %d@]"
+    t.policy_name t.mem_refs t.instructions t.cycles.total_cycles t.backend_stall_pct
+    (t.l1_miss_rate *. 100.) (t.llc_miss_rate *. 100.) (t.l1_tlb_miss_rate *. 100.)
+    t.peak_bytes t.calls_avoided

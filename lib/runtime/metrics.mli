@@ -1,0 +1,37 @@
+(** Everything a single policy run produces, in the units the paper's
+    tables and figures report. *)
+
+type t = {
+  policy_name : string;
+  instructions : int;
+      (** dynamic instructions: program work + memory management
+          (Table 6's count) *)
+  mem_refs : int;  (** heap data references (Table 3's "Mem. Refs.") *)
+  cycles : Prefix_cachesim.Cycles.estimate;
+  counters : Prefix_cachesim.Hierarchy.counters;
+  l1_miss_rate : float;  (** Figure 11 *)
+  llc_miss_rate : float;  (** Figure 12 (misses over all refs) *)
+  l1_tlb_miss_rate : float;
+  l2_tlb_miss_rate : float;
+  backend_stall_pct : float;  (** Figure 13 *)
+  peak_bytes : int;  (** Table 6's peak memory *)
+  heap_extent : int;
+  malloc_calls : int;
+  free_calls : int;
+  realloc_calls : int;
+  calls_avoided : int;  (** Table 6 *)
+  mgmt_instrs : int;
+  region_objects : int;  (** Table 4 "All" *)
+  region_hot_objects : int;  (** Table 4 "Hot" *)
+  region_hds_objects : int;  (** Table 5 "HDS" *)
+  threads : int;
+}
+
+val time_pct_change : baseline:t -> t -> float
+(** Relative execution-time change in percent (negative = faster),
+    comparing total cycles — Table 3's cells. *)
+
+val instr_pct_change : baseline:t -> t -> float
+(** Relative dynamic-instruction-count change — Table 6. *)
+
+val pp : Format.formatter -> t -> unit

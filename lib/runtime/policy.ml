@@ -1,0 +1,49 @@
+module Allocator = Prefix_heap.Allocator
+
+type stats = {
+  mutable mgmt_instrs : int;
+  mutable calls_avoided : int;
+  mutable region_objects : int;
+  mutable region_hot_objects : int;
+  mutable region_hds_objects : int;
+}
+
+let fresh_stats () =
+  { mgmt_instrs = 0;
+    calls_avoided = 0;
+    region_objects = 0;
+    region_hot_objects = 0;
+    region_hds_objects = 0 }
+
+type t = {
+  name : string;
+  alloc : obj:int -> site:int -> ctx:int -> size:int -> int;
+  dealloc : obj:int -> addr:int -> size:int -> unit;
+  realloc : obj:int -> addr:int -> old_size:int -> new_size:int -> int;
+  finish : unit -> unit;
+  stats : stats;
+  regions : unit -> (int * int) list;
+}
+
+type classification = { is_hot : int -> bool; is_hds : int -> bool }
+
+let no_classification = { is_hot = (fun _ -> false); is_hds = (fun _ -> false) }
+
+let baseline (costs : Costs.t) alloc =
+  let stats = fresh_stats () in
+  { name = "baseline";
+    alloc =
+      (fun ~obj:_ ~site:_ ~ctx:_ ~size ->
+        stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;
+        Allocator.malloc alloc size);
+    dealloc =
+      (fun ~obj:_ ~addr ~size:_ ->
+        stats.mgmt_instrs <- stats.mgmt_instrs + costs.free_instrs;
+        Allocator.free alloc addr);
+    realloc =
+      (fun ~obj:_ ~addr ~old_size:_ ~new_size ->
+        stats.mgmt_instrs <- stats.mgmt_instrs + costs.realloc_instrs;
+        Allocator.realloc alloc addr new_size);
+    finish = (fun () -> ());
+    stats;
+    regions = (fun () -> []) }

@@ -1,0 +1,54 @@
+(** Allocation-policy interface.
+
+    A policy is the runtime behaviour of one binary flavour: the
+    baseline, the HDS [8] transformation, HALO, or a PreFix variant.
+    The {!Executor} replays a workload trace through a policy; the
+    policy decides where every object lives and accounts for the
+    instructions its management code executes. *)
+
+type stats = {
+  mutable mgmt_instrs : int;
+      (** all instructions spent on the allocation paths (standard
+          malloc/free costs included, so policies are comparable) *)
+  mutable calls_avoided : int;
+      (** malloc/free/realloc library calls avoided via preallocation
+          or recycling (Table 6) *)
+  mutable region_objects : int;
+      (** objects directed to a special (hot/pool/preallocated) region
+          — Table 4's "All" column *)
+  mutable region_hot_objects : int;
+      (** of those, objects that are profiled-hot — Table 4's "Hot" *)
+  mutable region_hds_objects : int;
+      (** of those, objects belonging to a detected HDS — Table 5 *)
+}
+
+val fresh_stats : unit -> stats
+
+type t = {
+  name : string;
+  alloc : obj:int -> site:int -> ctx:int -> size:int -> int;
+      (** Returns the object's address. *)
+  dealloc : obj:int -> addr:int -> size:int -> unit;
+  realloc : obj:int -> addr:int -> old_size:int -> new_size:int -> int;
+      (** Returns the (possibly moved) address. *)
+  finish : unit -> unit;
+      (** End of run: release regions ("freed at the end", Table 1). *)
+  stats : stats;
+  regions : unit -> (int * int) list;
+      (** Current special regions as (base, size), for analysis. *)
+}
+
+val baseline : Costs.t -> Prefix_heap.Allocator.t -> t
+(** The untransformed program: every event goes straight to the heap
+    allocator at standard cost. *)
+
+(** Classification of objects for pollution accounting; built by the
+    executor's caller from the long-run trace. *)
+type classification = {
+  is_hot : int -> bool;
+  is_hds : int -> bool;
+}
+
+val no_classification : classification
+(** Classifies nothing as hot; use when pollution numbers are not
+    needed. *)

@@ -1,0 +1,139 @@
+module Allocator = Prefix_heap.Allocator
+module Arena = Prefix_heap.Arena
+module Plan = Prefix_core.Plan
+module Context = Prefix_core.Context
+
+(* Arena registry (keyed by the policy's stats record identity) so tests
+   and the heatmap experiment can reach the arena behind a policy. *)
+let arenas : (Policy.stats * Arena.t) list ref = ref []
+
+type counter_state = {
+  mutable count : int;
+  pattern : Context.pattern;
+  placements : (int, int) Hashtbl.t; (* instance id -> slot *)
+  recycle : Plan.recycle_block option;
+  required_ctx : int option; (* hybrid gate (§2.2.2) *)
+}
+
+let policy (costs : Costs.t) heap (plan : Plan.t) (cls : Policy.classification) =
+  let stats = Policy.fresh_stats () in
+  let arena =
+    Arena.create heap
+      (List.map
+         (fun (s : Prefix_core.Offsets.slot) ->
+           { Arena.slot_offset = s.offset; slot_size = s.size })
+         plan.slots)
+  in
+  let name = Plan.variant_name plan.variant in
+  arenas := (stats, arena) :: !arenas;
+  let site_counter = Hashtbl.create 16 in
+  List.iter (fun (s, c) -> Hashtbl.replace site_counter s c) plan.site_counter;
+  let counter_states = Hashtbl.create 16 in
+  List.iter
+    (fun (cp : Plan.counter_plan) ->
+      let placements = Hashtbl.create (List.length cp.placements) in
+      List.iter (fun (id, slot) -> Hashtbl.replace placements id slot) cp.placements;
+      Hashtbl.replace counter_states cp.counter
+        { count = 0;
+          pattern = cp.pattern;
+          placements;
+          recycle = cp.recycle;
+          required_ctx = cp.required_ctx })
+    plan.counters;
+  let note_captured obj =
+    stats.region_objects <- stats.region_objects + 1;
+    if cls.is_hot obj then stats.region_hot_objects <- stats.region_hot_objects + 1;
+    if cls.is_hds obj then stats.region_hds_objects <- stats.region_hds_objects + 1
+  in
+  let fallback_malloc size =
+    stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;
+    Allocator.malloc heap size
+  in
+  let try_place obj slot size =
+    if Arena.is_free arena slot && size <= Arena.slot_size arena slot then begin
+      Arena.occupy arena slot;
+      stats.mgmt_instrs <- stats.mgmt_instrs + costs.place_instrs;
+      stats.calls_avoided <- stats.calls_avoided + 1;
+      note_captured obj;
+      Some (Arena.slot_addr arena slot)
+    end
+    else None
+  in
+  { Policy.name;
+    alloc =
+      (fun ~obj ~site ~ctx ~size ->
+        match Hashtbl.find_opt site_counter site with
+        | None -> fallback_malloc size
+        | Some c -> (
+          let st = Hashtbl.find counter_states c in
+          match st.required_ctx with
+          | Some required when ctx <> required ->
+            (* Hybrid gate: a different calling context — this allocation
+               neither advances the counter nor competes for a slot. *)
+            stats.mgmt_instrs <- stats.mgmt_instrs + 2;
+            fallback_malloc size
+          | _ ->
+          (* ObjectID = Counter + 1 (Figure 4). *)
+          st.count <- st.count + 1;
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.counter_instrs;
+          let id = st.count in
+          match st.recycle with
+          | Some block -> (
+            (* Figure 7: Map = (Counter - 1) mod N. *)
+            stats.mgmt_instrs <- stats.mgmt_instrs + 4 (* mod + occupancy check *);
+            let slot = block.first_slot + ((id - 1) mod block.n_slots) in
+            match try_place obj slot size with
+            | Some addr -> addr
+            | None -> fallback_malloc size)
+          | None ->
+            stats.mgmt_instrs <- stats.mgmt_instrs + Context.check_cost_instrs st.pattern;
+            if Context.matches st.pattern id then begin
+              match Hashtbl.find_opt st.placements id with
+              | Some slot -> (
+                match try_place obj slot size with
+                | Some addr -> addr
+                | None -> fallback_malloc size)
+              | None -> fallback_malloc size
+            end
+            else fallback_malloc size))
+    ;
+    dealloc =
+      (fun ~obj:_ ~addr ~size:_ ->
+        (* Figure 5: every free checks against the preallocated region. *)
+        stats.mgmt_instrs <- stats.mgmt_instrs + costs.arena_free_instrs;
+        match Arena.slot_of_addr arena addr with
+        | Some slot ->
+          Arena.release arena slot;
+          stats.calls_avoided <- stats.calls_avoided + 1
+        | None ->
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.free_instrs;
+          Allocator.free heap addr);
+    realloc =
+      (fun ~obj:_ ~addr ~old_size ~new_size ->
+        match Arena.slot_of_addr arena addr with
+        | Some slot ->
+          (* Figure 6. *)
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.arena_free_instrs;
+          if new_size <= Arena.slot_size arena slot then begin
+            stats.calls_avoided <- stats.calls_avoided + 1;
+            addr
+          end
+          else begin
+            let fresh = fallback_malloc new_size in
+            stats.mgmt_instrs <-
+              stats.mgmt_instrs + (old_size / 16 * costs.memcpy_instrs_per_16b);
+            Arena.release arena slot;
+            fresh
+          end
+        | None ->
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.realloc_instrs;
+          Allocator.realloc heap addr new_size);
+    finish =
+      (fun () ->
+        arenas := List.filter (fun (s, _) -> s != stats) !arenas;
+        Arena.dispose arena heap);
+    stats;
+    regions = (fun () -> if Arena.size arena = 0 then [] else [ (Arena.base arena, Arena.size arena) ]) }
+
+let arena_of (p : Policy.t) =
+  List.find_opt (fun (s, _) -> s == p.Policy.stats) !arenas |> Option.map snd

@@ -1,0 +1,24 @@
+(** The PreFix runtime: instrumentation semantics of Figures 4–7 driven
+    by a {!Prefix_core.Plan.t}.
+
+    malloc sites listed in the plan increment their (possibly shared)
+    counter, check the resulting dynamic instance id against the
+    counter's pattern, and on a match place the object at its
+    predetermined arena slot — provided the slot is unoccupied and the
+    requested size fits (Figure 4).  Recycling counters map ids onto
+    their block modulo N (Figure 7).  Every free checks the address
+    against the preallocated region and only marks the slot free
+    (Figure 5); reallocs move the object out when it outgrows its slot
+    (Figure 6).  All fallbacks go to the normal allocator, so behaviour
+    is correct whatever the real run does. *)
+
+val policy :
+  Costs.t ->
+  Prefix_heap.Allocator.t ->
+  Prefix_core.Plan.t ->
+  Policy.classification ->
+  Policy.t
+
+val arena_of : Policy.t -> Prefix_heap.Arena.t option
+(** The preallocated arena behind a PreFix policy (for tests and the
+    Figure 9 heatmap); [None] for other policies. *)

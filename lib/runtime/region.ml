@@ -1,0 +1,71 @@
+module Allocator = Prefix_heap.Allocator
+
+type chunk = { base : int; size : int; mutable used : int }
+
+type t = {
+  heap : Allocator.t;
+  chunk_bytes : int;
+  mutable chunks : chunk list; (* newest first *)
+  mutable objects : int;
+  mutable bytes : int;
+  free_lists : (int, int list ref) Hashtbl.t; (* rounded size -> addrs *)
+}
+
+let create heap ~chunk_bytes =
+  if chunk_bytes <= 0 then invalid_arg "Region.create: chunk size must be positive";
+  { heap; chunk_bytes; chunks = []; objects = 0; bytes = 0; free_lists = Hashtbl.create 8 }
+
+let align = 16
+
+let round_up n = (n + align - 1) / align * align
+
+let pop_free t want =
+  match Hashtbl.find_opt t.free_lists want with
+  | Some ({ contents = addr :: rest } as l) ->
+    l := rest;
+    Some addr
+  | _ -> None
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Region.alloc: size must be positive";
+  let want = round_up size in
+  match pop_free t want with
+  | Some addr ->
+    t.objects <- t.objects + 1;
+    addr
+  | None ->
+  let chunk =
+    match t.chunks with
+    | c :: _ when c.size - c.used >= want -> c
+    | _ ->
+      let csize = max t.chunk_bytes want in
+      let base = Allocator.malloc t.heap csize in
+      let c = { base; size = csize; used = 0 } in
+      t.chunks <- c :: t.chunks;
+      c
+  in
+  let addr = chunk.base + chunk.used in
+  chunk.used <- chunk.used + want;
+  t.objects <- t.objects + 1;
+  t.bytes <- t.bytes + want;
+  addr
+
+let contains t addr =
+  List.exists (fun c -> addr >= c.base && addr < c.base + c.size) t.chunks
+
+let release t addr size =
+  let want = round_up size in
+  (match Hashtbl.find_opt t.free_lists want with
+  | Some l -> l := addr :: !l
+  | None -> Hashtbl.replace t.free_lists want (ref [ addr ]));
+  t.objects <- t.objects - 1
+
+let chunks t = List.map (fun c -> (c.base, c.size)) t.chunks
+
+let allocated_objects t = t.objects
+let allocated_bytes t = t.bytes
+
+let dispose t =
+  List.iter (fun c -> Allocator.free t.heap c.base) t.chunks;
+  t.chunks <- [];
+  Hashtbl.reset t.free_lists

@@ -1,0 +1,34 @@
+(** Grow-on-demand bump regions — the "separate memory region" of
+    HDS [8] and the per-group pools of HALO.  Objects are placed in
+    allocation order (no reordering, by construction); freed blocks are
+    recycled through per-size free lists inside the region, and whole
+    chunks go back to the heap only on [dispose] (HALO's "managed
+    chunked deallocation"). *)
+
+type t
+
+val create : Prefix_heap.Allocator.t -> chunk_bytes:int -> t
+
+val alloc : t -> int -> int
+(** Bump-allocate [size] bytes (16-byte aligned); grows by a new chunk
+    when the current one is exhausted.  Oversized requests get a
+    dedicated chunk. *)
+
+val contains : t -> int -> bool
+(** Whether an address lies in any of the region's chunks. *)
+
+val release : t -> int -> int -> unit
+(** [release t addr size] returns a block to the region's internal
+    size-class free lists for reuse by later [alloc]s of the same
+    rounded size (how HDS's hot-object RAM and HALO's pools manage
+    frees — space is reused within the region but never returned to
+    the heap before [dispose]). *)
+
+val chunks : t -> (int * int) list
+(** (base, size) of every chunk, newest first. *)
+
+val allocated_objects : t -> int
+val allocated_bytes : t -> int
+
+val dispose : t -> unit
+(** Return all chunks to the heap. *)

@@ -1,0 +1,172 @@
+let magic = "PFXT"
+let version = 1
+
+(* --- varints --- *)
+
+let put_uvarint buf n =
+  if n < 0 then invalid_arg "Binfmt: negative unsigned varint";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+let put_varint buf n = put_uvarint buf (zigzag n)
+
+type cursor = { data : bytes; mutable pos : int }
+
+let get_uvarint c =
+  let rec go shift acc =
+    if c.pos >= Bytes.length c.data then Error "truncated varint"
+    else begin
+      let b = Char.code (Bytes.get c.data c.pos) in
+      c.pos <- c.pos + 1;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Ok acc
+      else if shift > 56 then Error "varint too long"
+      else go (shift + 7) acc
+    end
+  in
+  go 0 0
+
+let get_varint c = Result.map unzigzag (get_uvarint c)
+
+(* --- encoding --- *)
+
+type state = { mutable obj : int; mutable site : int; mutable ctx : int }
+
+let write buf trace =
+  Buffer.add_string buf magic;
+  put_uvarint buf version;
+  put_uvarint buf (Trace.length trace);
+  let st = { obj = 0; site = 0; ctx = 0 } in
+  Trace.iter
+    (fun e ->
+      match (e : Event.t) with
+      | Alloc { obj; site; ctx; size; thread } ->
+        Buffer.add_char buf '\000';
+        put_varint buf (obj - st.obj);
+        put_varint buf (site - st.site);
+        put_varint buf (ctx - st.ctx);
+        put_uvarint buf size;
+        put_uvarint buf thread;
+        st.obj <- obj;
+        st.site <- site;
+        st.ctx <- ctx
+      | Access { obj; offset; write; thread } ->
+        Buffer.add_char buf (if write then '\002' else '\001');
+        put_varint buf (obj - st.obj);
+        put_uvarint buf offset;
+        put_uvarint buf thread;
+        st.obj <- obj
+      | Free { obj; thread } ->
+        Buffer.add_char buf '\003';
+        put_varint buf (obj - st.obj);
+        put_uvarint buf thread;
+        st.obj <- obj
+      | Realloc { obj; new_size; thread } ->
+        Buffer.add_char buf '\004';
+        put_varint buf (obj - st.obj);
+        put_uvarint buf new_size;
+        put_uvarint buf thread;
+        st.obj <- obj
+      | Compute { instrs; thread } ->
+        Buffer.add_char buf '\005';
+        put_uvarint buf instrs;
+        put_uvarint buf thread)
+    trace
+
+let to_bytes trace =
+  let buf = Buffer.create (Trace.length trace * 5) in
+  write buf trace;
+  Buffer.to_bytes buf
+
+let read data =
+  let ( let* ) = Result.bind in
+  let c = { data; pos = 0 } in
+  let* () =
+    if Bytes.length data < 4 || Bytes.sub_string data 0 4 <> magic then Error "bad magic"
+    else begin
+      c.pos <- 4;
+      Ok ()
+    end
+  in
+  let* v = get_uvarint c in
+  let* () = if v <> version then Error (Printf.sprintf "unsupported version %d" v) else Ok () in
+  let* count = get_uvarint c in
+  let trace = Trace.create ~capacity:count () in
+  let st = { obj = 0; site = 0; ctx = 0 } in
+  let rec events remaining =
+    if remaining = 0 then Ok trace
+    else if c.pos >= Bytes.length data then Error "truncated stream"
+    else begin
+      let tag = Char.code (Bytes.get c.data c.pos) in
+      c.pos <- c.pos + 1;
+      let* e =
+        match tag with
+        | 0 ->
+          let* dobj = get_varint c in
+          let* dsite = get_varint c in
+          let* dctx = get_varint c in
+          let* size = get_uvarint c in
+          let* thread = get_uvarint c in
+          st.obj <- st.obj + dobj;
+          st.site <- st.site + dsite;
+          st.ctx <- st.ctx + dctx;
+          Ok (Event.Alloc { obj = st.obj; site = st.site; ctx = st.ctx; size; thread })
+        | 1 | 2 ->
+          let* dobj = get_varint c in
+          let* offset = get_uvarint c in
+          let* thread = get_uvarint c in
+          st.obj <- st.obj + dobj;
+          Ok (Event.Access { obj = st.obj; offset; write = tag = 2; thread })
+        | 3 ->
+          let* dobj = get_varint c in
+          let* thread = get_uvarint c in
+          st.obj <- st.obj + dobj;
+          Ok (Event.Free { obj = st.obj; thread })
+        | 4 ->
+          let* dobj = get_varint c in
+          let* new_size = get_uvarint c in
+          let* thread = get_uvarint c in
+          st.obj <- st.obj + dobj;
+          Ok (Event.Realloc { obj = st.obj; new_size; thread })
+        | 5 ->
+          let* instrs = get_uvarint c in
+          let* thread = get_uvarint c in
+          Ok (Event.Compute { instrs; thread })
+        | t -> Error (Printf.sprintf "unknown tag %d at offset %d" t (c.pos - 1))
+      in
+      Trace.add trace e;
+      events (remaining - 1)
+    end
+  in
+  events count
+
+let write_file path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create (Trace.length trace * 5) in
+      write buf trace;
+      Buffer.output_buffer oc buf)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let data = Bytes.create len in
+      really_input ic data 0 len;
+      read data)

@@ -1,0 +1,33 @@
+(** Compact binary trace format.
+
+    Profiling traces run to millions of events; the text format of
+    {!Serialize} is convenient but ~16 bytes/event.  This format uses a
+    one-byte tag plus LEB128 varints with per-field delta encoding
+    (object ids and sites are strongly local), typically 3-5 bytes per
+    event.  The format is self-describing: a 4-byte magic, a format
+    version, then the event stream.
+
+    Encoding details (little-endian varints, zig-zag for deltas):
+    - tag 0: Alloc  (Δobj, Δsite, Δctx, size, thread)
+    - tag 1: load   (Δobj, offset, thread)
+    - tag 2: store  (Δobj, offset, thread)
+    - tag 3: Free   (Δobj, thread)
+    - tag 4: Realloc (Δobj, new_size, thread)
+    - tag 5: Compute (instrs, thread) *)
+
+val magic : string
+(** ["PFXT"]. *)
+
+val version : int
+
+val write : Buffer.t -> Trace.t -> unit
+(** Append the encoded trace to a buffer. *)
+
+val to_bytes : Trace.t -> bytes
+
+val read : bytes -> (Trace.t, string) result
+(** Decode; [Error] on bad magic, version, truncation, or a malformed
+    varint. *)
+
+val write_file : string -> Trace.t -> unit
+val read_file : string -> (Trace.t, string) result

@@ -1,0 +1,47 @@
+type config = {
+  keep_objects : int -> bool;
+  max_run : int;
+}
+
+let config_for_hot ?(coverage = 0.9) stats =
+  let hot = Hashtbl.create 256 in
+  List.iter
+    (fun (o : Trace_stats.obj_info) -> Hashtbl.replace hot o.obj ())
+    (Trace_stats.hot_objects ~coverage stats);
+  { keep_objects = Hashtbl.mem hot; max_run = 4 }
+
+let prune cfg trace =
+  let out = Trace.create ~capacity:(Trace.length trace / 2) () in
+  let last_obj = ref min_int in
+  let run = ref 0 in
+  Trace.iter
+    (fun e ->
+      match (e : Event.t) with
+      | Access { obj; _ } ->
+        if cfg.keep_objects obj then begin
+          if obj = !last_obj then incr run
+          else begin
+            last_obj := obj;
+            run := 1
+          end;
+          if !run <= cfg.max_run then Trace.add out e
+        end
+        else begin
+          (* A dropped access still breaks temporal adjacency: runs are
+             defined over the original trace, not the pruned one. *)
+          last_obj := min_int;
+          run := 0
+        end
+      | _ ->
+        (* Allocation-order events always survive; they also break any
+           access run. *)
+        last_obj := min_int;
+        run := 0;
+        Trace.add out e)
+    trace;
+  out
+
+let reduction ~before ~after =
+  let b = Trace.length before in
+  if b = 0 then 0.
+  else 1. -. (float_of_int (Trace.length after) /. float_of_int b)

@@ -1,0 +1,30 @@
+(** Trace pruning (§2.1: "From the pruned trace, we identified ... hot
+    HDS").
+
+    Profiling traces are large; the layout analysis only needs the
+    events concerning hot objects.  Pruning keeps every [Alloc], [Free]
+    and [Realloc] (allocation *order* and instance numbering must be
+    preserved exactly — the counters of §2.2.1 are defined over the full
+    allocation stream) but drops accesses to cold objects, and can
+    additionally thin dense same-object access runs, which carry no
+    inter-object locality information. *)
+
+type config = {
+  keep_objects : int -> bool;  (** accesses to these objects survive *)
+  max_run : int;
+      (** cap on consecutive same-object accesses kept (default 4;
+          [max_int] keeps all) *)
+}
+
+val config_for_hot : ?coverage:float -> Trace_stats.t -> config
+(** Keep the hot objects of the analysis (default coverage 0.9),
+    [max_run] 4. *)
+
+val prune : config -> Trace.t -> Trace.t
+(** The pruned trace.  Guarantees:
+    - every non-[Access] event of the input is present, in order;
+    - every kept [Access] appears in input order;
+    - validity is preserved (a valid input prunes to a valid output). *)
+
+val reduction : before:Trace.t -> after:Trace.t -> float
+(** Fraction of events removed, in [0,1]. *)

@@ -1,0 +1,69 @@
+let event_to_line (e : Event.t) =
+  match e with
+  | Alloc { obj; site; ctx; size; thread } ->
+    Printf.sprintf "A %d %d %d %d %d" obj site ctx size thread
+  | Access { obj; offset; write = false; thread } -> Printf.sprintf "L %d %d %d" obj offset thread
+  | Access { obj; offset; write = true; thread } -> Printf.sprintf "S %d %d %d" obj offset thread
+  | Free { obj; thread } -> Printf.sprintf "F %d %d" obj thread
+  | Realloc { obj; new_size; thread } -> Printf.sprintf "R %d %d %d" obj new_size thread
+  | Compute { instrs; thread } -> Printf.sprintf "C %d %d" instrs thread
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let event_of_line line : (Event.t, string) result =
+  let ints parts =
+    try Ok (List.map int_of_string parts)
+    with _ -> Error (Printf.sprintf "malformed integer in %S" line)
+  in
+  match split_ws line with
+  | [] -> Error "empty line"
+  | tag :: rest -> (
+    match (tag, ints rest) with
+    | _, Error e -> Error e
+    | "A", Ok [ obj; site; ctx; size; thread ] -> Ok (Alloc { obj; site; ctx; size; thread })
+    | "L", Ok [ obj; offset; thread ] -> Ok (Access { obj; offset; write = false; thread })
+    | "S", Ok [ obj; offset; thread ] -> Ok (Access { obj; offset; write = true; thread })
+    | "F", Ok [ obj; thread ] -> Ok (Free { obj; thread })
+    | "R", Ok [ obj; new_size; thread ] -> Ok (Realloc { obj; new_size; thread })
+    | "C", Ok [ instrs; thread ] -> Ok (Compute { instrs; thread })
+    | _ -> Error (Printf.sprintf "unrecognised event line %S" line))
+
+let write oc trace =
+  Trace.iter (fun e -> output_string oc (event_to_line e); output_char oc '\n') trace
+
+let to_string trace =
+  let buf = Buffer.create (Trace.length trace * 16) in
+  Trace.iter
+    (fun e ->
+      Buffer.add_string buf (event_to_line e);
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let parse_lines lines =
+  let trace = Trace.create () in
+  let rec go lineno = function
+    | [] -> Ok trace
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || (String.length trimmed > 0 && trimmed.[0] = '#') then go (lineno + 1) rest
+      else (
+        match event_of_line trimmed with
+        | Ok e ->
+          Trace.add trace e;
+          go (lineno + 1) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 lines
+
+let of_string s = parse_lines (String.split_on_char '\n' s)
+
+let read ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  parse_lines (List.rev !lines)

@@ -1,0 +1,27 @@
+(** Line-oriented text (de)serialization of traces.
+
+    The format is one event per line:
+
+    {v
+    A <obj> <site> <ctx> <size> <thread>     allocation
+    L <obj> <offset> <thread>                load
+    S <obj> <offset> <thread>                store
+    F <obj> <thread>                         free
+    R <obj> <new_size> <thread>              realloc
+    C <instrs> <thread>                      compute block
+    v}
+
+    Blank lines and lines starting with ['#'] are ignored on input. *)
+
+val event_to_line : Event.t -> string
+
+val event_of_line : string -> (Event.t, string) result
+(** [Error msg] on malformed input. *)
+
+val write : out_channel -> Trace.t -> unit
+
+val to_string : Trace.t -> string
+
+val read : in_channel -> (Trace.t, string) result
+
+val of_string : string -> (Trace.t, string) result

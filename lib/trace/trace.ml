@@ -1,0 +1,138 @@
+type t = {
+  mutable events : Event.t array;
+  mutable len : int;
+}
+
+let dummy : Event.t = Event.Compute { instrs = 0; thread = 0 }
+
+let create ?(capacity = 1024) () =
+  let capacity = max capacity 16 in
+  { events = Array.make capacity dummy; len = 0 }
+
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.events in
+  let events = Array.make (cap * 2) dummy in
+  Array.blit t.events 0 events 0 t.len;
+  t.events <- events
+
+let add t e =
+  if t.len = Array.length t.events then grow t;
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of bounds";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.events.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.events.(i)
+  done;
+  !acc
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.events.(i) :: acc) in
+  go (t.len - 1) []
+
+let of_list es =
+  let t = create ~capacity:(max 16 (List.length es)) () in
+  List.iter (add t) es;
+  t
+
+let append a b =
+  let t = create ~capacity:(a.len + b.len) () in
+  iter (add t) a;
+  iter (add t) b;
+  t
+
+let filter p t =
+  let out = create ~capacity:t.len () in
+  iter (fun e -> if p e then add out e) t;
+  out
+
+type violation =
+  | Access_before_alloc of { obj : int; index : int }
+  | Double_alloc of { obj : int; index : int }
+  | Double_free of { obj : int; index : int }
+  | Use_after_free of { obj : int; index : int }
+  | Negative_size of { obj : int; index : int }
+  | Offset_out_of_bounds of { obj : int; offset : int; size : int; index : int }
+
+let pp_violation ppf = function
+  | Access_before_alloc { obj; index } ->
+    Format.fprintf ppf "event %d: object %d used before allocation" index obj
+  | Double_alloc { obj; index } ->
+    Format.fprintf ppf "event %d: object id %d allocated twice" index obj
+  | Double_free { obj; index } ->
+    Format.fprintf ppf "event %d: object %d freed twice" index obj
+  | Use_after_free { obj; index } ->
+    Format.fprintf ppf "event %d: object %d used after free" index obj
+  | Negative_size { obj; index } ->
+    Format.fprintf ppf "event %d: object %d has non-positive size" index obj
+  | Offset_out_of_bounds { obj; offset; size; index } ->
+    Format.fprintf ppf "event %d: object %d access at offset %d outside size %d" index obj
+      offset size
+
+type obj_state = Live of int (* current size *) | Freed
+
+let validate t =
+  let states : (int, obj_state) Hashtbl.t = Hashtbl.create 1024 in
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  iteri
+    (fun index e ->
+      match (e : Event.t) with
+      | Compute _ -> ()
+      | Alloc { obj; size; _ } -> (
+        if size <= 0 then report (Negative_size { obj; index });
+        match Hashtbl.find_opt states obj with
+        | Some _ -> report (Double_alloc { obj; index })
+        | None -> Hashtbl.replace states obj (Live size))
+      | Access { obj; offset; _ } -> (
+        match Hashtbl.find_opt states obj with
+        | None -> report (Access_before_alloc { obj; index })
+        | Some Freed -> report (Use_after_free { obj; index })
+        | Some (Live size) ->
+          if offset < 0 || offset >= size then
+            report (Offset_out_of_bounds { obj; offset; size; index }))
+      | Free { obj; _ } -> (
+        match Hashtbl.find_opt states obj with
+        | None -> report (Access_before_alloc { obj; index })
+        | Some Freed -> report (Double_free { obj; index })
+        | Some (Live _) -> Hashtbl.replace states obj Freed)
+      | Realloc { obj; new_size; _ } -> (
+        if new_size <= 0 then report (Negative_size { obj; index });
+        match Hashtbl.find_opt states obj with
+        | None -> report (Access_before_alloc { obj; index })
+        | Some Freed -> report (Use_after_free { obj; index })
+        | Some (Live _) -> Hashtbl.replace states obj (Live new_size)))
+    t;
+  List.rev !violations
+
+let num_objects t =
+  fold (fun n e -> match (e : Event.t) with Alloc _ -> n + 1 | _ -> n) 0 t
+
+let num_accesses t =
+  fold (fun n e -> match (e : Event.t) with Access _ -> n + 1 | _ -> n) 0 t
+
+let total_instructions t =
+  fold
+    (fun n e ->
+      match (e : Event.t) with
+      | Access _ -> n + 1
+      | Compute { instrs; _ } -> n + instrs
+      | _ -> n)
+    0 t

@@ -1,0 +1,54 @@
+(** Growable buffers of trace events with the validity checks the analysis
+    passes depend on (alloc-before-use, no double free, no use-after-free). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val add : t -> Event.t -> unit
+(** Append one event.  No validation is performed here; call {!validate}
+    once recording is complete. *)
+
+val get : t -> int -> Event.t
+(** Random access; raises [Invalid_argument] out of bounds. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+
+val iteri : (int -> Event.t -> unit) -> t -> unit
+
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+val to_list : t -> Event.t list
+
+val of_list : Event.t list -> t
+
+val append : t -> t -> t
+(** [append a b] is a fresh trace with all of [a]'s events then [b]'s. *)
+
+val filter : (Event.t -> bool) -> t -> t
+
+type violation =
+  | Access_before_alloc of { obj : int; index : int }
+  | Double_alloc of { obj : int; index : int }
+  | Double_free of { obj : int; index : int }
+  | Use_after_free of { obj : int; index : int }
+  | Negative_size of { obj : int; index : int }
+  | Offset_out_of_bounds of { obj : int; offset : int; size : int; index : int }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val validate : t -> violation list
+(** Full well-formedness check of a recorded trace; empty list means valid.
+    Workload generators are property-tested against this. *)
+
+val num_objects : t -> int
+(** Number of distinct dynamic objects allocated. *)
+
+val num_accesses : t -> int
+(** Number of [Access] events. *)
+
+val total_instructions : t -> int
+(** Accesses (1 instruction each) plus all [Compute] instructions; the
+    baseline dynamic-instruction count before any allocator costs. *)

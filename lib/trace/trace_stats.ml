@@ -1,0 +1,162 @@
+type obj_info = {
+  obj : int;
+  site : int;
+  ctx : int;
+  size : int;
+  alloc_size : int;
+  accesses : int;
+  alloc_index : int;
+  free_index : int option;
+  instance : int;
+}
+
+type site_info = {
+  site_id : int;
+  alloc_count : int;
+  site_objects : int list;
+  site_accesses : int;
+}
+
+type t = {
+  objs : (int, obj_info) Hashtbl.t;
+  order : int list; (* object ids in allocation order *)
+  site_tbl : (int, site_info) Hashtbl.t;
+  total_accesses : int;
+  max_live : int;
+  trace_len : int;
+}
+
+let analyze trace =
+  let objs : (int, obj_info) Hashtbl.t = Hashtbl.create 1024 in
+  let site_counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let site_objs : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let total_accesses = ref 0 in
+  let live = ref 0 in
+  let max_live = ref 0 in
+  Trace.iteri
+    (fun index e ->
+      match (e : Event.t) with
+      | Compute _ -> ()
+      | Alloc { obj; site; ctx; size; _ } ->
+        let instance = 1 + Option.value ~default:0 (Hashtbl.find_opt site_counts site) in
+        Hashtbl.replace site_counts site instance;
+        Hashtbl.replace site_objs site
+          (obj :: Option.value ~default:[] (Hashtbl.find_opt site_objs site));
+        Hashtbl.replace objs obj
+          { obj; site; ctx; size; alloc_size = size; accesses = 0; alloc_index = index;
+            free_index = None; instance };
+        order := obj :: !order;
+        incr live;
+        if !live > !max_live then max_live := !live
+      | Access { obj; _ } -> (
+        incr total_accesses;
+        match Hashtbl.find_opt objs obj with
+        | None -> ()
+        | Some info -> Hashtbl.replace objs obj { info with accesses = info.accesses + 1 })
+      | Free { obj; _ } -> (
+        match Hashtbl.find_opt objs obj with
+        | None -> ()
+        | Some info ->
+          Hashtbl.replace objs obj { info with free_index = Some index };
+          decr live)
+      | Realloc { obj; new_size; _ } -> (
+        match Hashtbl.find_opt objs obj with
+        | None -> ()
+        | Some info -> Hashtbl.replace objs obj { info with size = new_size }))
+    trace;
+  let site_tbl = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun site_id alloc_count ->
+      let site_objects = List.rev (Option.value ~default:[] (Hashtbl.find_opt site_objs site_id)) in
+      let site_accesses =
+        List.fold_left (fun acc o -> acc + (Hashtbl.find objs o).accesses) 0 site_objects
+      in
+      Hashtbl.replace site_tbl site_id { site_id; alloc_count; site_objects; site_accesses })
+    site_counts;
+  { objs;
+    order = List.rev !order;
+    site_tbl;
+    total_accesses = !total_accesses;
+    max_live = !max_live;
+    trace_len = Trace.length trace }
+
+let objects t = List.map (fun o -> Hashtbl.find t.objs o) t.order
+
+let obj_info t obj =
+  match Hashtbl.find_opt t.objs obj with
+  | Some info -> info
+  | None -> raise Not_found
+
+let sites t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.site_tbl []
+  |> List.sort (fun a b -> compare a.site_id b.site_id)
+
+let site_info t site =
+  match Hashtbl.find_opt t.site_tbl site with
+  | Some s -> s
+  | None -> raise Not_found
+
+let total_heap_accesses t = t.total_accesses
+
+let max_live_objects t = t.max_live
+
+let max_live_objects_of_site t site =
+  match Hashtbl.find_opt t.site_tbl site with
+  | None -> 0
+  | Some s ->
+    (* Sweep the per-object intervals of this site. *)
+    let events =
+      List.concat_map
+        (fun o ->
+          let info = Hashtbl.find t.objs o in
+          let fin = Option.value ~default:t.trace_len info.free_index in
+          [ (info.alloc_index, 1); (fin, -1) ])
+        s.site_objects
+      |> List.sort compare
+    in
+    let live = ref 0 and best = ref 0 in
+    List.iter
+      (fun (_, d) ->
+        live := !live + d;
+        if !live > !best then best := !live)
+      events;
+    !best
+
+let hot_objects ?(coverage = 0.9) ?(min_accesses = 4) t =
+  let all =
+    objects t
+    |> List.filter (fun o -> o.accesses >= max 1 min_accesses)
+    |> List.sort (fun a b -> compare b.accesses a.accesses)
+  in
+  let target = coverage *. float_of_int t.total_accesses in
+  let rec take acc covered = function
+    | [] -> List.rev acc
+    | o :: rest ->
+      if covered >= target then List.rev acc
+      else take (o :: acc) (covered +. float_of_int o.accesses) rest
+  in
+  take [] 0. all
+
+let heap_access_share t objs =
+  if t.total_accesses = 0 then 0.
+  else
+    let seen = Hashtbl.create (List.length objs) in
+    let acc =
+      List.fold_left
+        (fun acc o ->
+          if Hashtbl.mem seen o then acc
+          else begin
+            Hashtbl.replace seen o ();
+            match Hashtbl.find_opt t.objs o with
+            | None -> acc
+            | Some info -> acc + info.accesses
+          end)
+        0 objs
+    in
+    float_of_int acc /. float_of_int t.total_accesses
+
+let lifetimes_overlap t a b =
+  let ia = obj_info t a and ib = obj_info t b in
+  let fin i = Option.value ~default:t.trace_len i.free_index in
+  ia.alloc_index < fin ib && ib.alloc_index < fin ia

@@ -1,0 +1,65 @@
+(** Per-object and per-site statistics over a recorded trace.
+
+    This is the analysis front-end of the PreFix pipeline (Figure 8): from
+    the raw trace we derive, for every dynamic object, its allocation site,
+    call-stack signature, size, access count and lifetime interval, and for
+    every static site the ordered list of dynamic instances it produced.
+    Hot-object selection (the basis of the paper's Figure 1) lives here. *)
+
+type obj_info = {
+  obj : int;  (** dynamic object id *)
+  site : int;  (** static malloc site *)
+  ctx : int;  (** call-stack signature (HALO-style) *)
+  size : int;  (** final size after any reallocs *)
+  alloc_size : int;  (** size at allocation *)
+  accesses : int;  (** number of Access events *)
+  alloc_index : int;  (** trace position of the Alloc event *)
+  free_index : int option;  (** trace position of the Free event, if freed *)
+  instance : int;  (** 1-based dynamic allocation instance within [site] *)
+}
+
+type site_info = {
+  site_id : int;
+  alloc_count : int;  (** dynamic allocations from this site *)
+  site_objects : int list;  (** object ids in allocation order *)
+  site_accesses : int;  (** total accesses to this site's objects *)
+}
+
+type t
+
+val analyze : Trace.t -> t
+(** Single pass over the trace building all statistics. *)
+
+val objects : t -> obj_info list
+(** All dynamic objects in allocation order. *)
+
+val obj_info : t -> int -> obj_info
+(** Info for one object id; raises [Not_found] for unknown ids. *)
+
+val sites : t -> site_info list
+(** All static sites, ascending by id. *)
+
+val site_info : t -> int -> site_info
+
+val total_heap_accesses : t -> int
+
+val max_live_objects : t -> int
+(** Maximum number of simultaneously-live objects at any trace point —
+    the quantity that makes object recycling applicable (§2.4). *)
+
+val max_live_objects_of_site : t -> int -> int
+(** Same, restricted to objects from one site. *)
+
+val hot_objects : ?coverage:float -> ?min_accesses:int -> t -> obj_info list
+(** [hot_objects ~coverage t] is the smallest prefix of objects in
+    descending access order whose accesses cover at least [coverage]
+    (default 0.9) of all heap accesses.  Objects accessed fewer than
+    [min_accesses] times (default 4) never qualify, however much
+    coverage is still missing — an object touched once or twice is
+    cold no matter what.  These are the paper's "hot heap objects". *)
+
+val heap_access_share : t -> int list -> float
+(** Fraction (0..1) of all heap accesses that go to the given objects. *)
+
+val lifetimes_overlap : t -> int -> int -> bool
+(** Whether two objects' [alloc,free) trace intervals intersect. *)

@@ -1,0 +1,53 @@
+type row = Single of string * float | Pair of string * float * float
+
+type t = {
+  width : int;
+  unit_label : string;
+  title : string;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?(width = 48) ?(unit_label = "") ~title () =
+  if width < 4 then invalid_arg "Barchart.create: width too small";
+  { width; unit_label; title; rows = [] }
+
+let add t ~label v = t.rows <- Single (label, v) :: t.rows
+
+let add_pair t ~label a b = t.rows <- Pair (label, a, b) :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let max_abs =
+    List.fold_left
+      (fun m -> function
+        | Single (_, v) -> Float.max m (Float.abs v)
+        | Pair (_, a, b) -> Float.max m (Float.max (Float.abs a) (Float.abs b)))
+      0. rows
+  in
+  let label_w =
+    List.fold_left
+      (fun m -> function
+        | Single (l, _) | Pair (l, _, _) -> max m (String.length l + 2))
+      0 rows
+  in
+  let bar v =
+    let n =
+      if max_abs = 0. then 0
+      else int_of_float (Float.round (Float.abs v /. max_abs *. float_of_int t.width))
+    in
+    let block = String.make n (if v < 0. then '<' else '#') in
+    Printf.sprintf "%-*s %+.2f%s" t.width block v t.unit_label
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (t.title ^ "\n");
+  List.iter
+    (fun r ->
+      match r with
+      | Single (l, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-*s |%s\n" label_w l (bar v))
+      | Pair (l, a, b) ->
+        Buffer.add_string buf (Printf.sprintf "  %-*s a|%s\n" label_w l (bar a));
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s b|%s\n" label_w "" (bar b)))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Horizontal ASCII bar charts for the figure reproductions.
+
+    The paper's Figures 1 and 10-14 are bar charts; the harness prints
+    both the exact values (as tables) and these quick-glance bars. *)
+
+type t
+
+val create : ?width:int -> ?unit_label:string -> title:string -> unit -> t
+(** [width] is the maximum bar length in characters (default 48). *)
+
+val add : t -> label:string -> float -> unit
+(** Append one bar.  Negative values render to the left of the axis. *)
+
+val add_pair : t -> label:string -> float -> float -> unit
+(** Two bars on one label (e.g. baseline vs optimized), rendered as two
+    adjacent rows marked [a] and [b]. *)
+
+val render : t -> string
+(** Bars are scaled to the largest absolute value added. *)

@@ -1,0 +1,96 @@
+(* splitmix64: fast, splittable, passes BigCrush on its 64-bit output.
+   Reference: Steele, Lea, Flood — "Fast Splittable Pseudorandom Number
+   Generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 = next_raw
+
+let split t =
+  let s = next_raw t in
+  { state = s }
+
+let copy t = { state = t.state }
+
+(* Non-negative 62-bit int from the top bits. *)
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_raw t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = Int.max_int - (Int.max_int mod bound) in
+  let rec go () =
+    let v = next_nonneg t in
+    if v >= limit then go () else v mod bound
+  in
+  go ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_raw t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let geometric t p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Rng.geometric: p out of (0,1]";
+  if p >= 1. then 0
+  else
+    let u =
+      let rec nonzero () =
+        let u = float t 1.0 in
+        if u <= 0. then nonzero () else u
+      in
+      nonzero ()
+    in
+    int_of_float (Float.log u /. Float.log1p (-.p))
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if n = 1 then 0
+  else begin
+    (* Rejection-inversion (Hörmann & Derflinger) specialised to integer
+       ranks 1..n; returns 0-based rank. *)
+    let s = if s <= 0. then 1e-9 else s in
+    let h x = if Float.abs (1. -. s) < 1e-12 then Float.log x else (x ** (1. -. s)) /. (1. -. s) in
+    let h_inv x =
+      if Float.abs (1. -. s) < 1e-12 then Float.exp x
+      else ((1. -. s) *. x) ** (1. /. (1. -. s))
+    in
+    let hx0 = h 0.5 -. (1.0 ** -.s) in
+    let hn = h (float_of_int n +. 0.5) in
+    let rec go () =
+      let u = hx0 +. float t (hn -. hx0) in
+      let x = h_inv u in
+      let k = Float.round x in
+      let k = if k < 1. then 1. else if k > float_of_int n then float_of_int n else k in
+      if u >= h (k +. 0.5) -. (k ** -.s) then int_of_float k - 1 else go ()
+    in
+    go ()
+  end

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the reproduction flows through this module so that
+    every experiment is bit-for-bit repeatable from a seed.  The generator
+    is splitmix64 (Steele et al.), which is adequate for workload synthesis
+    and has a trivially splittable state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator without disturbing the
+    stream of [t] more than one step. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bits64 : t -> int64
+(** Next raw 64 bits of the stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] samples the number of failures before the first
+    success of a Bernoulli(p) process; [p] must be in (0, 1]. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples from a Zipf distribution over ranks
+    [0, n) with exponent [s], via inverse-CDF on a precomputation-free
+    rejection scheme.  Used to make a few objects account for most heap
+    accesses, as in the paper's Figure 1. *)

@@ -1,0 +1,60 @@
+let sum xs = List.fold_left ( +. ) 0. xs
+
+let mean = function
+  | [] -> 0.
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    Float.exp (sum (List.map (fun x -> Float.log x) xs) /. n)
+
+let percentile p = function
+  | [] -> 0.
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+    end
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+    Float.sqrt var
+
+let pct_change ~before ~after =
+  if before = 0. then 0. else (after -. before) /. before *. 100.
+
+let ratio a b = if b = 0. then 0. else a /. b
+
+type histogram = {
+  lo : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let histogram ~lo ~hi ~buckets =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  if not (hi > lo) then invalid_arg "Stats.histogram: hi must exceed lo";
+  { lo; width = (hi -. lo) /. float_of_int buckets; counts = Array.make buckets 0; total = 0 }
+
+let hist_add h x =
+  let idx = int_of_float ((x -. h.lo) /. h.width) in
+  let idx = if idx < 0 then 0 else if idx >= Array.length h.counts then Array.length h.counts - 1 else idx in
+  h.counts.(idx) <- h.counts.(idx) + 1;
+  h.total <- h.total + 1
+
+let hist_counts h = Array.copy h.counts
+let hist_total h = h.total

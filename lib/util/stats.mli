@@ -1,0 +1,31 @@
+(** Small numeric helpers shared by the trace analyser, the experiment
+    harness and the report printers. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], linear interpolation between
+    closest ranks; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists of length < 2. *)
+
+val sum : float list -> float
+
+val pct_change : before:float -> after:float -> float
+(** [(after - before) / before * 100]; 0 when [before = 0]. *)
+
+val ratio : float -> float -> float
+(** Safe division; 0 when the denominator is 0. *)
+
+type histogram
+(** Fixed-width bucket histogram over [lo, hi). *)
+
+val histogram : lo:float -> hi:float -> buckets:int -> histogram
+val hist_add : histogram -> float -> unit
+val hist_counts : histogram -> int array
+val hist_total : histogram -> int

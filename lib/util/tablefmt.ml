@@ -1,0 +1,86 @@
+type align = Left | Right
+
+type line = Row of string list | Sep
+
+type t = {
+  headers : string list;
+  ncols : int;
+  mutable aligns : align list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ~headers =
+  let ncols = List.length headers in
+  if ncols = 0 then invalid_arg "Tablefmt.create: no headers";
+  let aligns = List.mapi (fun i _ -> if i = 0 then Left else Right) headers in
+  { headers; ncols; aligns; lines = [] }
+
+let set_aligns t aligns =
+  if List.length aligns <> t.ncols then
+    invalid_arg "Tablefmt.set_aligns: wrong arity";
+  t.aligns <- aligns
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > t.ncols then invalid_arg "Tablefmt.add_row: too many cells";
+  let cells =
+    if n = t.ncols then cells
+    else cells @ List.init (t.ncols - n) (fun _ -> "")
+  in
+  t.lines <- Row cells :: t.lines
+
+let add_sep t = t.lines <- Sep :: t.lines
+
+let render t =
+  let lines = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Sep -> ()
+      | Row cells ->
+        List.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cells)
+    lines;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let emit_row cells =
+    let aligned =
+      List.mapi (fun i c -> pad (List.nth t.aligns i) widths.(i) c) cells
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " aligned ^ " |\n")
+  in
+  let emit_sep () =
+    let dashes = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+    Buffer.add_string buf ("+" ^ String.concat "+" dashes ^ "+\n")
+  in
+  emit_sep ();
+  emit_row t.headers;
+  emit_sep ();
+  List.iter (function Sep -> emit_sep () | Row cells -> emit_row cells) lines;
+  emit_sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_pct x = Printf.sprintf "%+.2f%%" x
+
+let fmt_f ?(dec = 2) x = Printf.sprintf "%.*f" dec x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf

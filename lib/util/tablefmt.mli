@@ -1,0 +1,40 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every experiment harness prints a paper-style table; this module keeps
+    the column alignment logic in one place. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : headers:string list -> t
+(** New table with the given column headers.  Columns default to
+    right-alignment except the first, which is left-aligned. *)
+
+val set_aligns : t -> align list -> unit
+(** Override per-column alignment (list length must match headers). *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells, long rows raise
+    [Invalid_argument]. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render to a string (trailing newline included). *)
+
+val print : t -> unit
+(** [render] then [print_string]. *)
+
+(** Numeric cell helpers used throughout the experiment tables. *)
+
+val fmt_pct : float -> string
+(** Signed percentage with 2 decimals, e.g. ["-21.70%"] / ["+3.90%"]. *)
+
+val fmt_f : ?dec:int -> float -> string
+(** Fixed-point float, default 2 decimals. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. ["1,733,376"]. *)

@@ -1,0 +1,64 @@
+module Trace = Prefix_trace.Trace
+module Event = Prefix_trace.Event
+module Rng = Prefix_util.Rng
+
+type t = {
+  trace : Trace.t;
+  rng : Rng.t;
+  sizes : (int, int) Hashtbl.t; (* live objects only *)
+  mutable next_obj : int;
+  mutable thread : int;
+}
+
+let create ?(seed = 1) () =
+  { trace = Trace.create ();
+    rng = Rng.create seed;
+    sizes = Hashtbl.create 1024;
+    next_obj = 1;
+    thread = 0 }
+
+let trace t = t.trace
+let rng t = t.rng
+let set_thread t th = t.thread <- th
+let thread t = t.thread
+
+let alloc t ~site ?ctx size =
+  if size <= 0 then invalid_arg "Builder.alloc: size must be positive";
+  let ctx = Option.value ~default:site ctx in
+  let obj = t.next_obj in
+  t.next_obj <- t.next_obj + 1;
+  Hashtbl.replace t.sizes obj size;
+  Trace.add t.trace (Event.Alloc { obj; site; ctx; size; thread = t.thread });
+  obj
+
+let check_live t obj fn =
+  match Hashtbl.find_opt t.sizes obj with
+  | Some size -> size
+  | None -> invalid_arg (Printf.sprintf "Builder.%s: object %d is not live" fn obj)
+
+let access t ?(write = false) obj offset =
+  let size = check_live t obj "access" in
+  if offset < 0 || offset >= size then
+    invalid_arg
+      (Printf.sprintf "Builder.access: offset %d outside object %d (size %d)" offset obj size);
+  Trace.add t.trace (Event.Access { obj; offset; write; thread = t.thread })
+
+let free t obj =
+  ignore (check_live t obj "free");
+  Hashtbl.remove t.sizes obj;
+  Trace.add t.trace (Event.Free { obj; thread = t.thread })
+
+let realloc t obj new_size =
+  if new_size <= 0 then invalid_arg "Builder.realloc: size must be positive";
+  ignore (check_live t obj "realloc");
+  Hashtbl.replace t.sizes obj new_size;
+  Trace.add t.trace (Event.Realloc { obj; new_size; thread = t.thread })
+
+let compute t instrs =
+  if instrs > 0 then Trace.add t.trace (Event.Compute { instrs; thread = t.thread })
+
+let size_of t obj = check_live t obj "size_of"
+
+let is_live t obj = Hashtbl.mem t.sizes obj
+
+let live_objects t = Hashtbl.fold (fun o _ acc -> o :: acc) t.sizes []

@@ -1,0 +1,44 @@
+(** Trace construction helper used by every workload model.
+
+    Tracks live objects and their sizes so the generators cannot emit
+    out-of-bounds accesses or use-after-free events (the trace validity
+    property tests also enforce this downstream). *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+val trace : t -> Prefix_trace.Trace.t
+(** The trace built so far (shared, not copied). *)
+
+val rng : t -> Prefix_util.Rng.t
+
+val set_thread : t -> int -> unit
+(** Subsequent events are attributed to this thread (default 0). *)
+
+val thread : t -> int
+
+val alloc : t -> site:int -> ?ctx:int -> int -> int
+(** [alloc t ~site size] emits an allocation and returns the fresh
+    object id.  [ctx] is the
+    HALO-style call-stack signature and defaults to [site] (a site
+    reached from a single calling context). *)
+
+val access : t -> ?write:bool -> int -> int -> unit
+(** [access t obj offset]; bounds-checked against the object's current
+    size. *)
+
+val free : t -> int -> unit
+
+val realloc : t -> int -> int -> unit
+
+val compute : t -> int -> unit
+(** Emit a block of non-memory instructions. *)
+
+val size_of : t -> int -> int
+(** Current size of a live object. *)
+
+val is_live : t -> int -> bool
+
+val live_objects : t -> int list
+(** All currently live object ids (unspecified order). *)

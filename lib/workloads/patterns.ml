@@ -1,0 +1,62 @@
+module Rng = Prefix_util.Rng
+
+let sweep b ?(write = false) ?(stride = 16) obj =
+  let size = Builder.size_of b obj in
+  let off = ref 0 in
+  while !off < size do
+    Builder.access b ~write obj !off;
+    off := !off + stride
+  done
+
+let stream_sweep b ?(stride = 16) ?(rounds = 1) objs =
+  for _ = 1 to rounds do
+    List.iter
+      (fun obj ->
+        let size = Builder.size_of b obj in
+        (* A few touches per visit: enough to bring the line(s) in, not a
+           full sweep — streams are about inter-object order. *)
+        let touches = max 1 (min 4 (size / stride)) in
+        for i = 0 to touches - 1 do
+          Builder.access b obj (i * stride)
+        done)
+      objs
+  done
+
+let touch b obj = Builder.access b obj 0
+
+let cold_block b ~site ?ctx ?(size = 64) n =
+  List.init n (fun _ ->
+      let obj = Builder.alloc b ~site ?ctx size in
+      Builder.access b obj 0;
+      obj)
+
+let churn b ~site ?ctx ?(size = 64) ?(touches = 2) n =
+  for _ = 1 to n do
+    let obj = Builder.alloc b ~site ?ctx size in
+    for i = 0 to touches - 1 do
+      Builder.access b obj (i * 16 mod size)
+    done;
+    Builder.free b obj
+  done
+
+let scan_working_set b objs ?(stride = 64) () =
+  List.iter
+    (fun obj ->
+      let size = Builder.size_of b obj in
+      let off = ref 0 in
+      while !off < size do
+        Builder.access b obj !off;
+        off := !off + stride
+      done)
+    objs
+
+let random_accesses b objs ~n =
+  let arr = Array.of_list objs in
+  if Array.length arr > 0 then
+    for _ = 1 to n do
+      let obj = Rng.choose (Builder.rng b) arr in
+      let size = Builder.size_of b obj in
+      let off = Rng.int (Builder.rng b) (max 1 (size / 16)) * 16 in
+      let off = if off >= size then 0 else off in
+      Builder.access b obj off
+    done

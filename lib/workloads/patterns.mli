@@ -1,0 +1,29 @@
+(** Reusable access/allocation motifs shared by the workload models. *)
+
+val sweep : Builder.t -> ?write:bool -> ?stride:int -> int -> unit
+(** [sweep b obj] touches an object at offsets 0, stride, 2*stride ...
+    (default stride 16) — dense intra-object traversal. *)
+
+val stream_sweep : Builder.t -> ?stride:int -> ?rounds:int -> int list -> unit
+(** Hot-data-stream access: visits the objects in order, repeatedly
+    ([rounds], default 1), touching each at a handful of offsets per
+    visit.  This is the inter-object pattern whose locality PreFix's
+    reordering captures. *)
+
+val touch : Builder.t -> int -> unit
+(** One read at offset 0. *)
+
+val cold_block : Builder.t -> site:int -> ?ctx:int -> ?size:int -> int -> int list
+(** [cold_block b ~site n] allocates [n] cold objects (default 64 B),
+    touching each once — the interleaving filler that spreads the
+    baseline's hot objects apart. *)
+
+val churn : Builder.t -> site:int -> ?ctx:int -> ?size:int -> ?touches:int -> int -> unit
+(** Allocate, briefly use and free [n] transient objects. *)
+
+val scan_working_set : Builder.t -> int list -> ?stride:int -> unit -> unit
+(** Stream once over every object in the list (cold-capacity pressure
+    on the caches). *)
+
+val random_accesses : Builder.t -> int list -> n:int -> unit
+(** [n] uniformly random (object, aligned offset) reads. *)

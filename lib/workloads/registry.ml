@@ -1,0 +1,18 @@
+let all =
+  [ Wl_mysql.workload;
+    Wl_perl.workload;
+    Wl_mcf.workload;
+    Wl_omnetpp.workload;
+    Wl_xalanc.workload;
+    Wl_povray.workload;
+    Wl_roms.workload;
+    Wl_leela.workload;
+    Wl_swissmap.workload;
+    Wl_libc.workload;
+    Wl_health.workload;
+    Wl_ft.workload;
+    Wl_analyzer.workload ]
+
+let find name = List.find (fun (w : Workload.t) -> w.name = name) all
+
+let names = List.map (fun (w : Workload.t) -> w.name) all

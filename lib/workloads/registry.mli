@@ -1,0 +1,8 @@
+(** All thirteen benchmark models, in the paper's table order. *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t
+(** Lookup by name; raises [Not_found]. *)
+
+val names : string list

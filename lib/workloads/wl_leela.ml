@@ -1,0 +1,51 @@
+(* leela — Go engine (Monte-Carlo tree search).
+
+   Each playout expands a chain of search-tree nodes: for every ply it
+   allocates a node, its statistics block, a move list and a child index
+   — four sites, always in the same order — walks the chain a few times
+   to back up the result, and tears the whole expansion down before the
+   next playout (Table 2: all ids, 4 sites, 1 counter).  Allocation and
+   deallocation dominate: the paper avoids 30 million malloc/free calls
+   and executes 25% fewer instructions (Table 6), with peak memory
+   dropping 28→20 MB because the recycled block replaces a fragmented
+   heap.  That is the purest object-recycling benchmark (-25.3%). *)
+
+module W = Workload
+module B = Builder
+
+let n_sites = 4
+let node_bytes = 64
+let plies = 12 (* expansion depth per playout *)
+let site_board = 10 (* cold: persistent board/pattern tables *)
+let site_history = 11 (* cold: growing game history, fragments the heap *)
+
+let generate ?threads ~scale ~seed () =
+  ignore threads;
+  let b = B.create ~seed () in
+  let playouts = W.iterations scale ~base:640 in
+  ignore (Patterns.cold_block b ~site:site_board ~size:2048 16);
+  for p = 0 to playouts - 1 do
+    (* Expansion: plies * 4 tandem allocations. *)
+    let chain =
+      List.concat_map
+        (fun ply ->
+          ignore ply;
+          List.init n_sites (fun i -> B.alloc b ~site:(i + 1) node_bytes))
+        (List.init plies Fun.id)
+    in
+    (* Descent + backup: four walks over the chain. *)
+    for _ = 1 to 4 do
+      List.iter (fun o -> B.access b o 0) chain
+    done;
+    B.compute b 24_000;
+    (* Game history grows, nibbling the freed space. *)
+    if p mod 5 = 0 then ignore (Patterns.cold_block b ~site:site_history ~size:112 2);
+    List.iter (fun o -> B.free b o) chain
+  done;
+  B.trace b
+
+let workload =
+  { W.name = "leela";
+    description = "MCTS engine: allocation-dominated playout expansions";
+    bench_threads = false;
+    generate }

@@ -1,0 +1,134 @@
+(* mcf — SPEC network-simplex solver (§2.2.1 discusses it at length).
+
+   Six hot objects from six distinct malloc sites: the first three are the
+   input network itself (node array, arc array, dummy-arc array) — large
+   arrays that exceed the last-level cache and are swept every psimplex
+   iteration.  The arc and dummy-arc arrays are *realloc-grown* as the
+   network expands: in the baseline each growth moves the array and the
+   next sweep runs on cold lines, while PreFix preallocates the profiled
+   maximum so growth stays in place (Figure 6's common case).  The other
+   three hot objects are small pricing structures consulted after every
+   arc group — a hot data stream spread across three pages in the
+   baseline and colocated on one by PreFix.
+
+   Each trio is allocated "in tandem", so each shares one counter and the
+   hot ids are the fixed prefix {1,2,3} of the shared numbering (Table 2:
+   fixed ids, 6 sites, 2 counters).  The pricing sites later allocate cold
+   objects inside the solver loop (the Figure 3 pattern), which is exactly
+   what pollutes the HDS [8] region (Table 4: 4 hot of 33) and defeats
+   call-stack signatures (§2.2: "3 sites had 30 other object allocations
+   with the same call stack").
+
+   Multithreaded mode (Figure 10): one thread allocates, all threads run
+   pricing iterations. *)
+
+module W = Workload
+module B = Builder
+
+let site_nodes = 1
+let site_arcs = 2
+let site_dummy = 3
+let site_price1 = 4
+let site_price2 = 5
+let site_price3 = 6
+let site_tree = 20 (* cold spanning-tree scratch *)
+let site_basket = 21 (* cold candidate baskets *)
+
+(* The pricing sites share their calling context with basket allocations
+   (a common allocation wrapper), which is what HALO sees. *)
+let ctx_pricing = 104
+
+let array_bytes = 192 * 1024
+let array_initial = 128 * 1024
+let price_bytes = 48
+
+let generate ?(threads = 1) ~scale ~seed () =
+  let b = B.create ~seed () in
+  let rounds = W.iterations scale ~base:480 in
+  (* --- Input parsing: the network arrays, interleaved with parser scratch
+     that stays live (spreading the arrays apart in the baseline heap). *)
+  let graph =
+    List.map
+      (fun site ->
+        (* Arc-like arrays start small and are grown below. *)
+        let size = if site = site_nodes then array_bytes else array_initial in
+        let o = B.alloc b ~site size in
+        ignore (Patterns.cold_block b ~site:site_tree ~size:256 10);
+        o)
+      [ site_nodes; site_arcs; site_dummy ]
+  in
+  (* The graph sites also allocate parser scratch of their own, which
+     splits the graph counter from the pricing counter (their combined
+     hot ids would not stay consecutive). *)
+  List.iter
+    (fun site -> ignore (Patterns.cold_block b ~site ~size:256 2))
+    [ site_nodes; site_arcs; site_dummy ];
+  (* --- Solver setup: pricing structures, each separated by live cold
+     state so the baseline spreads them over distinct pages.  Same ctx as
+     the basket wrapper. *)
+  let pricing =
+    List.mapi
+      (fun i site ->
+        let o = B.alloc b ~site ~ctx:ctx_pricing price_bytes in
+        (* Candidate-basket buffers from the same sites (and calling
+           context) separate the pricing structures in the baseline heap
+           and dilute both the HDS [8] region and HALO's pool.  The
+           irregular count keeps the shared hot ids a fixed set. *)
+        ignore
+          (Patterns.cold_block b ~site ~ctx:ctx_pricing ~size:2048
+             (if i = 1 then 2 else 1));
+        o)
+      [ site_price1; site_price2; site_price3 ]
+  in
+  ignore site_basket;
+  (* The pricing sites keep allocating cold baskets during the run — the
+     Figure 3 loop: hot instance first, cold ones after. *)
+  let pollute_pricing () =
+    List.iter
+      (fun site ->
+        ignore (Patterns.cold_block b ~site ~ctx:ctx_pricing ~size:price_bytes 2))
+      [ site_price1; site_price2; site_price3 ]
+  in
+  for _ = 1 to 5 do
+    pollute_pricing ()
+  done;
+  let nodes, arcs, dummy =
+    match graph with [ n; a; d ] -> (n, a, d) | _ -> assert false
+  in
+  (* --- psimplex iterations: sweep the arc arrays (capacity pressure) and
+     consult the pricing stream after every arc group.  The network keeps
+     growing: the arc arrays are reallocated towards their final size at
+     fixed points of the run. *)
+  let growth_points = [ rounds / 4; rounds / 2 ] in
+  for r = 0 to rounds - 1 do
+    if threads > 1 then B.set_thread b (r mod threads);
+    if List.mem r growth_points then begin
+      let step = (array_bytes - array_initial) / List.length growth_points in
+      List.iter
+        (fun o ->
+          let cur = B.size_of b o in
+          B.realloc b o (min array_bytes (cur + step)))
+        [ arcs; dummy ]
+    end;
+    for j = 0 to 95 do
+      let limit = min (B.size_of b arcs) (B.size_of b dummy) in
+      let off = j * 4160 mod limit / 16 * 16 in
+      B.access b nodes off;
+      B.access b arcs off;
+      B.access b dummy off;
+      (* Pricing consultation: one touch per structure, in stream order. *)
+      List.iter (fun p -> B.access b p 0) pricing
+    done;
+    (* Spanning-tree update: transient scratch from a cold site. *)
+    Patterns.churn b ~site:site_tree ~size:128 ~touches:2 2;
+    B.compute b 2000
+  done;
+  B.set_thread b 0;
+  List.iter (fun o -> B.free b o) (pricing @ graph);
+  B.trace b
+
+let workload =
+  { W.name = "mcf";
+    description = "SPEC CPU network simplex: six hot objects, two tandem trios";
+    bench_threads = true;
+    generate }

@@ -1,0 +1,99 @@
+(* mysql — database server workload.
+
+   The hot objects are a handful of large, long-lived buffers (buffer-pool
+   blocks, key caches, sort buffers) identified by fixed instance ids on
+   ten allocation sites (Table 2: fixed ids, 10 sites, 6 counters; sites
+   that initialise together share a counter).  The buffers grow by realloc
+   as load arrives: in the baseline each growth moves the buffer (copy +
+   cold cache lines); PreFix preallocates each buffer at its profiled
+   maximum, so every growth stays in place (Figure 6's common case) —
+   that, plus very strong intra-object locality, is why PreFix:Hot wins
+   on mysql while object reordering adds nothing (§3.3), and why peak
+   memory jumps (Table 6: preallocation at maximum size up front).
+
+   The same sites also allocate cold per-query scratch buffers, giving
+   HDS its mild pollution (Table 4: 2 hot of 80).
+
+   Multithreaded mode (Figure 10): each hot buffer is owned and accessed
+   by one thread. *)
+
+module W = Workload
+module B = Builder
+
+let site_catalog = 40 (* cold: schema/catalog entries, long-lived *)
+let site_scratch = 41 (* cold: per-query scratch *)
+
+let initial_bytes = 8 * 1024
+let n_growth_events = 32
+
+(* The training input drives every pool to its configured maximum; the
+   evaluation input stops earlier — which is exactly why the paper's
+   mysql peak memory jumps from 18 MB to 426 MB: PreFix preallocates at
+   the profiled maxima (Table 6). *)
+let grown_bytes = function Workload.Profiling -> 40 * 1024 | Workload.Long -> 24 * 1024
+
+(* Setup order defines counter sharing: sites initialising back-to-back
+   share a counter.  Groups: {1,2} {3} {4,5} {6,7} {8,9} {10}. *)
+let groups = [ [ 1; 2 ]; [ 3 ]; [ 4; 5 ]; [ 6; 7 ]; [ 8; 9 ]; [ 10 ] ]
+
+let generate ?(threads = 1) ~scale ~seed () =
+  let b = B.create ~seed () in
+  let queries = W.iterations scale ~base:512 in
+  (* --- Server startup: allocate the pools group by group.  Sites 1-3
+     allocate two hot buffers each; the rest one.  Catalog entries load
+     in between, spreading the pools in the baseline heap. *)
+  let buffers = ref [] in
+  List.iter
+    (fun group ->
+      let hot_per_site = if List.exists (fun s -> s <= 3) group then 2 else 1 in
+      for inst = 1 to hot_per_site do
+        ignore inst;
+        List.iter
+          (fun site -> buffers := B.alloc b ~site initial_bytes :: !buffers)
+          group
+      done;
+      ignore (Patterns.cold_block b ~site:site_catalog ~size:512 12);
+      (* Per-connection scratch from the same sites, handed out while the
+         group initialises — which is why different groups cannot share a
+         counter (their hot ids would not stay one consecutive run). *)
+      List.iter (fun site -> ignore (Patterns.cold_block b ~site ~size:1024 5)) group)
+    groups;
+  let buffers = Array.of_list (List.rev !buffers) in
+  let n_buf = Array.length buffers in
+  (* --- Query processing: each query sweeps two buffers (B-tree pages,
+     sort runs) with dense intra-object locality and churns scratch. *)
+  (* Pools grow incrementally as load arrives: a fixed number of growth
+     events spread evenly over the run (so training and evaluation
+     inputs perform the same schedule and reach the same profiled
+     maxima).  Every event's target size is strictly larger than any
+     block freed by an earlier move, so in the baseline each growth
+     relocates the pool to fresh, cache-cold memory — the recurring cost
+     PreFix's full-size preallocation removes. *)
+  let growth_interval = max 1 (queries / n_growth_events) in
+  let growth_step = ((grown_bytes scale) - initial_bytes) / n_growth_events in
+  for q = 0 to queries - 1 do
+    let owner = q mod max 1 threads in
+    if threads > 1 then B.set_thread b owner;
+    if (q + 1) mod growth_interval = 0 then begin
+      let idx = ((q + 1) / growth_interval) - 1 in
+      if idx < n_growth_events then begin
+        let buf = buffers.(idx mod n_buf) in
+        let cur = B.size_of b buf in
+        B.realloc b buf (max cur (initial_bytes + ((idx + 1) * growth_step)))
+      end
+    end;
+    let b1 = buffers.(q mod n_buf) and b2 = buffers.((q * 7) mod n_buf) in
+    Patterns.sweep b ~stride:64 b1;
+    Patterns.sweep b ~stride:128 b2;
+    Patterns.churn b ~site:site_scratch ~size:256 ~touches:3 4;
+    B.compute b 3000
+  done;
+  B.set_thread b 0;
+  Array.iter (fun buf -> B.free b buf) buffers;
+  B.trace b
+
+let workload =
+  { W.name = "mysql";
+    description = "database server: large realloc-grown buffers, fixed ids";
+    bench_threads = true;
+    generate }

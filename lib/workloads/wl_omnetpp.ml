@@ -1,0 +1,109 @@
+(* omnetpp — discrete-event network simulator.
+
+   The simulator's long-lived infrastructure (modules, gates, queues,
+   channel descriptors) is hot: ~230 small objects from 52 allocation
+   sites, initialised subsystem by subsystem so the sites share 6
+   counters with fixed hot ids (Table 2: fixed ids, 52 sites, 6
+   counters).  Event processing walks module→gate→queue triples — hot
+   data streams — which is why PreFix:HDS beats PreFix:Hot (§3.3).
+
+   Crucially, the *same* 52 sites allocate transient message objects on
+   every simulated event, so the HDS [8] region fills with cold messages
+   (Table 4: 67 hot of 123,727) and HDS gains nothing (+0.6%). *)
+
+module W = Workload
+module B = Builder
+
+let obj_bytes = 32
+let sites_per_subsystem = [ 9; 9; 9; 9; 8; 8 ] (* 52 sites total *)
+let site_cold = 90 (* long-lived cold topology tables *)
+let n_triples = 30 (* module/gate/queue access streams *)
+
+let generate ?threads ~scale ~seed () =
+  ignore threads;
+  let b = B.create ~seed () in
+  let events = W.iterations scale ~base:900 in
+  (* --- Network setup: each subsystem initialises its sites in tandem;
+     every site contributes one fixed hot object, then 3-4 cold
+     configuration records.  Cold topology tables interleave. *)
+  let infra = ref [] in
+  let next_site = ref 1 in
+  let subsystem_sites =
+    List.map
+      (fun n ->
+        let sites = List.init n (fun i -> !next_site + i) in
+        next_site := !next_site + n;
+        sites)
+      sites_per_subsystem
+  in
+  List.iter
+    (fun sites ->
+      (* Hot pass: one object per site, in tandem (the shared-counter ids
+         form the consecutive prefix 1..n).  Cold topology records from an
+         unrelated site land between them, spreading the hot objects in
+         the baseline heap without disturbing the shared counter. *)
+      let alloc_infra site =
+        let o = B.alloc b ~site obj_bytes in
+        (* Two cold descriptors (topology entry, statistics block) land
+           right next to each object, overlapping its cache lines in the
+           baseline layout, plus filler spreading the hot set. *)
+        let c1 = B.alloc b ~site:site_cold obj_bytes in
+        ignore (Patterns.cold_block b ~site:site_cold ~size:1024 2);
+        let c2 = B.alloc b ~site:site_cold obj_bytes in
+        B.access b c1 0;
+        B.access b c2 0;
+        infra := (o, (c1, c2)) :: !infra
+      in
+      List.iter alloc_infra sites;
+      (* Second and third hot passes bring the count to ~230. *)
+      List.iter alloc_infra sites;
+      List.iter (fun site -> if site mod 2 = 0 then alloc_infra site) sites;
+      (* Cold configuration records from the same sites. *)
+      List.iter (fun site -> ignore (Patterns.cold_block b ~site ~size:obj_bytes 3)) sites;
+      ignore (Patterns.cold_block b ~site:site_cold ~size:384 10))
+    subsystem_sites;
+  let infra = Array.of_list (List.rev !infra) in
+  let n_infra = Array.length infra in
+  (* Fixed module→gate→queue triples used as event-processing streams. *)
+  let triples =
+    Array.init n_triples (fun t ->
+        [ fst infra.(t * 13 mod n_infra);
+          fst infra.(((t * 13) + 5) mod n_infra);
+          fst infra.(((t * 13) + 11) mod n_infra) ])
+  in
+  let in_triple = Hashtbl.create 128 in
+  Array.iter (fun triple -> List.iter (fun o -> Hashtbl.replace in_triple o ()) triple) triples;
+  let all_sites = List.concat subsystem_sites in
+  let all_sites_arr = Array.of_list all_sites in
+  (* --- Event loop. *)
+  for e = 0 to events - 1 do
+    (* Process a handful of events: each walks a triple stream twice and
+       exchanges a transient message allocated from an infrastructure
+       site (the pollution). *)
+    for k = 0 to 7 do
+      let triple = triples.((e + (k * 7)) mod n_triples) in
+      List.iter (fun o -> B.access b o 0) triple;
+      List.iter (fun o -> B.access b o 16) triple;
+      let site = all_sites_arr.((e + k) mod Array.length all_sites_arr) in
+      Patterns.churn b ~site ~size:obj_bytes ~touches:2 2
+    done;
+    (* Scheduler sampling: the future-event set touches a random subset
+       of modules each round. *)
+    ignore in_triple;
+    ignore scale;
+    for _s = 0 to 31 do
+      let o, (_c1, _c2) = infra.(Prefix_util.Rng.int (B.rng b) n_infra) in
+      B.access b o 0;
+      B.access b o 16
+    done;
+    (* Future-event-set bookkeeping: cold. *)
+    Patterns.churn b ~site:site_cold ~size:256 ~touches:2 2;
+    B.compute b 1500
+  done;
+  B.trace b
+
+let workload =
+  { W.name = "omnetpp";
+    description = "discrete-event simulator: 52 sites, message churn pollution";
+    bench_threads = false;
+    generate }

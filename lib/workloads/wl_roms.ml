@@ -1,0 +1,48 @@
+(* roms — ocean-model stencil code (SPEC 554.roms_r).
+
+   Every timestep allocates twenty temporary work grids — one per solver
+   stage site, in a fixed tandem order — runs several stencil passes over
+   them and frees them at the end of the step (Table 2: all ids, 20
+   sites, 1 counter).  Between steps, diagnostic records are appended and
+   survive, so in the baseline the freed grid space fragments and each
+   step's grids move to new addresses with cold caches and fresh TLB
+   entries.  Object recycling pins the twenty grids to one preallocated
+   block that stays cache- and TLB-resident for the whole run (-17.8%,
+   with 1.4M malloc/free calls avoided at a negligible instruction-count
+   change — the win is locality, Table 6). *)
+
+module W = Workload
+module B = Builder
+
+let n_grid_sites = 20
+let grid_bytes = 1024
+let site_diag = 40 (* cold persistent diagnostics *)
+let site_forcing = 41 (* cold forcing data, loaded once *)
+
+let generate ?threads ~scale ~seed () =
+  ignore threads;
+  let b = B.create ~seed () in
+  let steps = W.iterations scale ~base:400 in
+  ignore (Patterns.cold_block b ~site:site_forcing ~size:4096 32);
+  for _step = 0 to steps - 1 do
+    (* Work grids for this step, in tandem. *)
+    let grids =
+      List.init n_grid_sites (fun i -> B.alloc b ~site:(i + 1) grid_bytes)
+    in
+    (* Stencil passes: predictor and corrector, both forward.  The
+       grids are transient (fresh ids every step), so no cross-step
+       stream structure exists for the detector. *)
+    List.iter (fun g -> Patterns.sweep b ~stride:64 g) grids;
+    List.iter (fun g -> Patterns.sweep b ~stride:64 g) grids;
+    B.compute b 2600;
+    (* Diagnostics survive the step and nibble at the freed space. *)
+    ignore (Patterns.cold_block b ~site:site_diag ~size:512 6);
+    List.iter (fun g -> B.free b g) grids
+  done;
+  B.trace b
+
+let workload =
+  { W.name = "roms";
+    description = "ocean model: per-timestep work grids, recycling";
+    bench_threads = false;
+    generate }

@@ -1,0 +1,5 @@
+(** The swissmap benchmark model; see the implementation header comment
+    for the structure it reproduces and the paper data it is tuned
+    against. *)
+
+val workload : Workload.t

@@ -1,0 +1,13 @@
+type scale = Profiling | Long
+
+let scale_name = function Profiling -> "profiling" | Long -> "long"
+
+type t = {
+  name : string;
+  description : string;
+  bench_threads : bool;
+  generate : ?threads:int -> scale:scale -> seed:int -> unit -> Prefix_trace.Trace.t;
+}
+
+let iterations scale ~base =
+  match scale with Profiling -> max 1 (base / 8) | Long -> base

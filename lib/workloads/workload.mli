@@ -1,0 +1,31 @@
+(** Synthetic benchmark models.
+
+    The paper evaluates on native binaries (SPEC, Olden, Ptrdist,
+    FreeBench, fleetbench, mysql) that cannot run inside this
+    reproduction; each is replaced by a workload model that emits an
+    allocation/access/free event trace with the same {e structure} the
+    paper reports for it: number and size of hot objects, hot data
+    stream membership, allocation-site counts and id patterns
+    (Table 2), lifetime shape (recycling or not), and the interleaving
+    of hot allocations with cold ones that gives the baseline its poor
+    locality.  See DESIGN.md §2 for the substitution argument.
+
+    Scales: [Profiling] is the short training-input run used to build
+    plans; [Long] is the evaluation run (more iterations, more cold
+    churn, slightly perturbed behaviour so profile and reality differ
+    the way Table 5 shows). *)
+
+type scale = Profiling | Long
+
+val scale_name : scale -> string
+
+type t = {
+  name : string;
+  description : string;
+  bench_threads : bool;
+      (** whether the model honours [threads] (mysql, mcf — Fig 10) *)
+  generate : ?threads:int -> scale:scale -> seed:int -> unit -> Prefix_trace.Trace.t;
+}
+
+val iterations : scale -> base:int -> int
+(** Standard iteration scaling: profiling runs are ~8x shorter. *)

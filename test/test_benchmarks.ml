@@ -1,0 +1,134 @@
+(* Structure tests: each of the 13 benchmark models must keep the plan
+   shape it was designed to have (DESIGN.md §3, paper Table 2) — these
+   pin the reproduction against accidental workload regressions. *)
+
+module Pipeline = Prefix_core.Pipeline
+module Plan = Prefix_core.Plan
+module Workload = Prefix_workloads.Workload
+module Registry = Prefix_workloads.Registry
+module Trace_stats = Prefix_trace.Trace_stats
+
+let plan_of name variant =
+  let w = Registry.find name in
+  let trace = w.generate ~scale:Workload.Profiling ~seed:7 () in
+  Pipeline.plan ~variant trace
+
+let has_recycling (plan : Plan.t) =
+  List.exists (fun (cp : Plan.counter_plan) -> cp.recycle <> None) plan.counters
+
+let kinds plan = Plan.context_kinds plan
+
+let check_shape name ~sites ~counters ~kind ~recycles =
+  let plan = plan_of name Plan.HdsHot in
+  Alcotest.(check int) (name ^ " sites") sites (Plan.num_sites plan);
+  Alcotest.(check int) (name ^ " counters") counters (Plan.num_counters plan);
+  Alcotest.(check string) (name ^ " kinds") kind (kinds plan);
+  Alcotest.(check bool) (name ^ " recycling") recycles (has_recycling plan);
+  match Plan.validate plan with Ok () -> () | Error e -> Alcotest.fail e
+
+(* The expected values are this reproduction's measured shapes; where
+   they differ from the paper's Table 2 the delta is recorded in
+   EXPERIMENTS.md. *)
+
+let test_mysql () = check_shape "mysql" ~sites:10 ~counters:4 ~kind:"fixed" ~recycles:false
+let test_perl () = check_shape "perl" ~sites:16 ~counters:2 ~kind:"fixed & regular" ~recycles:false
+let test_mcf () = check_shape "mcf" ~sites:6 ~counters:2 ~kind:"fixed" ~recycles:false
+let test_omnetpp () = check_shape "omnetpp" ~sites:52 ~counters:6 ~kind:"fixed" ~recycles:false
+let test_xalanc () = check_shape "xalanc" ~sites:2 ~counters:2 ~kind:"fixed" ~recycles:false
+let test_povray () = check_shape "povray" ~sites:8 ~counters:1 ~kind:"all" ~recycles:true
+let test_roms () = check_shape "roms" ~sites:20 ~counters:1 ~kind:"all" ~recycles:true
+let test_leela () = check_shape "leela" ~sites:4 ~counters:1 ~kind:"all" ~recycles:true
+let test_swissmap () = check_shape "swissmap" ~sites:1 ~counters:1 ~kind:"all" ~recycles:true
+
+let test_health () =
+  let plan = plan_of "health" Plan.HdsHot in
+  Alcotest.(check int) "sites" 3 (Plan.num_sites plan);
+  Alcotest.(check int) "counters" 2 (Plan.num_counters plan);
+  Alcotest.(check string) "kinds" "all & fixed" (kinds plan);
+  (* nothing is ever freed: recycling must NOT trigger *)
+  Alcotest.(check bool) "no recycling" false (has_recycling plan)
+
+let test_ft () =
+  let plan = plan_of "ft" Plan.HdsHot in
+  Alcotest.(check int) "sites" 3 (Plan.num_sites plan);
+  Alcotest.(check bool) "regular ids for the vertex/heap sites" true
+    (List.exists
+       (fun (cp : Plan.counter_plan) ->
+         match cp.pattern with Prefix_core.Context.Regular _ -> true | _ -> false)
+       plan.counters)
+
+let test_analyzer () =
+  let plan = plan_of "analyzer" Plan.HdsHot in
+  Alcotest.(check int) "counters" 3 (Plan.num_counters plan);
+  Alcotest.(check string) "kinds" "all & fixed" (kinds plan)
+
+(* The HDS variant places only stream objects for the stream-poor
+   benchmarks. *)
+let test_hds_variant_is_small_where_expected () =
+  List.iter
+    (fun name ->
+      let hdshot = plan_of name Plan.HdsHot in
+      let hds = plan_of name Plan.Hds in
+      Alcotest.(check bool)
+        (name ^ " HDS variant places far fewer objects")
+        true
+        (List.length hds.slots * 4 < List.length hdshot.slots))
+    [ "health"; "ft"; "analyzer" ]
+
+(* Recycling benchmarks: all three variants produce the same slot count
+   (the merged cells of Table 3). *)
+let test_recycling_variants_identical () =
+  List.iter
+    (fun name ->
+      let p1 = plan_of name Plan.Hot and p2 = plan_of name Plan.Hds in
+      Alcotest.(check int) (name ^ " same slots") (List.length p1.slots)
+        (List.length p2.slots))
+    [ "povray"; "roms"; "leela"; "swissmap" ]
+
+(* mcf's six hot objects are the documented two tandem trios. *)
+let test_mcf_trios () =
+  let plan = plan_of "mcf" Plan.HdsHot in
+  let site_lists =
+    List.map (fun (cp : Plan.counter_plan) -> List.sort compare cp.counter_sites) plan.counters
+    |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "two trios" [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] site_lists
+
+(* Profiling hot-object shares stay in the neighbourhood the models were
+   designed for (Table 5 HA column). *)
+let test_hot_share_band () =
+  List.iter
+    (fun (name, lo) ->
+      let w = Registry.find name in
+      let trace = w.generate ~scale:Workload.Profiling ~seed:7 () in
+      let stats = Trace_stats.analyze trace in
+      let hot = Trace_stats.hot_objects ~coverage:0.95 stats in
+      let share =
+        Trace_stats.heap_access_share stats
+          (List.map (fun (o : Trace_stats.obj_info) -> o.obj) hot)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s share %.2f >= %.2f" name share lo)
+        true (share >= lo))
+    [ ("mcf", 0.95); ("mysql", 0.85); ("health", 0.85); ("ft", 0.75); ("analyzer", 0.9) ]
+
+let suite =
+  [ ( "benchmark-shapes",
+      [ Alcotest.test_case "mysql" `Quick test_mysql;
+        Alcotest.test_case "perl" `Quick test_perl;
+        Alcotest.test_case "mcf" `Quick test_mcf;
+        Alcotest.test_case "omnetpp" `Quick test_omnetpp;
+        Alcotest.test_case "xalanc" `Quick test_xalanc;
+        Alcotest.test_case "povray" `Quick test_povray;
+        Alcotest.test_case "roms" `Quick test_roms;
+        Alcotest.test_case "leela" `Quick test_leela;
+        Alcotest.test_case "swissmap" `Quick test_swissmap;
+        Alcotest.test_case "health" `Quick test_health;
+        Alcotest.test_case "ft" `Quick test_ft;
+        Alcotest.test_case "analyzer" `Quick test_analyzer;
+        Alcotest.test_case "HDS variant small where expected" `Quick
+          test_hds_variant_is_small_where_expected;
+        Alcotest.test_case "recycling variants identical" `Quick
+          test_recycling_variants_identical;
+        Alcotest.test_case "mcf trios" `Quick test_mcf_trios;
+        Alcotest.test_case "hot share bands" `Quick test_hot_share_band ] ) ]

@@ -1,0 +1,166 @@
+(* Tests for Prefix_cachesim: Cache, Hierarchy, Cycles, Heatmap. *)
+
+open Prefix_cachesim
+
+let small_cache () = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 ()
+
+let test_geometry () =
+  let c = small_cache () in
+  Alcotest.(check int) "sets" 8 (Cache.sets c);
+  Alcotest.(check int) "assoc" 2 (Cache.assoc c);
+  Alcotest.(check int) "line" 64 (Cache.line_bytes c)
+
+let test_geometry_invalid () =
+  Alcotest.check_raises "bad line" (Invalid_argument "Cache: line size must be a power of two")
+    (fun () -> ignore (Cache.create ~size_bytes:960 ~assoc:2 ~line_bytes:48 ()))
+
+let test_cold_miss_then_hit () =
+  let c = small_cache () in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "hit" true (Cache.access c 0);
+  Alcotest.(check bool) "same line hit" true (Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 64);
+  Alcotest.(check int) "misses" 2 (Cache.misses c);
+  Alcotest.(check int) "accesses" 4 (Cache.accesses c)
+
+let test_lru_eviction () =
+  let c = small_cache () in
+  (* Three lines mapping to the same set (set stride = 8 lines * 64 B). *)
+  let a = 0 and b = 8 * 64 and d = 16 * 64 in
+  ignore (Cache.access c a);
+  ignore (Cache.access c b);
+  ignore (Cache.access c a); (* a is now MRU *)
+  ignore (Cache.access c d); (* evicts b (LRU) *)
+  Alcotest.(check bool) "a survives" true (Cache.access c a);
+  Alcotest.(check bool) "b evicted" false (Cache.access c b)
+
+let test_capacity () =
+  let c = small_cache () in
+  (* Touch exactly as many lines as the cache holds: all fit. *)
+  for i = 0 to 15 do
+    ignore (Cache.access c (i * 64))
+  done;
+  Cache.reset_counters c;
+  for i = 0 to 15 do
+    ignore (Cache.access c (i * 64))
+  done;
+  Alcotest.(check int) "fully resident" 0 (Cache.misses c)
+
+let test_writebacks () =
+  let c = small_cache () in
+  (* Fill one set (2 ways) with dirty lines, then force evictions. *)
+  let a = 0 and b = 8 * 64 and d = 16 * 64 in
+  ignore (Cache.access ~write:true c a);
+  ignore (Cache.access ~write:true c b);
+  Alcotest.(check int) "no writebacks yet" 0 (Cache.writebacks c);
+  ignore (Cache.access c d);
+  (* evicts dirty a *)
+  Alcotest.(check int) "one writeback" 1 (Cache.writebacks c);
+  (* clean eviction: d was a read-only fill *)
+  ignore (Cache.access c a);
+  (* evicts dirty b *)
+  ignore (Cache.access c b);
+  (* evicts clean d -> still 2 *)
+  Alcotest.(check int) "dirty only" 2 (Cache.writebacks c)
+
+let test_flush () =
+  let c = small_cache () in
+  ignore (Cache.access c 0);
+  Cache.flush c;
+  Alcotest.(check int) "counters cleared" 0 (Cache.accesses c);
+  Alcotest.(check bool) "contents cleared" false (Cache.access c 0)
+
+let test_tlb_constructor () =
+  let t = Cache.create_entries ~entries:16 ~assoc:4 ~page_bytes:4096 () in
+  Alcotest.(check int) "sets" 4 (Cache.sets t);
+  ignore (Cache.access t 0);
+  Alcotest.(check bool) "same page hits" true (Cache.access t 4095);
+  Alcotest.(check bool) "next page misses" false (Cache.access t 4096)
+
+let test_hierarchy_counters () =
+  let h = Hierarchy.create ~config:Hierarchy.scaled_config () in
+  for i = 0 to 999 do
+    Hierarchy.access h (i * 64)
+  done;
+  (* Second pass: 1000 lines = 62.5 KB exceeds the 8 KB L1 but fits LLC. *)
+  for i = 0 to 999 do
+    Hierarchy.access h (i * 64)
+  done;
+  let c = Hierarchy.counters h in
+  Alcotest.(check int) "refs" 2000 c.refs;
+  Alcotest.(check bool) "L1 thrashes" true (c.l1_misses > 1500);
+  Alcotest.(check int) "LLC holds everything" 1000 c.llc_misses;
+  Alcotest.(check bool) "rates consistent" true
+    (Hierarchy.llc_miss_rate h <= Hierarchy.l1_miss_rate h)
+
+let test_paper_config_geometry () =
+  (* 32 KB 8-way 64 B lines = 64 sets; 40 MB 20-way = 32768 sets. *)
+  let c = Hierarchy.paper_config in
+  Alcotest.(check int) "l1" (32 * 1024) c.l1_size;
+  Alcotest.(check int) "llc assoc" 20 c.llc_assoc;
+  ignore (Hierarchy.create ~config:c ())
+
+let test_cycles_compute_only () =
+  let est =
+    Cycles.estimate ~instructions:4000
+      { refs = 0; l1_misses = 0; llc_misses = 0; l1_tlb_misses = 0; l2_tlb_misses = 0; writebacks = 0 }
+  in
+  Alcotest.(check (float 1e-9)) "width-4 issue" 1000. est.total_cycles;
+  Alcotest.(check (float 1e-9)) "no stalls" 0. est.backend_stall_pct
+
+let test_cycles_memory_monotone () =
+  let base =
+    Cycles.estimate ~instructions:1000
+      { refs = 100; l1_misses = 10; llc_misses = 0; l1_tlb_misses = 0; l2_tlb_misses = 0; writebacks = 0 }
+  in
+  let worse =
+    Cycles.estimate ~instructions:1000
+      { refs = 100; l1_misses = 10; llc_misses = 10; l1_tlb_misses = 0; l2_tlb_misses = 0; writebacks = 0 }
+  in
+  Alcotest.(check bool) "dram misses cost more" true
+    (worse.total_cycles > base.total_cycles);
+  Alcotest.(check bool) "stall pct grows" true
+    (worse.backend_stall_pct > base.backend_stall_pct)
+
+let test_time_seconds () =
+  let est =
+    Cycles.estimate ~instructions:12_000_000_000
+      { refs = 0; l1_misses = 0; llc_misses = 0; l1_tlb_misses = 0; l2_tlb_misses = 0; writebacks = 0 }
+  in
+  Alcotest.(check (float 1e-6)) "3 GHz" 1.0 (Cycles.time_seconds est)
+
+let test_heatmap () =
+  let h = Heatmap.create ~time_buckets:10 ~addr_buckets:5 () in
+  Alcotest.(check int) "empty footprint" 0 (Heatmap.footprint_bytes h);
+  Heatmap.record h ~time:0 ~addr:1000;
+  Heatmap.record h ~time:50 ~addr:9000;
+  Alcotest.(check int) "footprint" 8000 (Heatmap.footprint_bytes h);
+  Alcotest.(check int) "samples" 2 (Heatmap.samples h);
+  let s = Heatmap.render h in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_heatmap_thinning () =
+  let h = Heatmap.create ~time_buckets:4 ~addr_buckets:4 () in
+  for i = 0 to 500_000 do
+    Heatmap.record h ~time:i ~addr:(i mod 1000)
+  done;
+  Alcotest.(check int) "all samples counted" 500_001 (Heatmap.samples h);
+  ignore (Heatmap.render h)
+
+let suite =
+  [ ( "cachesim",
+      [ Alcotest.test_case "geometry" `Quick test_geometry;
+        Alcotest.test_case "invalid geometry" `Quick test_geometry_invalid;
+        Alcotest.test_case "miss then hit" `Quick test_cold_miss_then_hit;
+        Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "capacity" `Quick test_capacity;
+        Alcotest.test_case "writebacks" `Quick test_writebacks;
+        Alcotest.test_case "flush" `Quick test_flush;
+        Alcotest.test_case "tlb constructor" `Quick test_tlb_constructor;
+        Alcotest.test_case "hierarchy counters" `Quick test_hierarchy_counters;
+        Alcotest.test_case "paper config" `Quick test_paper_config_geometry;
+        Alcotest.test_case "cycles compute only" `Quick test_cycles_compute_only;
+        Alcotest.test_case "cycles memory monotone" `Quick test_cycles_memory_monotone;
+        Alcotest.test_case "time seconds" `Quick test_time_seconds;
+        Alcotest.test_case "heatmap" `Quick test_heatmap;
+        Alcotest.test_case "heatmap thinning" `Quick test_heatmap_thinning ] ) ]

@@ -1,0 +1,137 @@
+(* Deeper tests of the detection machinery: n-gram floors, stream caps,
+   and the instrumentation size model's pattern-dependent table costs. *)
+
+module D = Prefix_hds.Detector
+module Hds = Prefix_hds.Hds
+module B = Prefix_workloads.Builder
+module Instrument = Prefix_core.Instrument
+module Context = Prefix_core.Context
+module Plan = Prefix_core.Plan
+
+(* A fixed chain consulted from an otherwise random scan — the shape the
+   n-gram miner exists for (no autocorrelation period). *)
+let chain_in_noise ~chain_visits ~noise () =
+  let b = B.create ~seed:13 () in
+  let chain = List.init 3 (fun _ -> B.alloc b ~site:1 32) in
+  let pool = Array.init 64 (fun _ -> B.alloc b ~site:2 32) in
+  let rng = Prefix_util.Rng.create 5 in
+  for _ = 1 to noise do
+    (* random pool accesses, frequent enough to make the pool hot *)
+    for _ = 1 to 8 do
+      B.access b (Prefix_util.Rng.choose rng pool) 0
+    done;
+    ignore chain_visits
+  done;
+  for _ = 1 to chain_visits do
+    for _ = 1 to 6 do
+      B.access b (Prefix_util.Rng.choose rng pool) 0
+    done;
+    List.iter (fun o -> B.access b o 0) chain
+  done;
+  (B.trace b, chain)
+
+let test_ngram_finds_chain_in_noise () =
+  let trace, chain = chain_in_noise ~chain_visits:40 ~noise:40 () in
+  let ohds = D.detect trace in
+  Alcotest.(check bool) "chain found" true
+    (List.exists
+       (fun h -> List.for_all (fun o -> Hds.mem o h) chain)
+       ohds)
+
+let test_ngram_floor_suppresses_rare () =
+  (* Four visits sit below the default floor of six. *)
+  let trace, chain = chain_in_noise ~chain_visits:4 ~noise:60 () in
+  let ohds = D.detect trace in
+  Alcotest.(check bool) "rare chain suppressed" true
+    (not
+       (List.exists
+          (fun h -> List.for_all (fun o -> Hds.mem o h) chain)
+          ohds))
+
+let test_stream_length_cap () =
+  (* A long periodic traversal: every detected stream respects the cap. *)
+  let b = B.create ~seed:14 () in
+  let objs = List.init 200 (fun _ -> B.alloc b ~site:1 32) in
+  for _ = 1 to 30 do
+    List.iter (fun o -> B.access b o 0) objs
+  done;
+  let config = { D.default_config with max_stream_len = 8 } in
+  let ohds = D.detect ~config (B.trace b) in
+  Alcotest.(check bool) "found something" true (ohds <> []);
+  List.iter
+    (fun h -> Alcotest.(check bool) "capped" true (Hds.cardinal h <= 8))
+    ohds
+
+let test_max_streams_cap () =
+  let b = B.create ~seed:15 () in
+  (* many independent pairs, all recurring *)
+  let pairs =
+    List.init 30 (fun _ -> (B.alloc b ~site:1 32, B.alloc b ~site:1 32))
+  in
+  for _ = 1 to 20 do
+    List.iter
+      (fun (x, y) ->
+        B.access b x 0;
+        B.access b y 0)
+      pairs
+  done;
+  let config = { D.default_config with max_streams = 5 } in
+  let ohds = D.detect ~config (B.trace b) in
+  Alcotest.(check bool) "at most 5" true (List.length ohds <= 5)
+
+let test_ohds_sorted_by_refs () =
+  let trace, _ = chain_in_noise ~chain_visits:40 ~noise:40 () in
+  let ohds = D.detect trace in
+  let refs = List.map Hds.refs ohds in
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) refs) refs
+
+(* ---- Instrument: pattern-dependent table bytes ---- *)
+
+let plan_with_counter cp =
+  { Plan.variant = Plan.Hot;
+    slots = List.init 100 (fun i -> { Prefix_core.Offsets.offset = i * 64; size = 64 });
+    region_bytes = 6400;
+    site_counter = [ (1, 0) ];
+    counters = [ cp ];
+    placed_objects = [];
+    profile =
+      { hot_count = 0; hds_count = 0; heap_access_share = 0.; ohds_count = 0; rhds_count = 0 } }
+
+let added cp =
+  Instrument.added_bytes ~plan:(plan_with_counter cp) ~free_sites:0 ~realloc_sites:0 ()
+
+let test_instrument_tables_fixed_only () =
+  let fixed =
+    { Plan.counter = 0; counter_sites = [ 1 ]; pattern = Context.Fixed (List.init 100 (fun i -> i + 1));
+      placements = List.init 100 (fun i -> (i + 1, i)); recycle = None; required_ctx = None }
+  in
+  let all =
+    { fixed with pattern = Context.All { upto = Some 100 } }
+  in
+  (* An arithmetic pattern with the same placement count embeds no big
+     table: offsets are computed, not looked up. *)
+  Alcotest.(check bool) "fixed pattern pays for its table" true (added fixed > added all + 500)
+
+let test_instrument_recycle_flat () =
+  let recycled =
+    { Plan.counter = 0; counter_sites = [ 1 ]; pattern = Context.All { upto = None };
+      placements = []; recycle = Some { first_slot = 0; n_slots = 100; slot_bytes = 64 };
+      required_ctx = None }
+  in
+  let small =
+    { recycled with recycle = Some { first_slot = 0; n_slots = 2; slot_bytes = 64 } }
+  in
+  Alcotest.(check int) "recycling cost independent of N" (added small) (added recycled)
+
+let suite =
+  [ ( "detector-internals",
+      [ Alcotest.test_case "ngram finds chain in noise" `Quick test_ngram_finds_chain_in_noise;
+        Alcotest.test_case "ngram floor suppresses rare" `Quick
+          test_ngram_floor_suppresses_rare;
+        Alcotest.test_case "stream length cap" `Quick test_stream_length_cap;
+        Alcotest.test_case "max streams cap" `Quick test_max_streams_cap;
+        Alcotest.test_case "ohds sorted" `Quick test_ohds_sorted_by_refs ] );
+    ( "instrument",
+      [ Alcotest.test_case "tables for fixed patterns only" `Quick
+          test_instrument_tables_fixed_only;
+        Alcotest.test_case "recycle cost flat" `Quick test_instrument_recycle_flat ] ) ]

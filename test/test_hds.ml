@@ -1,0 +1,214 @@
+(* Tests for Prefix_hds: Hds, Lcs, Sequitur, Detector. *)
+
+module Hds = Prefix_hds.Hds
+module Lcs = Prefix_hds.Lcs
+module Sequitur = Prefix_hds.Sequitur
+module Detector = Prefix_hds.Detector
+
+(* ---- Hds ---- *)
+
+let test_hds_dedup () =
+  let h = Hds.make ~objs:[ 1; 2; 1; 3; 2 ] ~refs:10 in
+  Alcotest.(check (list int)) "order preserved, dups dropped" [ 1; 2; 3 ] (Hds.objs h);
+  Alcotest.(check int) "cardinal" 3 (Hds.cardinal h)
+
+let test_hds_set_ops () =
+  let a = Hds.make ~objs:[ 1; 2; 3 ] ~refs:5 in
+  let b = Hds.make ~objs:[ 3; 4 ] ~refs:2 in
+  let module IS = Set.Make (Int) in
+  Alcotest.(check (list int)) "inter" [ 3 ] (IS.elements (Hds.inter a b));
+  Alcotest.(check (list int)) "diff keeps order" [ 1; 2 ]
+    (Hds.diff_objs a (Hds.obj_set b))
+
+let test_hds_concat () =
+  let a = Hds.make ~objs:[ 1; 2 ] ~refs:5 in
+  let c = Hds.concat a [ 2; 3; 4 ] in
+  Alcotest.(check (list int)) "appends new only" [ 1; 2; 3; 4 ] (Hds.objs c);
+  Alcotest.(check int) "keeps refs" 5 (Hds.refs c)
+
+let test_hds_compare () =
+  let a = Hds.make ~objs:[ 1 ] ~refs:5 and b = Hds.make ~objs:[ 2 ] ~refs:9 in
+  Alcotest.(check bool) "descending by refs" true (Hds.compare_by_refs b a < 0)
+
+(* ---- Lcs ---- *)
+
+let test_lcs_classic () =
+  let a = [| 1; 3; 5; 9; 10; 11 |] and b = [| 1; 4; 5; 10; 11 |] in
+  Alcotest.(check (array int)) "lcs" [| 1; 5; 10; 11 |] (Lcs.lcs a b)
+
+let test_lcs_empty () =
+  Alcotest.(check int) "empty" 0 (Lcs.length [||] [| 1; 2 |]);
+  Alcotest.(check (Alcotest.float 1e-9)) "similarity 0" 0. (Lcs.similarity [||] [| 1 |])
+
+let test_lcs_identical () =
+  let a = Array.init 20 Fun.id in
+  Alcotest.(check int) "full" 20 (Lcs.length a a);
+  Alcotest.(check (Alcotest.float 1e-9)) "similarity 1" 1. (Lcs.similarity a a)
+
+let test_split_runs () =
+  (* Positions: two tight clusters separated by a big gap in `a`. *)
+  let matches = [ (10, 0, 0); (11, 1, 2); (12, 2, 3); (13, 40, 4); (14, 41, 5) ] in
+  let runs = Lcs.split_runs ~max_gap:4 matches in
+  Alcotest.(check int) "two runs" 2 (List.length runs);
+  Alcotest.(check (list int)) "first" [ 10; 11; 12 ] (List.nth runs 0);
+  Alcotest.(check (list int)) "second" [ 13; 14 ] (List.nth runs 1)
+
+let prop_lcs_is_common_subsequence =
+  let is_subseq sub arr =
+    let n = Array.length arr in
+    let i = ref 0 in
+    Array.for_all
+      (fun x ->
+        let rec find () = if !i >= n then false else if arr.(!i) = x then (incr i; true) else (incr i; find ()) in
+        find ())
+      sub
+  in
+  QCheck.Test.make ~name:"lcs is a subsequence of both inputs" ~count:300
+    QCheck.(pair (array_of_size Gen.(int_range 0 30) (int_bound 5))
+              (array_of_size Gen.(int_range 0 30) (int_bound 5)))
+    (fun (a, b) ->
+      let l = Lcs.lcs a b in
+      is_subseq l a && is_subseq l b && Array.length l = Lcs.length a b)
+
+let prop_lcs_length_bounds =
+  QCheck.Test.make ~name:"lcs length bounded by inputs" ~count:300
+    QCheck.(pair (array_of_size Gen.(int_range 0 40) (int_bound 8))
+              (array_of_size Gen.(int_range 0 40) (int_bound 8)))
+    (fun (a, b) ->
+      let l = Lcs.length a b in
+      l <= Array.length a && l <= Array.length b && l >= 0)
+
+(* ---- Sequitur ---- *)
+
+let test_sequitur_roundtrip () =
+  let inputs =
+    [ [| 1; 2; 1; 2; 1; 2; 1; 2 |]; [| 1; 1; 1; 1; 1 |]; [| 1; 2; 3; 1; 2; 3; 4; 1; 2; 3 |];
+      [||]; [| 7 |] ]
+  in
+  List.iter
+    (fun seq ->
+      let g = Sequitur.build seq in
+      Alcotest.(check (array int)) "expansion equals input" seq (Sequitur.expand_start g))
+    inputs
+
+let test_sequitur_finds_repeat () =
+  let g = Sequitur.build [| 1; 2; 3; 1; 2; 3; 4; 1; 2; 3 |] in
+  let rules = Sequitur.rules g in
+  Alcotest.(check bool) "found the 123 phrase" true
+    (List.exists (fun (exp_, usage) -> exp_ = [| 1; 2; 3 |] && usage = 3) rules)
+
+let test_sequitur_rule_utility () =
+  let g = Sequitur.build [| 5; 6; 5; 6; 5; 6 |] in
+  List.iter
+    (fun (_, usage) -> Alcotest.(check bool) "usage >= 2" true (usage >= 2))
+    (Sequitur.rules g)
+
+let prop_sequitur_roundtrip =
+  QCheck.Test.make ~name:"sequitur expansion reproduces input" ~count:300
+    QCheck.(array_of_size Gen.(int_range 0 200) (int_bound 6))
+    (fun seq ->
+      let g = Sequitur.build seq in
+      Sequitur.expand_start g = seq && Sequitur.check_digram_uniqueness g)
+
+(* ---- Detector ---- *)
+
+module B = Prefix_workloads.Builder
+
+(* A trace with a clear 3-object stream visited in the same order over
+   many iterations, plus interleaved cold noise. *)
+let stream_trace () =
+  let b = B.create ~seed:1 () in
+  let hot = List.init 3 (fun _ -> B.alloc b ~site:1 32) in
+  let cold = List.init 4 (fun _ -> B.alloc b ~site:9 64) in
+  for _ = 1 to 200 do
+    List.iter (fun o -> B.access b o 0) hot;
+    List.iter (fun o -> B.access b o 0) cold
+  done;
+  B.trace b
+
+let test_detector_finds_stream () =
+  let trace = stream_trace () in
+  let ohds = Detector.detect trace in
+  Alcotest.(check bool) "found streams" true (List.length ohds > 0);
+  let top = List.hd ohds in
+  Alcotest.(check bool) "top stream has the hot objects" true (Hds.cardinal top >= 2)
+
+let test_detector_methods_agree () =
+  let trace = stream_trace () in
+  let objs m =
+    Detector.detect ~method_:m trace
+    |> List.concat_map Hds.objs |> List.sort_uniq compare
+  in
+  let lcs = objs Detector.Lcs and seqr = objs Detector.Sequitur in
+  (* §3.1: LCS is as effective as Sequitur — on a clean stream both find
+     the same hot objects. *)
+  Alcotest.(check bool) "both found something" true (lcs <> [] && seqr <> []);
+  Alcotest.(check bool) "substantial overlap" true
+    (List.exists (fun o -> List.mem o seqr) lcs)
+
+let test_hot_sequence_collapses () =
+  let b = B.create ~seed:2 () in
+  let o = B.alloc b ~site:1 64 in
+  let p = B.alloc b ~site:1 64 in
+  for _ = 1 to 10 do
+    B.access b o 0;
+    B.access b o 16;
+    (* consecutive same-object accesses collapse *)
+    B.access b p 0
+  done;
+  let trace = B.trace b in
+  let stats = Prefix_trace.Trace_stats.analyze trace in
+  let seq = Detector.hot_sequence stats trace in
+  Alcotest.(check int) "collapsed" 20 (Array.length seq)
+
+let test_dominant_periods () =
+  (* A strict period-5 sequence. *)
+  let seq = Array.init 200 (fun i -> i mod 5) in
+  match Detector.dominant_periods seq with
+  | p :: _ -> Alcotest.(check int) "period 5" 5 p
+  | [] -> Alcotest.fail "no period found"
+
+let test_dominant_periods_random () =
+  let rng = Prefix_util.Rng.create 99 in
+  let seq = Array.init 500 (fun _ -> Prefix_util.Rng.int rng 100000) in
+  Alcotest.(check (list int)) "no spurious period" [] (Detector.dominant_periods seq)
+
+let test_detector_no_streams_in_churn () =
+  (* Transient objects never recur: no streams should be detected. *)
+  let b = B.create ~seed:3 () in
+  for _ = 1 to 300 do
+    let o = B.alloc b ~site:1 32 in
+    B.access b o 0;
+    B.access b o 16;
+    B.access b o 0;
+    B.access b o 16;
+    B.free b o
+  done;
+  let ohds = Detector.detect (B.trace b) in
+  Alcotest.(check int) "no streams" 0 (List.length ohds)
+
+let suite =
+  [ ( "hds",
+      [ Alcotest.test_case "dedup" `Quick test_hds_dedup;
+        Alcotest.test_case "set ops" `Quick test_hds_set_ops;
+        Alcotest.test_case "concat" `Quick test_hds_concat;
+        Alcotest.test_case "compare" `Quick test_hds_compare ] );
+    ( "lcs",
+      [ Alcotest.test_case "classic" `Quick test_lcs_classic;
+        Alcotest.test_case "empty" `Quick test_lcs_empty;
+        Alcotest.test_case "identical" `Quick test_lcs_identical;
+        Alcotest.test_case "split runs" `Quick test_split_runs;
+        QCheck_alcotest.to_alcotest prop_lcs_is_common_subsequence;
+        QCheck_alcotest.to_alcotest prop_lcs_length_bounds ] );
+    ( "sequitur",
+      [ Alcotest.test_case "roundtrip" `Quick test_sequitur_roundtrip;
+        Alcotest.test_case "finds repeat" `Quick test_sequitur_finds_repeat;
+        Alcotest.test_case "rule utility" `Quick test_sequitur_rule_utility;
+        QCheck_alcotest.to_alcotest prop_sequitur_roundtrip ] );
+    ( "detector",
+      [ Alcotest.test_case "finds stream" `Quick test_detector_finds_stream;
+        Alcotest.test_case "methods agree" `Quick test_detector_methods_agree;
+        Alcotest.test_case "hot sequence collapses" `Quick test_hot_sequence_collapses;
+        Alcotest.test_case "dominant periods" `Quick test_dominant_periods;
+        Alcotest.test_case "no period in noise" `Quick test_dominant_periods_random;
+        Alcotest.test_case "no streams in churn" `Quick test_detector_no_streams_in_churn ] ) ]

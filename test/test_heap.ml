@@ -1,0 +1,231 @@
+(* Tests for Prefix_heap: Allocator and Arena. *)
+
+open Prefix_heap
+
+let check_ok a =
+  match Allocator.check_invariants a with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_malloc_basics () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 10 in
+  Alcotest.(check bool) "allocated" true (Allocator.is_allocated a p);
+  Alcotest.(check (option int)) "rounded to granule" (Some 16) (Allocator.block_size a p);
+  Alcotest.(check int) "live bytes" 16 (Allocator.live_bytes a);
+  check_ok a
+
+let test_malloc_alignment () =
+  let a = Allocator.create () in
+  for i = 1 to 50 do
+    let p = Allocator.malloc a i in
+    Alcotest.(check int) "16-aligned" 0 (p mod Allocator.alignment)
+  done;
+  check_ok a
+
+let test_malloc_disjoint () =
+  let a = Allocator.create () in
+  let blocks = List.init 64 (fun i -> (Allocator.malloc a ((i mod 7 * 24) + 8), ())) in
+  let addrs = List.map fst blocks in
+  let sorted = List.sort compare addrs in
+  let rec disjoint = function
+    | x :: (y :: _ as rest) ->
+      (match Allocator.block_size a x with
+      | Some s -> Alcotest.(check bool) "no overlap" true (x + s <= y)
+      | None -> Alcotest.fail "lost block");
+      disjoint rest
+    | _ -> ()
+  in
+  disjoint sorted;
+  check_ok a
+
+let test_free_reuse () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 64 in
+  Allocator.free a p;
+  Alcotest.(check int) "live zero" 0 (Allocator.live_bytes a);
+  let q = Allocator.malloc a 64 in
+  Alcotest.(check int) "freed space reused" p q;
+  check_ok a
+
+let test_free_errors () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 64 in
+  Allocator.free a p;
+  Alcotest.check_raises "double free" (Invalid_argument "Allocator.free: address not allocated")
+    (fun () -> Allocator.free a p);
+  Alcotest.check_raises "wild free" (Invalid_argument "Allocator.free: address not allocated")
+    (fun () -> Allocator.free a 12345)
+
+let test_coalescing () =
+  let a = Allocator.create () in
+  let p1 = Allocator.malloc a 32 in
+  let p2 = Allocator.malloc a 32 in
+  let p3 = Allocator.malloc a 32 in
+  ignore p3;
+  Allocator.free a p1;
+  Allocator.free a p2;
+  check_ok a;
+  (* A request the size of both coalesced blocks must fit at p1. *)
+  let q = Allocator.malloc a 64 in
+  Alcotest.(check int) "coalesced" p1 q;
+  check_ok a
+
+let test_best_fit () =
+  let a = Allocator.create () in
+  let small = Allocator.malloc a 32 in
+  let sep1 = Allocator.malloc a 16 in
+  let big = Allocator.malloc a 128 in
+  let sep2 = Allocator.malloc a 16 in
+  ignore sep1;
+  ignore sep2;
+  Allocator.free a small;
+  Allocator.free a big;
+  (* A 32-byte request should take the 32-byte hole, not split the 128. *)
+  let q = Allocator.malloc a 32 in
+  Alcotest.(check int) "best fit" small q;
+  check_ok a
+
+let test_realloc_in_place () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 64 in
+  Alcotest.(check int) "shrink stays" p (Allocator.realloc a p 32);
+  Alcotest.(check int) "grow within rounding stays" p (Allocator.realloc a p 64);
+  check_ok a
+
+let test_realloc_move () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 32 in
+  let _wall = Allocator.malloc a 32 in
+  let q = Allocator.realloc a p 256 in
+  Alcotest.(check bool) "moved" true (q <> p);
+  Alcotest.(check bool) "old freed" false (Allocator.is_allocated a p);
+  Alcotest.(check (option int)) "new size" (Some 256) (Allocator.block_size a q);
+  check_ok a
+
+let test_peak_tracking () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 1000 in
+  Allocator.free a p;
+  ignore (Allocator.malloc a 10);
+  Alcotest.(check int) "peak is high-water mark" 1008 (Allocator.peak_bytes a)
+
+let test_counters () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 8 in
+  let p = Allocator.realloc a p 512 in
+  Allocator.free a p;
+  Alcotest.(check int) "mallocs" 1 (Allocator.malloc_calls a);
+  Alcotest.(check int) "frees" 1 (Allocator.free_calls a);
+  Alcotest.(check int) "reallocs" 1 (Allocator.realloc_calls a)
+
+(* Random operation sequences preserve all invariants. *)
+let prop_random_ops =
+  QCheck.Test.make ~name:"allocator invariants under random ops" ~count:60
+    QCheck.(pair small_int (list_of_size Gen.(int_range 1 200) (int_range 0 99)))
+    (fun (seed, ops) ->
+      let a = Allocator.create () in
+      let rng = Prefix_util.Rng.create seed in
+      let live = ref [] in
+      List.iter
+        (fun op ->
+          if op < 60 || !live = [] then begin
+            let size = 1 + Prefix_util.Rng.int rng 300 in
+            live := Allocator.malloc a size :: !live
+          end
+          else if op < 90 then begin
+            let i = Prefix_util.Rng.int rng (List.length !live) in
+            let p = List.nth !live i in
+            Allocator.free a p;
+            live := List.filteri (fun j _ -> j <> i) !live
+          end
+          else begin
+            let i = Prefix_util.Rng.int rng (List.length !live) in
+            let p = List.nth !live i in
+            let q = Allocator.realloc a p (1 + Prefix_util.Rng.int rng 400) in
+            live := List.mapi (fun j x -> if j = i then q else x) !live
+          end)
+        ops;
+      Allocator.check_invariants a = Ok ())
+
+(* ---- Arena ---- *)
+
+let slots l = List.map (fun (o, s) -> { Arena.slot_offset = o; slot_size = s }) l
+
+let test_arena_geometry () =
+  let a = Allocator.create () in
+  let ar = Arena.create a (slots [ (0, 64); (64, 32); (96, 128) ]) in
+  Alcotest.(check int) "slots" 3 (Arena.num_slots ar);
+  Alcotest.(check int) "size" 224 (Arena.size ar);
+  Alcotest.(check int) "slot addr" (Arena.base ar + 64) (Arena.slot_addr ar 1);
+  Alcotest.(check int) "slot size" 128 (Arena.slot_size ar 2)
+
+let test_arena_overlap_rejected () =
+  let a = Allocator.create () in
+  Alcotest.check_raises "overlap" (Invalid_argument "Arena.create: overlapping slots")
+    (fun () -> ignore (Arena.create a (slots [ (0, 64); (32, 32) ])))
+
+let test_arena_contains () =
+  let a = Allocator.create () in
+  let ar = Arena.create a (slots [ (0, 64); (64, 32) ]) in
+  Alcotest.(check bool) "inside" true (Arena.contains ar (Arena.base ar + 50));
+  Alcotest.(check bool) "past end" false (Arena.contains ar (Arena.base ar + 96));
+  Alcotest.(check bool) "before" false (Arena.contains ar (Arena.base ar - 1))
+
+let test_arena_slot_of_addr () =
+  let a = Allocator.create () in
+  let ar = Arena.create a (slots [ (0, 64); (64, 32); (112, 16) ]) in
+  let base = Arena.base ar in
+  Alcotest.(check (option int)) "first" (Some 0) (Arena.slot_of_addr ar base);
+  Alcotest.(check (option int)) "second" (Some 1) (Arena.slot_of_addr ar (base + 80));
+  Alcotest.(check (option int)) "gap" None (Arena.slot_of_addr ar (base + 100));
+  Alcotest.(check (option int)) "third" (Some 2) (Arena.slot_of_addr ar (base + 112))
+
+let test_arena_occupancy () =
+  let a = Allocator.create () in
+  let ar = Arena.create a (slots [ (0, 64) ]) in
+  Alcotest.(check bool) "starts free" true (Arena.is_free ar 0);
+  Arena.occupy ar 0;
+  Alcotest.(check int) "live" 1 (Arena.live_slots ar);
+  Alcotest.check_raises "double occupy" (Invalid_argument "Arena.occupy: slot already live")
+    (fun () -> Arena.occupy ar 0);
+  Arena.release ar 0;
+  Alcotest.check_raises "double release" (Invalid_argument "Arena.release: slot already free")
+    (fun () -> Arena.release ar 0)
+
+let test_arena_empty () =
+  let a = Allocator.create () in
+  let ar = Arena.create a [] in
+  Alcotest.(check bool) "contains nothing" false (Arena.contains ar 0);
+  Arena.dispose ar a (* must be a no-op *)
+
+let test_arena_dispose () =
+  let a = Allocator.create () in
+  let before = Allocator.live_bytes a in
+  let ar = Arena.create a (slots [ (0, 1024) ]) in
+  Alcotest.(check bool) "reserved" true (Allocator.live_bytes a > before);
+  Arena.dispose ar a;
+  Alcotest.(check int) "returned" before (Allocator.live_bytes a)
+
+let suite =
+  [ ( "allocator",
+      [ Alcotest.test_case "malloc basics" `Quick test_malloc_basics;
+        Alcotest.test_case "alignment" `Quick test_malloc_alignment;
+        Alcotest.test_case "disjoint blocks" `Quick test_malloc_disjoint;
+        Alcotest.test_case "free + reuse" `Quick test_free_reuse;
+        Alcotest.test_case "free errors" `Quick test_free_errors;
+        Alcotest.test_case "coalescing" `Quick test_coalescing;
+        Alcotest.test_case "best fit" `Quick test_best_fit;
+        Alcotest.test_case "realloc in place" `Quick test_realloc_in_place;
+        Alcotest.test_case "realloc move" `Quick test_realloc_move;
+        Alcotest.test_case "peak tracking" `Quick test_peak_tracking;
+        Alcotest.test_case "call counters" `Quick test_counters;
+        QCheck_alcotest.to_alcotest prop_random_ops ] );
+    ( "arena",
+      [ Alcotest.test_case "geometry" `Quick test_arena_geometry;
+        Alcotest.test_case "overlap rejected" `Quick test_arena_overlap_rejected;
+        Alcotest.test_case "contains" `Quick test_arena_contains;
+        Alcotest.test_case "slot_of_addr" `Quick test_arena_slot_of_addr;
+        Alcotest.test_case "occupancy" `Quick test_arena_occupancy;
+        Alcotest.test_case "empty arena" `Quick test_arena_empty;
+        Alcotest.test_case "dispose" `Quick test_arena_dispose ] ) ]

@@ -1,0 +1,81 @@
+(* Tests for the workload Patterns helpers. *)
+
+module B = Prefix_workloads.Builder
+module Patterns = Prefix_workloads.Patterns
+module Trace = Prefix_trace.Trace
+module Event = Prefix_trace.Event
+
+let count_accesses b = Trace.num_accesses (B.trace b)
+
+let test_sweep () =
+  let b = B.create () in
+  let o = B.alloc b ~site:1 256 in
+  Patterns.sweep b ~stride:64 o;
+  Alcotest.(check int) "256/64 touches" 4 (count_accesses b);
+  Patterns.sweep b o;
+  (* default stride 16: +16 touches *)
+  Alcotest.(check int) "default stride" 20 (count_accesses b)
+
+let test_sweep_write () =
+  let b = B.create () in
+  let o = B.alloc b ~site:1 64 in
+  Patterns.sweep b ~write:true ~stride:32 o;
+  let writes =
+    Trace.fold
+      (fun n e -> match (e : Event.t) with Access { write = true; _ } -> n + 1 | _ -> n)
+      0 (B.trace b)
+  in
+  Alcotest.(check int) "all writes" 2 writes
+
+let test_stream_sweep () =
+  let b = B.create () in
+  let objs = List.init 3 (fun _ -> B.alloc b ~site:1 64) in
+  Patterns.stream_sweep b ~rounds:2 objs;
+  (* 64/16 = 4 capped touches per visit, 3 objects, 2 rounds *)
+  Alcotest.(check int) "touches" 24 (count_accesses b);
+  (* tiny objects still get one touch *)
+  let b2 = B.create () in
+  let small = [ B.alloc b2 ~site:1 8 ] in
+  Patterns.stream_sweep b2 small;
+  Alcotest.(check int) "small object" 1 (count_accesses b2)
+
+let test_cold_block () =
+  let b = B.create () in
+  let objs = Patterns.cold_block b ~site:5 ~size:128 4 in
+  Alcotest.(check int) "four objects" 4 (List.length objs);
+  Alcotest.(check int) "one touch each" 4 (count_accesses b);
+  List.iter (fun o -> Alcotest.(check bool) "live" true (B.is_live b o)) objs
+
+let test_churn () =
+  let b = B.create () in
+  Patterns.churn b ~site:5 ~size:64 ~touches:3 5;
+  Alcotest.(check int) "touches" 15 (count_accesses b);
+  Alcotest.(check (list int)) "all freed" [] (B.live_objects b);
+  Alcotest.(check int) "valid" 0 (List.length (Trace.validate (B.trace b)))
+
+let test_scan_working_set () =
+  let b = B.create () in
+  let objs = List.init 2 (fun _ -> B.alloc b ~site:1 128) in
+  Patterns.scan_working_set b objs ~stride:64 ();
+  Alcotest.(check int) "2*2 touches" 4 (count_accesses b)
+
+let test_random_accesses () =
+  let b = B.create ~seed:5 () in
+  let objs = List.init 4 (fun _ -> B.alloc b ~site:1 256) in
+  Patterns.random_accesses b objs ~n:100;
+  Alcotest.(check int) "exactly n" 100 (count_accesses b);
+  Alcotest.(check int) "all valid" 0 (List.length (Trace.validate (B.trace b)));
+  (* empty object list: no accesses, no crash *)
+  let b2 = B.create () in
+  Patterns.random_accesses b2 [] ~n:10;
+  Alcotest.(check int) "empty" 0 (count_accesses b2)
+
+let suite =
+  [ ( "patterns",
+      [ Alcotest.test_case "sweep" `Quick test_sweep;
+        Alcotest.test_case "sweep write" `Quick test_sweep_write;
+        Alcotest.test_case "stream sweep" `Quick test_stream_sweep;
+        Alcotest.test_case "cold block" `Quick test_cold_block;
+        Alcotest.test_case "churn" `Quick test_churn;
+        Alcotest.test_case "scan working set" `Quick test_scan_working_set;
+        Alcotest.test_case "random accesses" `Quick test_random_accesses ] ) ]

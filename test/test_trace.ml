@@ -1,0 +1,200 @@
+(* Tests for Prefix_trace: Event, Trace, Trace_stats, Serialize. *)
+
+open Prefix_trace
+
+let al thread obj site size : Event.t = Alloc { obj; site; ctx = site; size; thread }
+let acc ?(write = false) ?(thread = 0) obj offset : Event.t =
+  Access { obj; offset; write; thread }
+let fr ?(thread = 0) obj : Event.t = Free { obj; thread }
+let re ?(thread = 0) obj new_size : Event.t = Realloc { obj; new_size; thread }
+let cp ?(thread = 0) instrs : Event.t = Compute { instrs; thread }
+
+let valid_trace () =
+  Trace.of_list
+    [ al 0 1 10 64; acc 1 0; acc 1 48; cp 100; al 0 2 11 32; acc 2 16; re 2 64; acc 2 48;
+      fr 1; fr 2 ]
+
+(* ---- Trace buffer ---- *)
+
+let test_add_get () =
+  let t = Trace.create ~capacity:2 () in
+  for i = 1 to 100 do
+    Trace.add t (cp i)
+  done;
+  Alcotest.(check int) "length" 100 (Trace.length t);
+  (match Trace.get t 41 with
+  | Compute { instrs; _ } -> Alcotest.(check int) "get" 42 instrs
+  | _ -> Alcotest.fail "wrong event");
+  Alcotest.check_raises "oob" (Invalid_argument "Trace.get: index out of bounds") (fun () ->
+      ignore (Trace.get t 100))
+
+let test_roundtrip_list () =
+  let t = valid_trace () in
+  Alcotest.(check int) "of_list/to_list" (Trace.length t)
+    (List.length (Trace.to_list t))
+
+let test_append_filter () =
+  let t = valid_trace () in
+  let doubled = Trace.append t t in
+  Alcotest.(check int) "append" (2 * Trace.length t) (Trace.length doubled);
+  let only_access = Trace.filter Event.is_heap_access t in
+  Alcotest.(check int) "filter" (Trace.num_accesses t) (Trace.length only_access)
+
+let test_counts () =
+  let t = valid_trace () in
+  Alcotest.(check int) "objects" 2 (Trace.num_objects t);
+  Alcotest.(check int) "accesses" 4 (Trace.num_accesses t);
+  Alcotest.(check int) "instructions" 104 (Trace.total_instructions t)
+
+(* ---- Validation ---- *)
+
+let violations es = List.length (Trace.validate (Trace.of_list es))
+
+let test_validate_ok () =
+  Alcotest.(check int) "no violations" 0 (violations (Trace.to_list (valid_trace ())))
+
+let test_validate_use_before_alloc () =
+  Alcotest.(check int) "catches" 1 (violations [ acc 5 0 ])
+
+let test_validate_double_alloc () =
+  Alcotest.(check int) "catches" 1 (violations [ al 0 1 1 32; al 0 1 2 32 ])
+
+let test_validate_double_free () =
+  Alcotest.(check int) "catches" 1 (violations [ al 0 1 1 32; fr 1; fr 1 ])
+
+let test_validate_use_after_free () =
+  Alcotest.(check int) "catches" 1 (violations [ al 0 1 1 32; fr 1; acc 1 0 ])
+
+let test_validate_oob_offset () =
+  Alcotest.(check int) "catches" 1 (violations [ al 0 1 1 32; acc 1 32 ]);
+  Alcotest.(check int) "boundary ok" 0 (violations [ al 0 1 1 32; acc 1 31 ])
+
+let test_validate_realloc_bounds () =
+  (* growing legitimizes larger offsets; shrinking invalidates them *)
+  Alcotest.(check int) "grow ok" 0 (violations [ al 0 1 1 32; re 1 64; acc 1 48 ]);
+  Alcotest.(check int) "shrink oob" 1 (violations [ al 0 1 1 64; re 1 32; acc 1 48 ])
+
+(* ---- Serialize ---- *)
+
+let test_serialize_roundtrip () =
+  let t = valid_trace () in
+  match Serialize.of_string (Serialize.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+    Alcotest.(check int) "length" (Trace.length t) (Trace.length t');
+    List.iter2
+      (fun a b ->
+        Alcotest.(check string) "event" (Event.to_string a) (Event.to_string b))
+      (Trace.to_list t) (Trace.to_list t')
+
+let test_serialize_comments () =
+  match Serialize.of_string "# comment\n\nC 5 0\n" with
+  | Ok t -> Alcotest.(check int) "one event" 1 (Trace.length t)
+  | Error e -> Alcotest.fail e
+
+let test_serialize_malformed () =
+  (match Serialize.of_string "X 1 2\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad tag");
+  match Serialize.of_string "A 1 x 3 4 5\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad int"
+
+let event_gen =
+  QCheck.Gen.(
+    oneof
+      [ map2 (fun o s -> al 0 o s 32) (int_range 1 50) (int_range 1 9);
+        map (fun i -> cp (i + 1)) (int_range 0 1000) ])
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize roundtrips arbitrary events" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 50) event_gen))
+    (fun es ->
+      (* Allocations may repeat ids; serialization does not care. *)
+      let t = Trace.of_list es in
+      match Serialize.of_string (Serialize.to_string t) with
+      | Ok t' -> Trace.to_list t' = es
+      | Error _ -> false)
+
+(* ---- Trace_stats ---- *)
+
+let stats_trace () =
+  Trace.of_list
+    [ al 0 1 10 64; al 0 2 10 32; al 0 3 11 32;
+      acc 1 0; acc 1 16; acc 1 32; acc 1 48; acc 2 0; acc 3 0; acc 3 16; acc 3 0;
+      acc 3 16; fr 2; al 0 4 10 128; acc 4 0; fr 1; fr 3; fr 4 ]
+
+let test_stats_objects () =
+  let s = Trace_stats.analyze (stats_trace ()) in
+  let o1 = Trace_stats.obj_info s 1 in
+  Alcotest.(check int) "accesses" 4 o1.accesses;
+  Alcotest.(check int) "site" 10 o1.site;
+  Alcotest.(check int) "instance" 1 o1.instance;
+  let o4 = Trace_stats.obj_info s 4 in
+  Alcotest.(check int) "instance of third site-10 alloc" 3 o4.instance;
+  Alcotest.(check bool) "freed" true (o1.free_index <> None)
+
+let test_stats_sites () =
+  let s = Trace_stats.analyze (stats_trace ()) in
+  let site10 = Trace_stats.site_info s 10 in
+  Alcotest.(check int) "alloc count" 3 site10.alloc_count;
+  Alcotest.(check (list int)) "site objects in order" [ 1; 2; 4 ] site10.site_objects;
+  Alcotest.(check int) "site accesses" 6 site10.site_accesses
+
+let test_stats_hot () =
+  let s = Trace_stats.analyze (stats_trace ()) in
+  let hot = Trace_stats.hot_objects ~coverage:0.9 ~min_accesses:4 s in
+  let ids = List.map (fun (o : Trace_stats.obj_info) -> o.obj) hot in
+  Alcotest.(check (list int)) "objects 1 and 3 are hot (4 accesses each)" [ 1; 3 ] ids
+
+let test_stats_hot_min_accesses () =
+  let s = Trace_stats.analyze (stats_trace ()) in
+  let hot = Trace_stats.hot_objects ~coverage:1.0 ~min_accesses:1 s in
+  Alcotest.(check int) "full coverage takes all accessed objects" 4 (List.length hot)
+
+let test_stats_max_live () =
+  let s = Trace_stats.analyze (stats_trace ()) in
+  Alcotest.(check int) "max simultaneous" 3 (Trace_stats.max_live_objects s)
+
+let test_stats_share () =
+  let s = Trace_stats.analyze (stats_trace ()) in
+  Alcotest.(check (Alcotest.float 1e-9)) "share of obj1" (4. /. 10.)
+    (Trace_stats.heap_access_share s [ 1 ]);
+  Alcotest.(check (Alcotest.float 1e-9)) "duplicates not double-counted" (4. /. 10.)
+    (Trace_stats.heap_access_share s [ 1; 1 ])
+
+let test_stats_lifetimes () =
+  let s = Trace_stats.analyze (stats_trace ()) in
+  Alcotest.(check bool) "1 and 2 overlap" true (Trace_stats.lifetimes_overlap s 1 2);
+  Alcotest.(check bool) "2 and 4 do not" false (Trace_stats.lifetimes_overlap s 2 4)
+
+let test_stats_max_live_site () =
+  let s = Trace_stats.analyze (stats_trace ()) in
+  Alcotest.(check int) "site 10 peak" 2 (Trace_stats.max_live_objects_of_site s 10)
+
+let suite =
+  [ ( "trace",
+      [ Alcotest.test_case "add/get" `Quick test_add_get;
+        Alcotest.test_case "of_list/to_list" `Quick test_roundtrip_list;
+        Alcotest.test_case "append/filter" `Quick test_append_filter;
+        Alcotest.test_case "counts" `Quick test_counts;
+        Alcotest.test_case "validate ok" `Quick test_validate_ok;
+        Alcotest.test_case "use before alloc" `Quick test_validate_use_before_alloc;
+        Alcotest.test_case "double alloc" `Quick test_validate_double_alloc;
+        Alcotest.test_case "double free" `Quick test_validate_double_free;
+        Alcotest.test_case "use after free" `Quick test_validate_use_after_free;
+        Alcotest.test_case "offset bounds" `Quick test_validate_oob_offset;
+        Alcotest.test_case "realloc bounds" `Quick test_validate_realloc_bounds;
+        Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
+        Alcotest.test_case "serialize comments" `Quick test_serialize_comments;
+        Alcotest.test_case "serialize malformed" `Quick test_serialize_malformed;
+        QCheck_alcotest.to_alcotest prop_serialize_roundtrip ] );
+    ( "trace-stats",
+      [ Alcotest.test_case "per-object info" `Quick test_stats_objects;
+        Alcotest.test_case "per-site info" `Quick test_stats_sites;
+        Alcotest.test_case "hot selection" `Quick test_stats_hot;
+        Alcotest.test_case "min accesses filter" `Quick test_stats_hot_min_accesses;
+        Alcotest.test_case "max live" `Quick test_stats_max_live;
+        Alcotest.test_case "access share" `Quick test_stats_share;
+        Alcotest.test_case "lifetimes overlap" `Quick test_stats_lifetimes;
+        Alcotest.test_case "max live per site" `Quick test_stats_max_live_site ] ) ]

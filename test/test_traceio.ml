@@ -1,0 +1,168 @@
+(* Tests for the trace pruner and the binary trace format. *)
+
+open Prefix_trace
+module B = Prefix_workloads.Builder
+
+(* ---- Pruner ---- *)
+
+let pruner_input () =
+  let b = B.create ~seed:21 () in
+  let hot = B.alloc b ~site:1 64 in
+  let cold = B.alloc b ~site:2 64 in
+  for _ = 1 to 50 do
+    (* a long same-object run on the hot object, one cold access *)
+    for k = 0 to 9 do
+      B.access b hot (k * 4 mod 64)
+    done;
+    B.access b cold 0
+  done;
+  B.free b hot;
+  B.free b cold;
+  (B.trace b, hot, cold)
+
+let test_prune_drops_cold_accesses () =
+  let trace, hot, _cold = pruner_input () in
+  let cfg = { Pruner.keep_objects = (fun o -> o = hot); max_run = max_int } in
+  let pruned = Pruner.prune cfg trace in
+  Trace.iter
+    (fun e ->
+      match (e : Event.t) with
+      | Access { obj; _ } -> Alcotest.(check int) "only hot accesses" hot obj
+      | _ -> ())
+    pruned;
+  (* All non-access events survive: 2 allocs + 2 frees. *)
+  let non_access =
+    Trace.fold (fun n e -> if Event.is_heap_access e then n else n + 1) 0 pruned
+  in
+  Alcotest.(check int) "alloc/free preserved" 4 non_access
+
+let test_prune_caps_runs () =
+  let trace, hot, _ = pruner_input () in
+  let cfg = { Pruner.keep_objects = (fun o -> o = hot); max_run = 3 } in
+  let pruned = Pruner.prune cfg trace in
+  (* Each 10-access run is capped at 3: 50 runs * 3 accesses. *)
+  Alcotest.(check int) "runs capped" 150 (Trace.num_accesses pruned)
+
+let test_prune_preserves_validity () =
+  let trace, hot, _ = pruner_input () in
+  let cfg = { Pruner.keep_objects = (fun o -> o = hot); max_run = 2 } in
+  let pruned = Pruner.prune cfg trace in
+  Alcotest.(check int) "valid" 0 (List.length (Trace.validate pruned))
+
+let test_prune_config_for_hot () =
+  let trace, hot, _ = pruner_input () in
+  let stats = Trace_stats.analyze trace in
+  let cfg = Pruner.config_for_hot stats in
+  Alcotest.(check bool) "hot kept" true (cfg.keep_objects hot);
+  let pruned = Pruner.prune cfg trace in
+  Alcotest.(check bool) "reduction positive" true
+    (Pruner.reduction ~before:trace ~after:pruned > 0.3)
+
+let test_prune_keeps_instance_numbering () =
+  (* Instance numbering over the pruned trace must match the original. *)
+  let trace, _, _ = pruner_input () in
+  let stats = Trace_stats.analyze trace in
+  let cfg = Pruner.config_for_hot stats in
+  let pruned = Pruner.prune cfg trace in
+  let s1 = Trace_stats.analyze trace and s2 = Trace_stats.analyze pruned in
+  List.iter
+    (fun (o : Trace_stats.obj_info) ->
+      let o' = Trace_stats.obj_info s2 o.obj in
+      Alcotest.(check int) "same instance" o.instance o'.instance;
+      Alcotest.(check int) "same site" o.site o'.site)
+    (Trace_stats.objects s1)
+
+(* ---- Binary format ---- *)
+
+let test_binfmt_roundtrip_workloads () =
+  List.iter
+    (fun name ->
+      let w = Prefix_workloads.Registry.find name in
+      let trace = w.generate ~scale:Prefix_workloads.Workload.Profiling ~seed:7 () in
+      match Binfmt.read (Binfmt.to_bytes trace) with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok trace' ->
+        Alcotest.(check int) (name ^ " length") (Trace.length trace) (Trace.length trace');
+        (* spot-check a few events *)
+        List.iter
+          (fun i ->
+            Alcotest.(check string) (name ^ " event")
+              (Event.to_string (Trace.get trace i))
+              (Event.to_string (Trace.get trace' i)))
+          [ 0; Trace.length trace / 2; Trace.length trace - 1 ])
+    [ "mcf"; "libc"; "swissmap" ]
+
+let test_binfmt_compact () =
+  let w = Prefix_workloads.Registry.find "libc" in
+  let trace = w.generate ~scale:Prefix_workloads.Workload.Profiling ~seed:7 () in
+  let binary = Bytes.length (Binfmt.to_bytes trace) in
+  let text = String.length (Serialize.to_string trace) in
+  Alcotest.(check bool)
+    (Printf.sprintf "binary (%d B) at most half of text (%d B)" binary text)
+    true
+    (binary * 2 < text)
+
+let test_binfmt_rejects_garbage () =
+  (match Binfmt.read (Bytes.of_string "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad magic");
+  (match Binfmt.read (Bytes.of_string "PFXT") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncation");
+  (* valid header claiming one event but no payload *)
+  let buf = Buffer.create 8 in
+  Buffer.add_string buf "PFXT\001\001";
+  match Binfmt.read (Buffer.to_bytes buf) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted missing event"
+
+let test_binfmt_file_io () =
+  let w = Prefix_workloads.Registry.find "mcf" in
+  let trace = w.generate ~scale:Prefix_workloads.Workload.Profiling ~seed:7 () in
+  let path = Filename.temp_file "prefix_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Binfmt.write_file path trace;
+      match Binfmt.read_file path with
+      | Ok t -> Alcotest.(check int) "roundtrip" (Trace.length trace) (Trace.length t)
+      | Error e -> Alcotest.fail e)
+
+let prop_binfmt_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 80)
+        (oneof
+           [ map3
+               (fun o s size -> Event.Alloc { obj = o; site = s; ctx = s; size = size + 1; thread = 0 })
+               (int_range 1 1000) (int_range 1 50) (int_range 0 5000);
+             map2
+               (fun o off -> Event.Access { obj = o; offset = off; write = off mod 2 = 0; thread = 0 })
+               (int_range 1 1000) (int_range 0 10_000);
+             map (fun o -> Event.Free { obj = o; thread = 0 }) (int_range 1 1000);
+             map2 (fun o s -> Event.Realloc { obj = o; new_size = s + 1; thread = 0 })
+               (int_range 1 1000) (int_range 0 5000);
+             map (fun n -> Event.Compute { instrs = n; thread = 0 }) (int_range 0 100_000) ]))
+  in
+  QCheck.Test.make ~name:"binfmt roundtrips arbitrary event lists" ~count:300
+    (QCheck.make gen)
+    (fun es ->
+      let t = Trace.of_list es in
+      match Binfmt.read (Binfmt.to_bytes t) with
+      | Ok t' -> Trace.to_list t' = es
+      | Error _ -> false)
+
+let suite =
+  [ ( "pruner",
+      [ Alcotest.test_case "drops cold accesses" `Quick test_prune_drops_cold_accesses;
+        Alcotest.test_case "caps runs" `Quick test_prune_caps_runs;
+        Alcotest.test_case "preserves validity" `Quick test_prune_preserves_validity;
+        Alcotest.test_case "config for hot" `Quick test_prune_config_for_hot;
+        Alcotest.test_case "keeps instance numbering" `Quick
+          test_prune_keeps_instance_numbering ] );
+    ( "binfmt",
+      [ Alcotest.test_case "roundtrips workload traces" `Quick test_binfmt_roundtrip_workloads;
+        Alcotest.test_case "compact vs text" `Quick test_binfmt_compact;
+        Alcotest.test_case "rejects garbage" `Quick test_binfmt_rejects_garbage;
+        Alcotest.test_case "file io" `Quick test_binfmt_file_io;
+        QCheck_alcotest.to_alcotest prop_binfmt_roundtrip ] ) ]

@@ -1,0 +1,189 @@
+(* Tests for Prefix_util: Rng, Stats, Tablefmt. *)
+
+open Prefix_util
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cf = Alcotest.(float 1e-9)
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.int a 1000 and xb = Rng.int b 1000 in
+  ignore xa;
+  ignore xb;
+  (* After split, advancing one stream must not affect the other. *)
+  let b' = Rng.copy b in
+  ignore (Rng.int a 1000);
+  check ci "split stream unaffected" (Rng.int b' 5) (Rng.int b 5)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_int_in () =
+  let r = Rng.create 9 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_geometric () =
+  let r = Rng.create 5 in
+  check ci "p=1 is always 0" 0 (Rng.geometric r 1.0);
+  let total = ref 0 in
+  for _ = 1 to 2000 do
+    total := !total + Rng.geometric r 0.5
+  done;
+  (* mean of Geom(0.5) failures = 1 *)
+  let mean = float_of_int !total /. 2000. in
+  Alcotest.(check bool) "mean near 1" true (mean > 0.8 && mean < 1.2)
+
+let test_rng_zipf_bounds () =
+  let r = Rng.create 6 in
+  for _ = 1 to 2000 do
+    let v = Rng.zipf r ~n:50 ~s:1.1 in
+    Alcotest.(check bool) "rank in range" true (v >= 0 && v < 50)
+  done
+
+let test_rng_zipf_skew () =
+  let r = Rng.create 8 in
+  let counts = Array.make 20 0 in
+  for _ = 1 to 5000 do
+    let v = Rng.zipf r ~n:20 ~s:1.2 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true
+    (counts.(0) > counts.(5) && counts.(0) > counts.(19))
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, l) ->
+      let arr = Array.of_list l in
+      let r = Rng.create seed in
+      Rng.shuffle r arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+(* ---- Stats ---- *)
+
+let test_mean () =
+  check cf "empty" 0. (Stats.mean []);
+  check cf "basic" 2. (Stats.mean [ 1.; 2.; 3. ])
+
+let test_geomean () =
+  check cf "pair" 2. (Stats.geomean [ 1.; 4. ])
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  check cf "p0" 1. (Stats.percentile 0. xs);
+  check cf "p50" 3. (Stats.percentile 50. xs);
+  check cf "p100" 5. (Stats.percentile 100. xs);
+  check cf "p25 interpolates" 2. (Stats.percentile 25. xs)
+
+let test_stddev () =
+  check cf "constant" 0. (Stats.stddev [ 2.; 2.; 2. ]);
+  check (Alcotest.float 1e-6) "known" 2. (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_pct_change () =
+  check cf "down" (-50.) (Stats.pct_change ~before:2. ~after:1.);
+  check cf "zero before" 0. (Stats.pct_change ~before:0. ~after:5.)
+
+let test_histogram () =
+  let h = Stats.histogram ~lo:0. ~hi:10. ~buckets:5 in
+  List.iter (Stats.hist_add h) [ 0.5; 1.5; 9.9; -3.; 42. ];
+  let counts = Stats.hist_counts h in
+  check ci "total" 5 (Stats.hist_total h);
+  check ci "first bucket: 0.5, 1.5 and the underflow" 3 counts.(0);
+  check ci "last bucket: 9.9 and the overflow" 2 counts.(4)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_inclusive 100.))
+    (fun xs ->
+      let p25 = Stats.percentile 25. xs and p75 = Stats.percentile 75. xs in
+      p25 <= p75 +. 1e-9)
+
+(* ---- Tablefmt ---- *)
+
+let test_table_render () =
+  let t = Tablefmt.create ~headers:[ "a"; "b" ] in
+  Tablefmt.add_row t [ "x"; "1" ];
+  Tablefmt.add_row t [ "longer" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "mentions header" true (String.length s > 0);
+  (* Every line has the same width. *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_too_many_cells () =
+  let t = Tablefmt.create ~headers:[ "a" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Tablefmt.add_row: too many cells")
+    (fun () -> Tablefmt.add_row t [ "1"; "2" ])
+
+let test_fmt_int () =
+  check Alcotest.string "thousands" "1,733,376" (Tablefmt.fmt_int 1_733_376);
+  check Alcotest.string "small" "42" (Tablefmt.fmt_int 42);
+  check Alcotest.string "negative" "-1,000" (Tablefmt.fmt_int (-1000))
+
+let test_fmt_pct () =
+  check Alcotest.string "signed" "+3.90%" (Tablefmt.fmt_pct 3.9);
+  check Alcotest.string "negative" "-21.70%" (Tablefmt.fmt_pct (-21.7))
+
+let suite =
+  [ ( "util",
+      [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+        Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "rng int invalid" `Quick test_rng_int_invalid;
+        Alcotest.test_case "rng int_in" `Quick test_rng_int_in;
+        Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "rng geometric" `Quick test_rng_geometric;
+        Alcotest.test_case "rng zipf bounds" `Quick test_rng_zipf_bounds;
+        Alcotest.test_case "rng zipf skew" `Quick test_rng_zipf_skew;
+        QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "geomean" `Quick test_geomean;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "pct_change" `Quick test_pct_change;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+        QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "table arity" `Quick test_table_too_many_cells;
+        Alcotest.test_case "fmt_int" `Quick test_fmt_int;
+        Alcotest.test_case "fmt_pct" `Quick test_fmt_pct ] ) ]

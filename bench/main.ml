@@ -51,7 +51,20 @@ let run_micro () =
           let h = Prefix_cachesim.Hierarchy.create ~config:Prefix_cachesim.Hierarchy.scaled_config () in
           for i = 0 to 4095 do
             Prefix_cachesim.Hierarchy.access h (i * 48)
-          done)) ]
+          done));
+      (* Observability must be free when off: these measure the
+         disabled-mode cost of the span and metric fast paths (a single
+         bool-ref check each). *)
+      Test.make ~name:"obs-span-off" (Staged.stage (fun () ->
+          for _ = 1 to 1024 do
+            ignore (Prefix_obs.Span.with_ "bench" (fun () -> ()))
+          done));
+      Test.make ~name:"obs-metric-off" (Staged.stage (
+          let c = Prefix_obs.Metric.counter "bench.counter" in
+          fun () ->
+            for _ = 1 to 1024 do
+              Prefix_obs.Metric.incr c
+            done)) ]
   in
   let benchmark test =
     let quota = Time.second 0.25 in

@@ -5,8 +5,14 @@
      trace <bench>             generate and dump a workload trace
      plan <bench>              show the PreFix plans for a benchmark
      run <bench>               replay a benchmark under all six policies
+     stats <bench>             replay and print span timings + metrics
      experiment <id>...        reproduce specific tables/figures
-     all                       reproduce everything *)
+     all                       reproduce everything
+
+   Observability: --log-level LEVEL turns on structured logging
+   (--verbose is shorthand for --log-level info), and --obs-out FILE
+   additionally collects spans/metrics and writes a Chrome trace-event
+   JSON loadable in chrome://tracing or https://ui.perfetto.dev. *)
 
 open Cmdliner
 
@@ -35,8 +41,59 @@ let seed_arg =
   Arg.(value & opt int 7 & info [ "seed" ] ~doc)
 
 let verbose_arg =
-  let doc = "Print progress to stderr." in
+  let doc = "Print progress to stderr (same as --log-level info)." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let log_level_arg =
+  let level_conv =
+    let parse s =
+      match Logs.level_of_string s with
+      | Ok l -> Ok l
+      | Error (`Msg m) -> Error (`Msg m)
+    in
+    Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Logs.level_to_string l))
+  in
+  let doc =
+    "Log verbosity: one of quiet, error, warning, info, debug.  Enables the \
+     stderr reporter for the prefix.* log sources."
+  in
+  Arg.(value & opt (some level_conv) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let obs_out_arg =
+  let doc =
+    "Collect observability spans and metrics during the command and write a \
+     Chrome trace-event JSON file to $(docv) (open in chrome://tracing or \
+     https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE" ~doc)
+
+(* Install the Logs reporter when asked; leave the default nop reporter
+   (complete silence) otherwise. *)
+let setup_logs log_level verbose =
+  match (log_level, verbose) with
+  | Some level, _ -> Prefix_obs.Log.setup ~level ()
+  | None, true -> Prefix_obs.Log.setup ~level:(Some Logs.Info) ()
+  | None, false -> ()
+
+(* Run [k] with span/metric collection on when a trace file was
+   requested, and write the trace afterwards.  The output path is
+   opened up front so a bad path fails before the (expensive) run, not
+   after it. *)
+let with_obs obs_out k =
+  match obs_out with
+  | None -> k ()
+  | Some file -> (
+    match open_out file with
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot write --obs-out file: %s\n" msg;
+      1
+    | oc ->
+      Prefix_obs.Control.set true;
+      let rc = k () in
+      output_string oc (Prefix_obs.Export.chrome_trace ());
+      close_out oc;
+      Printf.eprintf "chrome trace written to %s\n%!" file;
+      rc)
 
 let get_workload name =
   match List.find_opt (fun (w : Workload.t) -> w.name = name) Registry.all with
@@ -120,11 +177,12 @@ let plan_cmd =
 (* --- run *)
 
 let run_cmd =
-  let run name verbose =
+  let run name verbose log_level obs_out =
+    setup_logs log_level verbose;
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
-      Harness.verbose := verbose;
+      with_obs obs_out @@ fun () ->
       let r = Harness.find w.name in
       let line label (pr : Harness.policy_run) =
         Printf.printf "%-14s %12.0f cycles  %+7.2f%%  L1 %5.2f%%  LLC %7.4f%%  peak %s B\n"
@@ -143,7 +201,35 @@ let run_cmd =
       0
   in
   Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
-    Term.(const run $ bench_arg $ verbose_arg)
+    Term.(const run $ bench_arg $ verbose_arg $ log_level_arg $ obs_out_arg)
+
+(* --- stats *)
+
+let stats_cmd =
+  let run name verbose log_level obs_out =
+    setup_logs log_level verbose;
+    match get_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok w ->
+      (* Spans and metrics are the whole point of this command. *)
+      Prefix_obs.Control.set true;
+      Prefix_obs.Span.reset ();
+      Prefix_obs.Metric.reset ();
+      with_obs obs_out @@ fun () ->
+      let r = Harness.find w.name in
+      Printf.printf "%s: %d profiling events, %d long events, 6 policies replayed\n\n"
+        w.name
+        (Prefix_trace.Trace.length r.profiling_trace)
+        (Prefix_trace.Trace.length r.long_trace);
+      print_string (Prefix_obs.Export.report ());
+      0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Replay one benchmark with observability on and print the per-stage \
+          span timing table and the metrics report")
+    Term.(const run $ bench_arg $ verbose_arg $ log_level_arg $ obs_out_arg)
 
 (* --- experiment *)
 
@@ -151,8 +237,9 @@ let experiment_cmd =
   let ids =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
-  let run ids verbose =
-    Harness.verbose := verbose;
+  let run ids verbose log_level obs_out =
+    setup_logs log_level verbose;
+    with_obs obs_out @@ fun () ->
     List.fold_left
       (fun rc id ->
         match Report.find id with
@@ -163,7 +250,7 @@ let experiment_cmd =
       0 ids
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
-    Term.(const run $ ids $ verbose_arg)
+    Term.(const run $ ids $ verbose_arg $ log_level_arg $ obs_out_arg)
 
 (* --- hotspots *)
 
@@ -275,17 +362,17 @@ let validate_cmd =
 (* --- all *)
 
 let all_cmd =
-  let run verbose =
-    Harness.verbose := verbose;
+  let run verbose log_level =
+    setup_logs log_level verbose;
     print_string (Report.run_all ());
     0
   in
   Cmd.v (Cmd.info "all" ~doc:"Reproduce every table and figure")
-    Term.(const run $ verbose_arg)
+    Term.(const run $ verbose_arg $ log_level_arg)
 
 let () =
   let info =
     Cmd.info "prefix" ~version:"1.0.0"
       ~doc:"PreFix (CGO 2025) reproduction: profile-guided heap layout optimization"
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; all_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; stats_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; all_cmd ]))

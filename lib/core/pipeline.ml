@@ -2,6 +2,12 @@ module Trace = Prefix_trace.Trace
 module Trace_stats = Prefix_trace.Trace_stats
 module Detector = Prefix_hds.Detector
 module Hds = Prefix_hds.Hds
+module Span = Prefix_obs.Span
+module Log = (val Logs.src_log Prefix_obs.Log.pipeline)
+
+(* Every planning stage runs under a span so `prefix stats` / --obs-out
+   can show where pipeline time goes. *)
+let stage name f = Span.with_ ~cat:"pipeline" name f
 
 type config = {
   coverage : float;
@@ -56,13 +62,30 @@ let promoted_sites cfg stats hot_set =
          end)
 
 let plan_with_stats ?(config = default_config) ~variant stats trace =
+  Span.with_ ~cat:"pipeline"
+    ~args:[ ("variant", Plan.variant_name variant) ]
+    "pipeline"
+  @@ fun () ->
   let cfg = config in
-  let hot_infos = Trace_stats.hot_objects ~coverage:cfg.coverage stats in
-  let hot_set = Hashtbl.create (List.length hot_infos) in
-  List.iter (fun (o : Trace_stats.obj_info) -> Hashtbl.replace hot_set o.obj ()) hot_infos;
+  let hot_infos, hot_set =
+    stage "hot-selection" (fun () ->
+        let hot_infos = Trace_stats.hot_objects ~coverage:cfg.coverage stats in
+        let hot_set = Hashtbl.create (List.length hot_infos) in
+        List.iter
+          (fun (o : Trace_stats.obj_info) -> Hashtbl.replace hot_set o.obj ())
+          hot_infos;
+        (hot_infos, hot_set))
+  in
   (* HDS detection + reconstitution. *)
-  let ohds = Detector.detect_with_stats ~config:cfg.detector ~method_:cfg.method_ stats trace in
-  let layout = Layout.reconstitute ohds in
+  let ohds =
+    stage "hds-detection" (fun () ->
+        Detector.detect_with_stats ~config:cfg.detector ~method_:cfg.method_ stats trace)
+  in
+  let layout = stage "reconstitution" (fun () -> Layout.reconstitute ohds) in
+  Log.debug (fun m ->
+      m "%s: %d hot objects, %d OHDS, %d RHDS" (Plan.variant_name variant)
+        (List.length hot_infos) (List.length ohds)
+        (List.length layout.rhds));
   let hds_objs = List.concat_map Hds.objs layout.rhds in
   let hds_set = Hashtbl.create 64 in
   List.iter (fun o -> Hashtbl.replace hds_set o ()) hds_objs;
@@ -238,19 +261,28 @@ let plan_with_stats ?(config = default_config) ~variant stats trace =
     else direct_order
   in
   (* Offsets: direct placements first, then one block per recycled group. *)
-  let offsets = ref (Offsets.assign ~size_of direct_order) in
-  let recycle_blocks =
-    List.filter_map
-      (fun ((g : Counters.group), r) ->
-        match r with
-        | None -> None
-        | Some (d : Recycle.decision) ->
-          let off, first = Offsets.extend !offsets ~count:d.n_slots ~size:d.slot_bytes in
-          offsets := off;
-          Some (g.counter, { Plan.first_slot = first; n_slots = d.n_slots; slot_bytes = d.slot_bytes }))
-      group_recycle
+  let offsets, recycle_blocks =
+    stage "offset-assignment" (fun () ->
+        let offsets = ref (Offsets.assign ~size_of direct_order) in
+        let recycle_blocks =
+          List.filter_map
+            (fun ((g : Counters.group), r) ->
+              match r with
+              | None -> None
+              | Some (d : Recycle.decision) ->
+                let off, first =
+                  Offsets.extend !offsets ~count:d.n_slots ~size:d.slot_bytes
+                in
+                offsets := off;
+                Some
+                  ( g.counter,
+                    { Plan.first_slot = first; n_slots = d.n_slots; slot_bytes = d.slot_bytes } ))
+            group_recycle
+        in
+        (!offsets, recycle_blocks))
   in
-  let offsets = !offsets in
+  stage "plan"
+  @@ fun () ->
   (* Counter plans. *)
   let counters =
     List.map
@@ -308,12 +340,14 @@ let plan_with_stats ?(config = default_config) ~variant stats trace =
     placed_objects = direct_order;
     profile }
 
+let analyze trace = stage "trace-analysis" (fun () -> Trace_stats.analyze trace)
+
 let plan ?config ~variant trace =
-  let stats = Trace_stats.analyze trace in
+  let stats = analyze trace in
   plan_with_stats ?config ~variant stats trace
 
 let all_variants ?config trace =
-  let stats = Trace_stats.analyze trace in
+  let stats = analyze trace in
   List.map
     (fun v -> (v, plan_with_stats ?config ~variant:v stats trace))
     [ Plan.Hot; Plan.Hds; Plan.HdsHot ]

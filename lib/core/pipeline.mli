@@ -34,6 +34,11 @@ type config = {
 
 val default_config : config
 
+val analyze : Prefix_trace.Trace.t -> Prefix_trace.Trace_stats.t
+(** [Trace_stats.analyze] under a "trace-analysis" observability span;
+    use this instead of calling the analyzer directly when the run
+    should show up in span reports and Chrome traces. *)
+
 val plan :
   ?config:config -> variant:Plan.variant -> Prefix_trace.Trace.t -> Plan.t
 

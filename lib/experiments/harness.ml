@@ -29,32 +29,38 @@ type result = {
   long_hds_set : (int, unit) Hashtbl.t;
 }
 
+module Span = Prefix_obs.Span
+module Log = (val Logs.src_log Prefix_obs.Log.harness)
+
 let seed = 7
 
 let pipeline_config = Pipeline.default_config
 
 let exec_config = Executor.default_config
 
-let verbose = ref false
-
-let progress fmt =
-  Printf.ksprintf (fun s -> if !verbose then Printf.eprintf "[harness] %s\n%!" s) fmt
-
 let run_benchmark (wl : Workload.t) =
-  progress "%s: generating traces" wl.name;
-  let profiling_trace = wl.generate ~scale:Profiling ~seed () in
-  let long_trace = wl.generate ~scale:Long ~seed:(seed + 1) () in
-  let profiling_stats = Trace_stats.analyze profiling_trace in
-  let long_stats = Trace_stats.analyze long_trace in
+  Span.with_ ~cat:"harness" ~args:[ ("benchmark", wl.name) ] ("benchmark:" ^ wl.name)
+  @@ fun () ->
+  Log.info (fun m -> m "%s: generating traces" wl.name);
+  let profiling_trace, long_trace =
+    Span.with_ ~cat:"harness" "generate-traces" (fun () ->
+        ( wl.generate ~scale:Profiling ~seed (),
+          wl.generate ~scale:Long ~seed:(seed + 1) () ))
+  in
+  (* Pipeline.analyze rather than Trace_stats.analyze so both analysis
+     passes appear as "trace-analysis" spans in obs reports. *)
+  let profiling_stats = Pipeline.analyze profiling_trace in
+  let long_stats = Pipeline.analyze long_trace in
   (* Long-run classification, for pollution and capture accounting. *)
   let long_hot_set = Hashtbl.create 1024 in
   List.iter
     (fun (o : Trace_stats.obj_info) -> Hashtbl.replace long_hot_set o.obj ())
     (Trace_stats.hot_objects ~coverage:pipeline_config.coverage long_stats);
   let long_hds_set = Hashtbl.create 1024 in
-  progress "%s: detecting long-run streams" wl.name;
+  Log.info (fun m -> m "%s: detecting long-run streams" wl.name);
   let long_ohds =
-    Detector.detect_with_stats ~config:pipeline_config.detector long_stats long_trace
+    Span.with_ ~cat:"harness" "long-run-classification" (fun () ->
+        Detector.detect_with_stats ~config:pipeline_config.detector long_stats long_trace)
   in
   List.iter
     (fun h -> List.iter (fun o -> Hashtbl.replace long_hds_set o ()) (Hds.objs h))
@@ -64,7 +70,7 @@ let run_benchmark (wl : Workload.t) =
   in
   let costs = exec_config.costs in
   (* Profile-side plans. *)
-  progress "%s: planning" wl.name;
+  Log.info (fun m -> m "%s: planning" wl.name);
   let plan_of variant =
     Pipeline.plan_with_stats ~config:pipeline_config ~variant profiling_stats profiling_trace
   in
@@ -75,7 +81,7 @@ let run_benchmark (wl : Workload.t) =
   let halo_plan = Prefix_halo.Halo.plan_of_trace profiling_stats profiling_trace in
   (* Long-run replays. *)
   let replay name policy plan =
-    progress "%s: replaying %s" wl.name name;
+    Log.info (fun m -> m "%s: replaying %s" wl.name name);
     let outcome = Executor.run ~config:exec_config ~policy long_trace in
     { metrics = outcome.metrics; plan }
   in

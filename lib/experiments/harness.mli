@@ -52,7 +52,12 @@ val run_all : unit -> result list
 (** All 13 benchmarks, memoized for the lifetime of the process. *)
 
 val find : string -> result
-(** Memoized lookup by benchmark name. *)
+(** Memoized lookup by benchmark name.
 
-val verbose : bool ref
-(** When set, progress lines are printed to stderr as runs execute. *)
+    Progress is reported through the ["prefix.harness"] [Logs] source
+    (see {!Prefix_obs.Log.harness}); install a reporter with
+    [Prefix_obs.Log.setup ~level:(Some Logs.Info) ()] — or pass
+    [--verbose] / [--log-level info] to the CLI — to see it.  Each
+    benchmark run is additionally wrapped in a ["benchmark:<name>"]
+    observability span whose children cover trace generation, the
+    analysis passes, planning and every policy replay. *)

@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let us_of_ns ns = Int64.to_float ns /. 1e3
+let ms_of_ns ns = Int64.to_float ns /. 1e6

@@ -1,0 +1,16 @@
+(** Monotonic time source.
+
+    Wall-clock time ([Unix.gettimeofday]) can jump backwards under NTP
+    adjustment, which would produce negative span durations; all span
+    timing therefore goes through the CLOCK_MONOTONIC stub that ships
+    with bechamel (the same clock the micro-benchmarks use). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary (but fixed) origin; never decreases
+    within a process. *)
+
+val us_of_ns : int64 -> float
+(** Microseconds as a float — the unit of Chrome trace-event [ts]/[dur]
+    fields. *)
+
+val ms_of_ns : int64 -> float

@@ -1,0 +1,3 @@
+let on = ref false
+let set b = on := b
+let is_on () = !on

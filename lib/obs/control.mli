@@ -1,0 +1,14 @@
+(** Global observability switch.
+
+    Everything in [Prefix_obs] is off by default: spans run their body
+    directly, metric handles ignore updates, and nothing accumulates in
+    memory.  The check is a single [bool ref] read, so instrumented hot
+    paths cost nothing measurable when collection is disabled (the
+    "zero-cost disabled mode" contract that {!Span.with_} and
+    {!Metric} rely on). *)
+
+val set : bool -> unit
+(** Enable or disable collection globally.  Spans that are already open
+    when the flag flips keep the state they were opened under. *)
+
+val is_on : unit -> bool

@@ -1,0 +1,204 @@
+module Tablefmt = Prefix_util.Tablefmt
+
+(* ---- span aggregation ---- *)
+
+type agg = {
+  mutable count : int;
+  mutable total_ns : int64;
+  mutable max_ns : int64;
+}
+
+let aggregate spans =
+  let tbl : (string * string, agg) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Span.completed) ->
+      let key = (s.cat, s.name) in
+      let a =
+        match Hashtbl.find_opt tbl key with
+        | Some a -> a
+        | None ->
+          let a = { count = 0; total_ns = 0L; max_ns = 0L } in
+          Hashtbl.replace tbl key a;
+          order := key :: !order;
+          a
+      in
+      a.count <- a.count + 1;
+      a.total_ns <- Int64.add a.total_ns s.dur_ns;
+      if s.dur_ns > a.max_ns then a.max_ns <- s.dur_ns)
+    spans;
+  List.rev_map (fun key -> (key, Hashtbl.find tbl key)) !order
+
+let span_report () =
+  match Span.completed () with
+  | [] -> "no spans recorded (is observability enabled?)\n"
+  | spans ->
+    let rows =
+      aggregate spans
+      |> List.sort (fun (_, a) (_, b) -> compare b.total_ns a.total_ns)
+    in
+    let t =
+      Tablefmt.create ~headers:[ "span"; "cat"; "count"; "total ms"; "mean us"; "max us" ]
+    in
+    List.iter
+      (fun (((cat : string), name), a) ->
+        Tablefmt.add_row t
+          [ name;
+            cat;
+            string_of_int a.count;
+            Printf.sprintf "%.3f" (Clock.ms_of_ns a.total_ns);
+            Printf.sprintf "%.1f"
+              (Clock.us_of_ns a.total_ns /. float_of_int (max 1 a.count));
+            Printf.sprintf "%.1f" (Clock.us_of_ns a.max_ns) ])
+      rows;
+    "== span timings ==\n" ^ Tablefmt.render t
+
+let spark counts =
+  let glyphs = [| " "; "."; ":"; "-"; "="; "#" |] in
+  let hi = Array.fold_left max 1 counts in
+  String.concat ""
+    (Array.to_list
+       (Array.map
+          (fun c ->
+            if c = 0 then glyphs.(0)
+            else glyphs.(1 + (c * (Array.length glyphs - 2) / hi)))
+          counts))
+
+let metrics_report () =
+  let snap = Metric.snapshot () in
+  let b = Buffer.create 1024 in
+  if snap.counters <> [] then begin
+    Buffer.add_string b "== counters ==\n";
+    let t = Tablefmt.create ~headers:[ "counter"; "value" ] in
+    List.iter
+      (fun (name, v) -> Tablefmt.add_row t [ name; Tablefmt.fmt_int v ])
+      snap.counters;
+    Buffer.add_string b (Tablefmt.render t)
+  end;
+  if snap.gauges <> [] then begin
+    Buffer.add_string b "== gauges ==\n";
+    let t = Tablefmt.create ~headers:[ "gauge"; "value" ] in
+    List.iter
+      (fun (name, v) -> Tablefmt.add_row t [ name; Printf.sprintf "%.1f" v ])
+      snap.gauges;
+    Buffer.add_string b (Tablefmt.render t)
+  end;
+  if snap.histograms <> [] then begin
+    Buffer.add_string b "== histograms ==\n";
+    List.iter
+      (fun (name, (h : Metric.hist_view)) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-28s [%s] n=%d underflow=%d overflow=%d\n" name
+             (spark h.h_counts) h.h_total h.h_underflow h.h_overflow))
+      snap.histograms
+  end;
+  if Buffer.length b = 0 then "no metrics recorded\n" else Buffer.contents b
+
+let report () = span_report () ^ "\n" ^ metrics_report ()
+
+(* ---- JSON ---- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape s ^ "\""
+let jnum f = Printf.sprintf "%.3f" f
+let jobj fields = "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let span_json (s : Span.completed) =
+  jobj
+    ([ ("name", jstr s.name);
+       ("cat", jstr s.cat);
+       ("tid", string_of_int s.tid);
+       ("start_us", jnum (Clock.us_of_ns s.start_ns));
+       ("dur_us", jnum (Clock.us_of_ns s.dur_ns));
+       ("depth", string_of_int s.depth) ]
+    @ (match s.parent with None -> [] | Some p -> [ ("parent", jstr p) ])
+    @
+    match s.args with
+    | [] -> []
+    | args -> [ ("args", jobj (List.map (fun (k, v) -> (k, jstr v)) args)) ])
+
+let sample_json (c : Span.counter_sample) =
+  jobj
+    [ ("name", jstr c.c_name);
+      ("tid", string_of_int c.c_tid);
+      ("ts_us", jnum (Clock.us_of_ns c.c_ts_ns));
+      ("values", jobj (List.map (fun (k, v) -> (k, jnum v)) c.c_values)) ]
+
+let json () =
+  let snap = Metric.snapshot () in
+  jobj
+    [ ("spans", jarr (List.map span_json (Span.completed ())));
+      ("samples", jarr (List.map sample_json (Span.samples ())));
+      ("counters", jobj (List.map (fun (k, v) -> (k, string_of_int v)) snap.counters));
+      ("gauges", jobj (List.map (fun (k, v) -> (k, jnum v)) snap.gauges));
+      ( "histograms",
+        jobj
+          (List.map
+             (fun (k, (h : Metric.hist_view)) ->
+               ( k,
+                 jobj
+                   [ ("lo", jnum h.h_lo);
+                     ("width", jnum h.h_width);
+                     ("total", string_of_int h.h_total);
+                     ("underflow", string_of_int h.h_underflow);
+                     ("overflow", string_of_int h.h_overflow);
+                     ("counts", jarr (List.map string_of_int (Array.to_list h.h_counts)))
+                   ] ))
+             snap.histograms) ) ]
+
+(* ---- Chrome trace-event format ---- *)
+
+let chrome_trace () =
+  let meta =
+    jobj
+      [ ("name", jstr "process_name");
+        ("ph", jstr "M");
+        ("pid", "1");
+        ("args", jobj [ ("name", jstr "prefix") ]) ]
+  in
+  let span_event (s : Span.completed) =
+    jobj
+      [ ("name", jstr s.name);
+        ("cat", jstr (if s.cat = "" then "prefix" else s.cat));
+        ("ph", jstr "X");
+        ("ts", jnum (Clock.us_of_ns s.start_ns));
+        ("dur", jnum (Clock.us_of_ns s.dur_ns));
+        ("pid", "1");
+        ("tid", string_of_int s.tid);
+        ("args", jobj (List.map (fun (k, v) -> (k, jstr v)) s.args)) ]
+  in
+  let counter_event (c : Span.counter_sample) =
+    jobj
+      [ ("name", jstr c.c_name);
+        ("ph", jstr "C");
+        ("ts", jnum (Clock.us_of_ns c.c_ts_ns));
+        ("pid", "1");
+        ("tid", string_of_int c.c_tid);
+        ("args", jobj (List.map (fun (k, v) -> (k, jnum v)) c.c_values)) ]
+  in
+  let events =
+    (meta :: List.map span_event (Span.completed ()))
+    @ List.map counter_event (Span.samples ())
+  in
+  jobj [ ("traceEvents", jarr events); ("displayTimeUnit", jstr "ms") ]
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (chrome_trace ()))

@@ -1,0 +1,35 @@
+(** Renderers over the {!Span} sink and {!Metric} registry.
+
+    Three formats:
+    - {!report}: a flat text report (span timing table + metrics), for
+      terminals;
+    - {!json}: a structured dump of the same data;
+    - {!chrome_trace}: Chrome trace-event format, loadable in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val span_report : unit -> string
+(** Per-span timing table: one row per (cat, name), with call count,
+    total/mean/max wall time, aggregated over every recorded span. *)
+
+val metrics_report : unit -> string
+(** Counters, gauges and histograms from the current
+    {!Metric.snapshot}; histograms show total/underflow/overflow and a
+    sparkline of the bucket mass. *)
+
+val report : unit -> string
+(** [span_report] followed by [metrics_report]. *)
+
+val json : unit -> string
+(** The raw spans, counter samples and metrics snapshot as one JSON
+    object (keys ["spans"], ["samples"], ["counters"], ["gauges"],
+    ["histograms"]). *)
+
+val chrome_trace : unit -> string
+(** Chrome trace-event JSON: every completed span becomes a complete
+    ("X") event with microsecond [ts]/[dur], every {!Span.counter}
+    sample a counter ("C") event, plus process-name metadata.  The
+    object form ([{"traceEvents": [...]}]) is used so Perfetto accepts
+    the file as-is. *)
+
+val write_chrome_trace : string -> unit
+(** Write {!chrome_trace} to a file path. *)

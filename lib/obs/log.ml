@@ -1,0 +1,22 @@
+let pipeline = Logs.Src.create "prefix.pipeline" ~doc:"PreFix planning pipeline"
+let executor = Logs.Src.create "prefix.executor" ~doc:"Trace replay executor"
+let harness = Logs.Src.create "prefix.harness" ~doc:"Experiment harness"
+let cli = Logs.Src.create "prefix.cli" ~doc:"Command-line front end"
+
+let reporter () =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        Format.kfprintf k Format.err_formatter
+          ("[%s] %s: " ^^ fmt ^^ "@.")
+          (Logs.level_to_string (Some level))
+          (Logs.Src.name src))
+  in
+  { Logs.report }
+
+let setup ~level () =
+  Logs.set_reporter (reporter ());
+  Logs.set_level ~all:true level

@@ -1,0 +1,22 @@
+(** Structured logging: one [Logs.Src] per subsystem.
+
+    Nothing prints until {!setup} installs a reporter — the library
+    default is [Logs.nop_reporter], so instrumented code is silent (and
+    allocation-free on the message paths, since [Logs] only forces the
+    message closure when the level passes). *)
+
+val pipeline : Logs.src
+(** "prefix.pipeline" — planning stages (lib/core). *)
+
+val executor : Logs.src
+(** "prefix.executor" — trace replay (lib/runtime). *)
+
+val harness : Logs.src
+(** "prefix.harness" — experiment orchestration (lib/experiments). *)
+
+val cli : Logs.src
+(** "prefix.cli" — the command-line front end. *)
+
+val setup : level:Logs.level option -> unit -> unit
+(** Install a stderr reporter tagged with the source name and set the
+    level on every source.  [level = None] silences everything. *)

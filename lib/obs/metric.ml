@@ -1,0 +1,87 @@
+module Stats = Prefix_util.Stats
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+type histogram = { hist : Stats.histogram }
+
+(* Registration is rare (once per metric name per process); a single
+   mutex plus name->handle tables keeps it thread-safe.  Updates bypass
+   the lock entirely: each handle owns its cell and int/float stores
+   are atomic in the OCaml runtime. *)
+let mutex = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+(* Registration order, newest first, for stable reports. *)
+let c_order : string list ref = ref []
+let g_order : string list ref = ref []
+let h_order : string list ref = ref []
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let register tbl order name create =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some h -> h
+      | None ->
+        let h = create () in
+        Hashtbl.replace tbl name h;
+        order := name :: !order;
+        h)
+
+let counter name = register counters c_order name (fun () -> { count = 0 })
+let gauge name = register gauges g_order name (fun () -> { value = 0. })
+
+let histogram ?(lo = 0.) ?(hi = 4096.) ?(buckets = 32) name =
+  register histograms h_order name (fun () ->
+      { hist = Stats.histogram ~lo ~hi ~buckets })
+
+let add c n = if Control.is_on () then c.count <- c.count + n
+let incr c = add c 1
+let set g v = if Control.is_on () then g.value <- v
+let set_max g v = if Control.is_on () && v > g.value then g.value <- v
+let observe h x = if Control.is_on () then Stats.hist_add h.hist x
+
+type hist_view = {
+  h_lo : float;
+  h_width : float;
+  h_counts : int array;
+  h_total : int;
+  h_underflow : int;
+  h_overflow : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_view) list;
+}
+
+let snapshot () =
+  locked (fun () ->
+      let section order tbl view =
+        (* [order] is newest-first; rev_map restores registration order. *)
+        List.rev_map (fun name -> (name, view (Hashtbl.find tbl name))) !order
+      in
+      { counters = section c_order counters (fun c -> c.count);
+        gauges = section g_order gauges (fun g -> g.value);
+        histograms =
+          section h_order histograms (fun { hist } ->
+              { h_lo = Stats.hist_lo hist;
+                h_width = Stats.hist_width hist;
+                h_counts = Stats.hist_counts hist;
+                h_total = Stats.hist_total hist;
+                h_underflow = Stats.hist_underflow hist;
+                h_overflow = Stats.hist_overflow hist }) })
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset histograms;
+      c_order := [];
+      g_order := [];
+      h_order := [])

@@ -1,0 +1,63 @@
+(** Process-wide metrics registry: named counters, gauges and
+    histograms with typed handles.
+
+    Handles are registered (or looked up) by name — asking for the same
+    name twice returns the same underlying cell, so independent call
+    sites accumulate into one metric.  Registration takes a lock;
+    updates through a handle are plain stores on the handle's own cell
+    and check only the global {!Control} flag, so instrumenting a hot
+    loop costs one branch when collection is off. *)
+
+type counter
+(** Monotonically-increasing integer (events replayed, cache misses,
+    prealloc hits, ...). *)
+
+type gauge
+(** Last-written float value (heap live bytes, events/sec, ...). *)
+
+type histogram
+(** Fixed-range bucketed distribution built on
+    {!Prefix_util.Stats.histogram}; out-of-range samples land in its
+    underflow/overflow counters rather than being clamped. *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+
+val histogram : ?lo:float -> ?hi:float -> ?buckets:int -> string -> histogram
+(** Defaults: [lo = 0.], [hi = 4096.], [buckets = 32].  The range and
+    bucket count of an already-registered name win over the arguments. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Keep the maximum of the old and new value — high-water marks
+    (e.g. heap peak bytes across several replays). *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type hist_view = {
+  h_lo : float;
+  h_width : float;
+  h_counts : int array;
+  h_total : int;
+  h_underflow : int;
+  h_overflow : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_view) list;
+}
+(** Each section in registration order. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Forget every registration.  Handles created before the reset keep
+    working but no longer appear in snapshots; re-acquire handles by
+    name after a reset. *)

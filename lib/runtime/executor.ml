@@ -5,6 +5,10 @@ module Cache = Prefix_cachesim.Cache
 module Hierarchy = Prefix_cachesim.Hierarchy
 module Cycles = Prefix_cachesim.Cycles
 module Heatmap = Prefix_cachesim.Heatmap
+module Obs = Prefix_obs.Control
+module Span = Prefix_obs.Span
+module Metric = Prefix_obs.Metric
+module Log = (val Logs.src_log Prefix_obs.Log.executor)
 
 type config = {
   hierarchy : Hierarchy.config;
@@ -82,9 +86,54 @@ let mem_counters m : Hierarchy.counters =
     l2_tlb_misses = sum Cache.misses m.l2_tlbs;
     writebacks = Cache.writebacks m.llc }
 
+(* Chrome-trace "C" events sampled every [snap_interval] trace events
+   while observability is on: live heap state and cumulative miss
+   counters, so a Perfetto timeline shows cache/heap pressure evolving
+   under the replay span rather than only end-of-run totals. *)
+let snap_interval = 1 lsl 16
+
+let snapshot_counters ~name heap mem ~mem_refs =
+  let c = mem_counters mem in
+  Span.counter ("replay:" ^ name)
+    [ ("heap_live_bytes", float_of_int (Allocator.live_bytes heap));
+      ("mem_refs", float_of_int mem_refs);
+      ("l1_misses", float_of_int c.l1_misses);
+      ("llc_misses", float_of_int c.llc_misses);
+      ("l1_tlb_misses", float_of_int c.l1_tlb_misses) ]
+
+let record_metrics ~(p : Policy.t) heap trace counters ~mem_refs ~elapsed_ns =
+  Metric.add (Metric.counter "executor.events_replayed") (Trace.length trace);
+  Metric.add (Metric.counter "executor.mem_refs") mem_refs;
+  Metric.add (Metric.counter "executor.l1_misses") counters.Hierarchy.l1_misses;
+  Metric.add (Metric.counter "executor.llc_misses") counters.Hierarchy.llc_misses;
+  Metric.add (Metric.counter "executor.l1_tlb_misses") counters.Hierarchy.l1_tlb_misses;
+  Metric.add (Metric.counter "executor.l2_tlb_misses") counters.Hierarchy.l2_tlb_misses;
+  Metric.add (Metric.counter "executor.prealloc_hits") p.Policy.stats.calls_avoided;
+  Metric.add (Metric.counter "executor.recycle_evictions") p.Policy.stats.recycle_evictions;
+  Metric.set_max (Metric.gauge "executor.heap_peak_bytes")
+    (float_of_int (Allocator.peak_bytes heap));
+  let secs = Int64.to_float elapsed_ns /. 1e9 in
+  let rate = if secs > 0. then float_of_int (Trace.length trace) /. secs else 0. in
+  Metric.set (Metric.gauge "executor.events_per_sec") rate;
+  Log.info (fun m ->
+      m "%s: %d events in %.1f ms (%.0f events/s), %d prealloc hits, %d evictions"
+        p.Policy.name (Trace.length trace) (secs *. 1e3) rate
+        p.Policy.stats.calls_avoided p.Policy.stats.recycle_evictions)
+
 let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy trace =
   let heap = Allocator.create () in
   let p = policy heap in
+  Span.with_ ~cat:"executor"
+    ~args:[ ("policy", p.Policy.name); ("events", string_of_int (Trace.length trace)) ]
+    ("replay:" ^ p.Policy.name)
+  @@ fun () ->
+  let obs_on = Obs.is_on () in
+  let start_ns = if obs_on then Prefix_obs.Clock.now_ns () else 0L in
+  let alloc_hist =
+    if obs_on then
+      Some (Metric.histogram ~lo:0. ~hi:4096. ~buckets:32 "executor.alloc_bytes")
+    else None
+  in
   let mem = mem_create config.hierarchy in
   let heatmap =
     Option.map (fun _ -> Heatmap.create ~time_buckets:72 ~addr_buckets:24 ()) heatmap_objs
@@ -95,12 +144,17 @@ let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy tr
   let mem_refs = ref 0 in
   Trace.iteri
     (fun index e ->
+      if obs_on && index land (snap_interval - 1) = 0 then
+        snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:!mem_refs;
       match (e : Event.t) with
       | Compute _ -> ()
       | Alloc { obj; site; ctx; size; _ } ->
         if Hashtbl.mem live obj then
           invalid_arg (Printf.sprintf "Executor: object %d allocated twice" obj);
         let addr = p.Policy.alloc ~obj ~site ~ctx ~size in
+        (match alloc_hist with
+        | Some h -> Metric.observe h (float_of_int size)
+        | None -> ());
         if attribute then Hashtbl.replace site_of obj site;
         Hashtbl.replace live obj (addr, size)
       | Access { obj; offset; thread; write } -> (
@@ -135,6 +189,11 @@ let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy tr
   let extent = Allocator.heap_extent heap in
   p.Policy.finish ();
   let counters = mem_counters mem in
+  if obs_on then begin
+    snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:!mem_refs;
+    record_metrics ~p heap trace counters ~mem_refs:!mem_refs
+      ~elapsed_ns:(Int64.sub (Prefix_obs.Clock.now_ns ()) start_ns)
+  end;
   let instructions = Trace.total_instructions trace + p.Policy.stats.mgmt_instrs in
   let threads = max 1 (Array.length mem.l1s) in
   let est = Cycles.estimate ~params:config.cycle_params ~instructions counters in

@@ -6,6 +6,7 @@ type stats = {
   mutable region_objects : int;
   mutable region_hot_objects : int;
   mutable region_hds_objects : int;
+  mutable recycle_evictions : int;
 }
 
 let fresh_stats () =
@@ -13,7 +14,8 @@ let fresh_stats () =
     calls_avoided = 0;
     region_objects = 0;
     region_hot_objects = 0;
-    region_hds_objects = 0 }
+    region_hds_objects = 0;
+    recycle_evictions = 0 }
 
 type t = {
   name : string;

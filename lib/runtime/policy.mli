@@ -20,6 +20,10 @@ type stats = {
       (** of those, objects that are profiled-hot — Table 4's "Hot" *)
   mutable region_hds_objects : int;
       (** of those, objects belonging to a detected HDS — Table 5 *)
+  mutable recycle_evictions : int;
+      (** recycled-slot allocations that found their slot still
+          occupied by a live object and fell back to malloc (the
+          Figure 7 map collided) *)
 }
 
 val fresh_stats : unit -> stats

@@ -84,7 +84,9 @@ let policy (costs : Costs.t) heap (plan : Plan.t) (cls : Policy.classification) 
             let slot = block.first_slot + ((id - 1) mod block.n_slots) in
             match try_place obj slot size with
             | Some addr -> addr
-            | None -> fallback_malloc size)
+            | None ->
+              stats.recycle_evictions <- stats.recycle_evictions + 1;
+              fallback_malloc size)
           | None ->
             stats.mgmt_instrs <- stats.mgmt_instrs + Context.check_cost_instrs st.pattern;
             if Context.matches st.pattern id then begin

@@ -43,18 +43,30 @@ type histogram = {
   width : float;
   counts : int array;
   mutable total : int;
+  mutable underflow : int;
+  mutable overflow : int;
 }
 
 let histogram ~lo ~hi ~buckets =
   if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
   if not (hi > lo) then invalid_arg "Stats.histogram: hi must exceed lo";
-  { lo; width = (hi -. lo) /. float_of_int buckets; counts = Array.make buckets 0; total = 0 }
+  { lo;
+    width = (hi -. lo) /. float_of_int buckets;
+    counts = Array.make buckets 0;
+    total = 0;
+    underflow = 0;
+    overflow = 0 }
 
 let hist_add h x =
-  let idx = int_of_float ((x -. h.lo) /. h.width) in
-  let idx = if idx < 0 then 0 else if idx >= Array.length h.counts then Array.length h.counts - 1 else idx in
-  h.counts.(idx) <- h.counts.(idx) + 1;
+  let idx = int_of_float (Float.floor ((x -. h.lo) /. h.width)) in
+  if x < h.lo then h.underflow <- h.underflow + 1
+  else if idx >= Array.length h.counts then h.overflow <- h.overflow + 1
+  else h.counts.(idx) <- h.counts.(idx) + 1;
   h.total <- h.total + 1
 
 let hist_counts h = Array.copy h.counts
 let hist_total h = h.total
+let hist_underflow h = h.underflow
+let hist_overflow h = h.overflow
+let hist_lo h = h.lo
+let hist_width h = h.width

@@ -23,9 +23,28 @@ val ratio : float -> float -> float
 (** Safe division; 0 when the denominator is 0. *)
 
 type histogram
-(** Fixed-width bucket histogram over [lo, hi). *)
+(** Fixed-width bucket histogram over [lo, hi).  Samples outside the
+    range are NOT clamped into the edge buckets (that used to distort
+    the edge counts silently); they are tallied in dedicated underflow
+    and overflow counters instead, so no sample is ever lost without a
+    record. *)
 
 val histogram : lo:float -> hi:float -> buckets:int -> histogram
 val hist_add : histogram -> float -> unit
+
 val hist_counts : histogram -> int array
+(** In-range samples only; sums to
+    [hist_total - hist_underflow - hist_overflow]. *)
+
 val hist_total : histogram -> int
+(** Every sample ever added, in range or not. *)
+
+val hist_underflow : histogram -> int
+(** Samples below [lo]. *)
+
+val hist_overflow : histogram -> int
+(** Samples at or above [hi]. *)
+
+val hist_lo : histogram -> float
+val hist_width : histogram -> float
+(** Bucket geometry, for rendering. *)

@@ -124,9 +124,17 @@ let test_histogram () =
   let h = Stats.histogram ~lo:0. ~hi:10. ~buckets:5 in
   List.iter (Stats.hist_add h) [ 0.5; 1.5; 9.9; -3.; 42. ];
   let counts = Stats.hist_counts h in
-  check ci "total" 5 (Stats.hist_total h);
-  check ci "first bucket: 0.5, 1.5 and the underflow" 3 counts.(0);
-  check ci "last bucket: 9.9 and the overflow" 2 counts.(4)
+  check ci "total counts every sample" 5 (Stats.hist_total h);
+  check ci "first bucket: 0.5 and 1.5 only" 2 counts.(0);
+  check ci "last bucket: 9.9 only" 1 counts.(4);
+  check ci "underflow recorded, not clamped" 1 (Stats.hist_underflow h);
+  check ci "overflow recorded, not clamped" 1 (Stats.hist_overflow h);
+  (* hi itself is outside the half-open range. *)
+  Stats.hist_add h 10.;
+  check ci "hi lands in overflow" 2 (Stats.hist_overflow h);
+  check ci "in-range mass + out-of-range = total" (Stats.hist_total h)
+    (Array.fold_left ( + ) 0 (Stats.hist_counts h)
+    + Stats.hist_underflow h + Stats.hist_overflow h)
 
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile is monotone in p" ~count:200

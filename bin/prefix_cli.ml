@@ -6,6 +6,7 @@
      plan <bench>              show the PreFix plans for a benchmark
      run <bench>               replay a benchmark under all six policies
      stats <bench>             replay and print span timings + metrics
+     fuzz                      fault-injection campaign over corrupted traces
      experiment <id>...        reproduce specific tables/figures
      all                       reproduce everything
 
@@ -95,6 +96,16 @@ let with_obs obs_out k =
       Printf.eprintf "chrome trace written to %s\n%!" file;
       rc)
 
+(* Replay and parse failures surface as clean one-line errors with exit
+   code 2 instead of an uncaught exception and a backtrace.  Strict-mode
+   replays of corrupt traces land here. *)
+let guard k =
+  match k () with
+  | rc -> rc
+  | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+    Printf.eprintf "prefix: error: %s\n" msg;
+    2
+
 let get_workload name =
   match List.find_opt (fun (w : Workload.t) -> w.name = name) Registry.all with
   | Some w -> Ok w
@@ -127,6 +138,7 @@ let trace_cmd =
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
+      guard @@ fun () ->
       let trace = w.generate ~scale ~seed () in
       let n = Prefix_trace.Trace.length trace in
       let shown = match limit with Some l -> min l n | None -> n in
@@ -182,6 +194,7 @@ let run_cmd =
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
+      guard @@ fun () ->
       with_obs obs_out @@ fun () ->
       let r = Harness.find w.name in
       let line label (pr : Harness.policy_run) =
@@ -211,6 +224,7 @@ let stats_cmd =
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
+      guard @@ fun () ->
       (* Spans and metrics are the whole point of this command. *)
       Prefix_obs.Control.set true;
       Prefix_obs.Span.reset ();
@@ -230,6 +244,82 @@ let stats_cmd =
          "Replay one benchmark with observability on and print the per-stage \
           span timing table and the metrics report")
     Term.(const run $ bench_arg $ verbose_arg $ log_level_arg $ obs_out_arg)
+
+(* --- fuzz *)
+
+let fuzz_cmd =
+  let module Injector = Prefix_faults.Injector in
+  let module Campaign = Prefix_faults.Campaign in
+  let kind_conv =
+    Arg.enum (List.map (fun k -> (Injector.kind_name k, k)) Injector.all_kinds)
+  in
+  let policy_conv =
+    Arg.enum
+      (List.map
+         (fun p -> (String.lowercase_ascii (Campaign.policy_name p), p))
+         Campaign.all_policies)
+  in
+  let seeds_arg =
+    Arg.(value & opt int 8
+         & info [ "seeds" ] ~docv:"N" ~doc:"Fault seeds 0..N-1 per combination.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 0.01
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Fraction of candidate events corrupted per injection.")
+  in
+  let benches_arg =
+    Arg.(value & opt (list string) Registry.names
+         & info [ "benches" ] ~docv:"B1,B2,.." ~doc:"Benchmarks to sweep.")
+  in
+  let kinds_arg =
+    let doc =
+      Printf.sprintf "Fault kinds to inject (default all: %s)."
+        (String.concat ", " (List.map Injector.kind_name Injector.all_kinds))
+    in
+    Arg.(value & opt (list kind_conv) Injector.all_kinds
+         & info [ "kinds" ] ~docv:"K1,K2,.." ~doc)
+  in
+  let policies_arg =
+    Arg.(value & opt (list policy_conv) Campaign.all_policies
+         & info [ "policies" ] ~docv:"P1,P2,.."
+             ~doc:"Policies to replay under (hds, halo, prefix).")
+  in
+  let region_cap_arg =
+    Arg.(value & opt (some int) None
+         & info [ "region-cap" ] ~docv:"BYTES"
+             ~doc:
+               "Cap each HDS/HALO region at $(docv) during the lenient replay \
+                so exhaustion degrades to malloc fallback.")
+  in
+  let run seeds rate benches kinds policies region_cap verbose log_level obs_out =
+    setup_logs log_level verbose;
+    match
+      List.filter_map
+        (fun b -> match get_workload b with Error e -> Some e | Ok _ -> None)
+        benches
+    with
+    | e :: _ -> prerr_endline e; 1
+    | [] ->
+      guard @@ fun () ->
+      with_obs obs_out @@ fun () ->
+      let cfg = { Campaign.benches; policies; kinds; seeds; rate; region_cap } in
+      let progress m =
+        if verbose || log_level <> None then Printf.eprintf "%s\n%!" m
+      in
+      let s = Campaign.run ~progress cfg in
+      print_string (Campaign.report s);
+      if Campaign.ok s then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run the fault-injection campaign: corrupt benchmark traces with \
+          seeded faults, assert lenient replay is crash-free with bounded \
+          metric drift, and that sanitized traces replay strictly")
+    Term.(const run $ seeds_arg $ rate_arg $ benches_arg $ kinds_arg
+          $ policies_arg $ region_cap_arg $ verbose_arg $ log_level_arg
+          $ obs_out_arg)
 
 (* --- experiment *)
 
@@ -375,4 +465,4 @@ let () =
     Cmd.info "prefix" ~version:"1.0.0"
       ~doc:"PreFix (CGO 2025) reproduction: profile-guided heap layout optimization"
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; stats_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; all_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; stats_cmd; fuzz_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; all_cmd ]))

@@ -1,0 +1,179 @@
+module Trace = Prefix_trace.Trace
+module Event = Prefix_trace.Event
+module Rng = Prefix_util.Rng
+
+type kind =
+  | Drop_frees
+  | Duplicate_frees
+  | Collide_ids
+  | Reorder
+  | Truncate
+  | Mutate_sizes
+
+let all_kinds =
+  [ Drop_frees; Duplicate_frees; Collide_ids; Reorder; Truncate; Mutate_sizes ]
+
+let kind_name = function
+  | Drop_frees -> "drop-frees"
+  | Duplicate_frees -> "dup-frees"
+  | Collide_ids -> "collide-ids"
+  | Reorder -> "reorder"
+  | Truncate -> "truncate"
+  | Mutate_sizes -> "mutate-sizes"
+
+let kind_of_name s =
+  match List.find_opt (fun k -> kind_name k = s) all_kinds with
+  | Some k -> Ok k
+  | None ->
+    Error
+      (Printf.sprintf "unknown fault kind %S (one of: %s)" s
+         (String.concat ", " (List.map kind_name all_kinds)))
+
+let kind_index k =
+  let rec go i = function
+    | [] -> 0
+    | k' :: _ when k' = k -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 all_kinds
+
+(* One rng stream per (kind, seed) so campaigns over several kinds with
+   the same seed do not correlate. *)
+let rng_for kind seed = Rng.create ((seed * 1_000_003) + kind_index kind + 1)
+
+(* Pick [max 1 (rate * |candidates|)] distinct members, deterministically. *)
+let pick_victims rng rate candidates =
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let k = min n (max 1 (int_of_float (rate *. float_of_int n))) in
+    Rng.shuffle rng arr;
+    Array.to_list (Array.sub arr 0 k)
+  end
+
+let indices_where p t =
+  let acc = ref [] in
+  Trace.iteri (fun i e -> if p e then acc := i :: !acc) t;
+  List.rev !acc
+
+let in_set victims =
+  let tbl = Hashtbl.create (List.length victims * 2) in
+  List.iter (fun i -> Hashtbl.replace tbl i ()) victims;
+  Hashtbl.mem tbl
+
+let is_free (e : Event.t) = match e with Free _ -> true | _ -> false
+let is_alloc (e : Event.t) = match e with Alloc _ -> true | _ -> false
+
+let drop_frees rng rate t =
+  let hit = in_set (pick_victims rng rate (indices_where is_free t)) in
+  let out = Trace.create ~capacity:(Trace.length t) () in
+  Trace.iteri (fun i e -> if not (hit i) then Trace.add out e) t;
+  out
+
+let duplicate_frees rng rate t =
+  let hit = in_set (pick_victims rng rate (indices_where is_free t)) in
+  let out = Trace.create ~capacity:(Trace.length t + 16) () in
+  Trace.iteri
+    (fun i e ->
+      Trace.add out e;
+      if hit i then Trace.add out e)
+    t;
+  out
+
+(* Rewrite a victim allocation's object id to an id that is live at
+   that point (profile/deployment drift where two allocation streams
+   share an id).  The victim's own accesses and free then dangle. *)
+let collide_ids rng rate t =
+  let hit = in_set (pick_victims rng rate (indices_where is_alloc t)) in
+  let live = Hashtbl.create 1024 in
+  let live_list = ref [] in
+  let out = Trace.create ~capacity:(Trace.length t) () in
+  Trace.iteri
+    (fun i e ->
+      let e =
+        match (e : Event.t) with
+        | Alloc ({ obj; _ } as a) when hit i && !live_list <> [] ->
+          let arr = Array.of_list !live_list in
+          let victim = Rng.choose rng arr in
+          if victim = obj then Event.Alloc a else Event.Alloc { a with obj = victim }
+        | e -> e
+      in
+      (* Liveness tracks the ORIGINAL stream so later picks stay realistic. *)
+      (match (e : Event.t) with
+      | Alloc { obj; _ } ->
+        if not (Hashtbl.mem live obj) then begin
+          Hashtbl.replace live obj ();
+          live_list := obj :: !live_list
+        end
+      | Free { obj; _ } ->
+        if Hashtbl.mem live obj then begin
+          Hashtbl.remove live obj;
+          live_list := List.filter (fun o -> o <> obj) !live_list
+        end
+      | _ -> ());
+      Trace.add out e)
+    t;
+  out
+
+(* Displace victims a short distance forward: events arrive out of
+   order the way buffered multi-threaded recording delivers them. *)
+let reorder rng rate t =
+  let n = Trace.length t in
+  let victims = pick_victims rng rate (List.init (max 0 (n - 1)) (fun i -> i)) in
+  let arr = Array.init n (Trace.get t) in
+  List.iter
+    (fun i ->
+      let d = Rng.int_in rng 1 8 in
+      let j = min (n - 1) (i + d) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp)
+    victims;
+  let out = Trace.create ~capacity:n () in
+  Array.iter (Trace.add out) arr;
+  out
+
+let truncate rng rate t =
+  let n = Trace.length t in
+  (* Cut between rate/2 and rate of the tail, rng-jittered. *)
+  let cut = max 1 (int_of_float (rate *. float_of_int n)) in
+  let cut = if cut <= 1 then 1 else Rng.int_in rng (max 1 (cut / 2)) cut in
+  let keep = max 0 (n - cut) in
+  let out = Trace.create ~capacity:keep () in
+  for i = 0 to keep - 1 do
+    Trace.add out (Trace.get t i)
+  done;
+  out
+
+let mutate_sizes rng rate t =
+  let hit = in_set (pick_victims rng rate (indices_where is_alloc t)) in
+  let out = Trace.create ~capacity:(Trace.length t) () in
+  Trace.iteri
+    (fun i e ->
+      let e =
+        match (e : Event.t) with
+        | Alloc ({ size; _ } as a) when hit i ->
+          let size' =
+            match Rng.int rng 4 with
+            | 0 -> 0 (* nonpositive: crashes a strict malloc *)
+            | 1 -> -size (* negative *)
+            | 2 -> max 1 (size / 4) (* shrunk: later accesses go out of bounds *)
+            | _ -> (size * 9) + 8 (* inflated: region pressure / exhaustion *)
+          in
+          Event.Alloc { a with size = size' }
+        | e -> e
+      in
+      Trace.add out e)
+    t;
+  out
+
+let inject kind ~seed ?(rate = 0.01) t =
+  let rng = rng_for kind seed in
+  match kind with
+  | Drop_frees -> drop_frees rng rate t
+  | Duplicate_frees -> duplicate_frees rng rate t
+  | Collide_ids -> collide_ids rng rate t
+  | Reorder -> reorder rng rate t
+  | Truncate -> truncate rng rate t
+  | Mutate_sizes -> mutate_sizes rng rate t

@@ -1,0 +1,29 @@
+(** Deterministic, seed-driven fault injectors over event streams.
+
+    Each injector takes a well-formed trace and returns a corrupted
+    copy modelling one way real recorded traces go wrong in deployment:
+    lost frees, duplicated frees, colliding allocation ids, events
+    delivered out of order, a truncated tail, or mutated allocation
+    sizes.  Injection is a pure function of [(kind, seed, rate, trace)]
+    — campaigns are exactly reproducible from their seed list. *)
+
+type kind =
+  | Drop_frees  (** remove frees: objects leak *)
+  | Duplicate_frees  (** repeat frees: double-free *)
+  | Collide_ids  (** an alloc reuses an id that is still live *)
+  | Reorder  (** displace events forward a short distance *)
+  | Truncate  (** cut the tail of the stream *)
+  | Mutate_sizes  (** corrupt alloc sizes: zero, negative, shrunk, inflated *)
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+(** Stable CLI-facing name, e.g. ["drop-frees"]. *)
+
+val kind_of_name : string -> (kind, string) result
+
+val inject : kind -> seed:int -> ?rate:float -> Prefix_trace.Trace.t -> Prefix_trace.Trace.t
+(** [inject kind ~seed ~rate t] corrupts roughly [rate] (default 1%) of
+    the kind's candidate events — at least one when any candidate
+    exists, so every injection produces a detectable fault on non-empty
+    inputs.  The input trace is not modified. *)

@@ -21,10 +21,39 @@ let default_config =
     cycle_params = Cycles.default_params;
     costs = Costs.default }
 
+type recovery = {
+  double_allocs : int;
+  unknown_accesses : int;
+  unknown_frees : int;
+  unknown_reallocs : int;
+  invalid_sizes : int;
+  policy_failures : int;
+}
+
+let no_recovery =
+  { double_allocs = 0;
+    unknown_accesses = 0;
+    unknown_frees = 0;
+    unknown_reallocs = 0;
+    invalid_sizes = 0;
+    policy_failures = 0 }
+
+let recovery_total r =
+  r.double_allocs + r.unknown_accesses + r.unknown_frees + r.unknown_reallocs
+  + r.invalid_sizes + r.policy_failures
+
+let pp_recovery ppf r =
+  Format.fprintf ppf
+    "double-allocs %d, unknown accesses %d, unknown frees %d, unknown reallocs %d, \
+     invalid sizes %d, policy failures %d"
+    r.double_allocs r.unknown_accesses r.unknown_frees r.unknown_reallocs r.invalid_sizes
+    r.policy_failures
+
 type outcome = {
   metrics : Metrics.t;
   heatmap : Heatmap.t option;
   attribution : Attribution.t option;
+  recovery : recovery;
 }
 
 (* Per-thread private L1 + TLBs, shared LLC. *)
@@ -120,13 +149,15 @@ let record_metrics ~(p : Policy.t) heap trace counters ~mem_refs ~elapsed_ns =
         p.Policy.name (Trace.length trace) (secs *. 1e3) rate
         p.Policy.stats.calls_avoided p.Policy.stats.recycle_evictions)
 
-let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy trace =
+let run ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
+    ?(attribute = false) ~policy trace =
   let heap = Allocator.create () in
   let p = policy heap in
   Span.with_ ~cat:"executor"
     ~args:[ ("policy", p.Policy.name); ("events", string_of_int (Trace.length trace)) ]
     ("replay:" ^ p.Policy.name)
   @@ fun () ->
+  let lenient = mode = Policy.Lenient in
   let obs_on = Obs.is_on () in
   let start_ns = if obs_on then Prefix_obs.Clock.now_ns () else 0L in
   let alloc_hist =
@@ -142,6 +173,17 @@ let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy tr
   let site_of : (int, int) Hashtbl.t = Hashtbl.create 4096 in
   let live : (int, int * int) Hashtbl.t = Hashtbl.create 4096 in
   let mem_refs = ref 0 in
+  (* Lenient-mode recovery tallies.  In strict mode these stay zero —
+     the first anomaly raises instead. *)
+  let r_double = ref 0 and r_access = ref 0 and r_free = ref 0 in
+  let r_realloc = ref 0 and r_size = ref 0 and r_policy = ref 0 in
+  (* A policy whose internal state was corrupted by a malformed event
+     stream may itself raise; in lenient mode that becomes a counted
+     failure and the event degrades to the fallback action. *)
+  let guarded ~fallback f =
+    if not lenient then f ()
+    else try f () with Invalid_argument _ | Failure _ | Not_found -> incr r_policy; fallback ()
+  in
   Trace.iteri
     (fun index e ->
       if obs_on && index land (snap_interval - 1) = 0 then
@@ -149,9 +191,34 @@ let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy tr
       match (e : Event.t) with
       | Compute _ -> ()
       | Alloc { obj; site; ctx; size; _ } ->
-        if Hashtbl.mem live obj then
-          invalid_arg (Printf.sprintf "Executor: object %d allocated twice" obj);
-        let addr = p.Policy.alloc ~obj ~site ~ctx ~size in
+        let size =
+          if size <= 0 && lenient then begin
+            (* Mutated/corrupted size: clamp to one granule. *)
+            incr r_size;
+            16
+          end
+          else size
+        in
+        if Hashtbl.mem live obj then begin
+          if not lenient then
+            invalid_arg (Printf.sprintf "Executor: object %d allocated twice" obj);
+          (* Colliding id: treat the old object as implicitly freed so
+             policy and allocator state stay consistent. *)
+          incr r_double;
+          (match Hashtbl.find_opt live obj with
+          | Some (oaddr, osize) ->
+            guarded
+              ~fallback:(fun () ->
+                if Allocator.is_allocated heap oaddr then Allocator.free heap oaddr)
+              (fun () -> p.Policy.dealloc ~obj ~addr:oaddr ~size:osize)
+          | None -> ());
+          Hashtbl.remove live obj
+        end;
+        let addr =
+          guarded
+            ~fallback:(fun () -> Allocator.malloc heap size)
+            (fun () -> p.Policy.alloc ~obj ~site ~ctx ~size)
+        in
         (match alloc_hist with
         | Some h -> Metric.observe h (float_of_int size)
         | None -> ());
@@ -159,7 +226,9 @@ let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy tr
         Hashtbl.replace live obj (addr, size)
       | Access { obj; offset; thread; write } -> (
         match Hashtbl.find_opt live obj with
-        | None -> invalid_arg (Printf.sprintf "Executor: access to unknown object %d" obj)
+        | None ->
+          if lenient then incr r_access
+          else invalid_arg (Printf.sprintf "Executor: access to unknown object %d" obj)
         | Some (addr, _) ->
           incr mem_refs;
           let a = addr + offset in
@@ -174,17 +243,45 @@ let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy tr
           | _ -> ()))
       | Free { obj; _ } -> (
         match Hashtbl.find_opt live obj with
-        | None -> invalid_arg (Printf.sprintf "Executor: free of unknown object %d" obj)
+        | None ->
+          if lenient then incr r_free
+          else invalid_arg (Printf.sprintf "Executor: free of unknown object %d" obj)
         | Some (addr, size) ->
-          p.Policy.dealloc ~obj ~addr ~size;
+          guarded
+            ~fallback:(fun () ->
+              if Allocator.is_allocated heap addr then Allocator.free heap addr)
+            (fun () -> p.Policy.dealloc ~obj ~addr ~size);
           Hashtbl.remove live obj)
       | Realloc { obj; new_size; _ } -> (
         match Hashtbl.find_opt live obj with
-        | None -> invalid_arg (Printf.sprintf "Executor: realloc of unknown object %d" obj)
+        | None ->
+          if lenient then incr r_realloc
+          else invalid_arg (Printf.sprintf "Executor: realloc of unknown object %d" obj)
         | Some (addr, old_size) ->
-          let fresh = p.Policy.realloc ~obj ~addr ~old_size ~new_size in
-          Hashtbl.replace live obj (fresh, new_size)))
+          if new_size <= 0 && lenient then
+            (* Corrupted size: keep the object as it is. *)
+            incr r_size
+          else begin
+            let fresh =
+              guarded
+                ~fallback:(fun () -> addr)
+                (fun () -> p.Policy.realloc ~obj ~addr ~old_size ~new_size)
+            in
+            Hashtbl.replace live obj (fresh, new_size)
+          end))
     trace;
+  let recovery =
+    { double_allocs = !r_double;
+      unknown_accesses = !r_access;
+      unknown_frees = !r_free;
+      unknown_reallocs = !r_realloc;
+      invalid_sizes = !r_size;
+      policy_failures = !r_policy }
+  in
+  if lenient && recovery_total recovery > 0 then
+    Log.warn (fun m ->
+        m "%s: lenient replay recovered from %d anomalies (%a)" p.Policy.name
+          (recovery_total recovery) pp_recovery recovery);
   let peak = Allocator.peak_bytes heap in
   let extent = Allocator.heap_extent heap in
   p.Policy.finish ();
@@ -192,7 +289,13 @@ let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy tr
   if obs_on then begin
     snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:!mem_refs;
     record_metrics ~p heap trace counters ~mem_refs:!mem_refs
-      ~elapsed_ns:(Int64.sub (Prefix_obs.Clock.now_ns ()) start_ns)
+      ~elapsed_ns:(Int64.sub (Prefix_obs.Clock.now_ns ()) start_ns);
+    Metric.add (Metric.counter "executor.recovered.double_alloc") recovery.double_allocs;
+    Metric.add (Metric.counter "executor.recovered.unknown_access") recovery.unknown_accesses;
+    Metric.add (Metric.counter "executor.recovered.unknown_free") recovery.unknown_frees;
+    Metric.add (Metric.counter "executor.recovered.unknown_realloc") recovery.unknown_reallocs;
+    Metric.add (Metric.counter "executor.recovered.invalid_size") recovery.invalid_sizes;
+    Metric.add (Metric.counter "executor.recovered.policy_failure") recovery.policy_failures
   end;
   let instructions = Trace.total_instructions trace + p.Policy.stats.mgmt_instrs in
   let threads = max 1 (Array.length mem.l1s) in
@@ -230,10 +333,10 @@ let run ?(config = default_config) ?heatmap_objs ?(attribute = false) ~policy tr
       region_hds_objects = p.Policy.stats.region_hds_objects;
       threads }
   in
-  { metrics; heatmap; attribution }
+  { metrics; heatmap; attribution; recovery }
 
-let run_baseline ?config trace =
+let run_baseline ?config ?mode trace =
   let costs =
     match config with Some c -> c.costs | None -> default_config.costs
   in
-  run ?config ~policy:(fun heap -> Policy.baseline costs heap) trace
+  run ?config ?mode ~policy:(fun heap -> Policy.baseline costs heap) trace

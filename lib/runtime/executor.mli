@@ -17,15 +17,36 @@ val default_config : config
 (** Scaled hierarchy (see {!Prefix_cachesim.Hierarchy.scaled_config}),
     default cycle parameters and costs. *)
 
+type recovery = {
+  double_allocs : int;  (** allocations of an already-live id (treated as implicit free) *)
+  unknown_accesses : int;  (** accesses to never-allocated or freed ids (skipped) *)
+  unknown_frees : int;  (** stray / double frees (skipped) *)
+  unknown_reallocs : int;  (** reallocs of unknown ids (skipped) *)
+  invalid_sizes : int;  (** non-positive alloc/realloc sizes (clamped / kept) *)
+  policy_failures : int;
+      (** policy calls that raised and degraded to a plain heap action *)
+}
+(** What a lenient replay recovered from.  All-zero in strict mode (the
+    first anomaly raises) and on well-formed traces in either mode. *)
+
+val no_recovery : recovery
+
+val recovery_total : recovery -> int
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
 type outcome = {
   metrics : Metrics.t;
   heatmap : Prefix_cachesim.Heatmap.t option;
   attribution : Attribution.t option;
       (** per-site miss attribution, when requested *)
+  recovery : recovery;
+      (** lenient-mode recovery actions taken during the replay *)
 }
 
 val run :
   ?config:config ->
+  ?mode:Policy.mode ->
   ?heatmap_objs:(int -> bool) ->
   ?attribute:bool ->
   policy:(Prefix_heap.Allocator.t -> Policy.t) ->
@@ -35,8 +56,15 @@ val run :
     policy on it, and replays every event.  [heatmap_objs] selects the
     objects whose accesses feed the Figure 9 heatmap; [attribute] turns
     on per-site miss attribution (both off by default — they cost
-    memory).  Raises [Invalid_argument] on malformed traces (allocation
-    of a live id, access to an unknown id, ...). *)
+    memory).
 
-val run_baseline : ?config:config -> Prefix_trace.Trace.t -> outcome
+    [mode] defaults to [Strict], which raises [Invalid_argument] on
+    malformed traces (allocation of a live id, access to an unknown id,
+    ...).  [Lenient] never raises on malformed input: every anomaly
+    becomes a counted recovery action (reported in the outcome's
+    [recovery] field and, when observability is on, the
+    [executor.recovered.*] metric counters). *)
+
+val run_baseline :
+  ?config:config -> ?mode:Policy.mode -> Prefix_trace.Trace.t -> outcome
 (** Shorthand for running the {!Policy.baseline}. *)

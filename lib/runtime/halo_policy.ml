@@ -1,14 +1,31 @@
 module Allocator = Prefix_heap.Allocator
 module Halo = Prefix_halo.Halo
+module Metric = Prefix_obs.Metric
 
-let policy (costs : Costs.t) heap (plan : Halo.plan) (cls : Policy.classification) =
+let policy ?(mode = Policy.Strict) ?region_cap (costs : Costs.t) heap (plan : Halo.plan)
+    (cls : Policy.classification) =
   let stats = Policy.fresh_stats () in
   let group_of_ctx = Hashtbl.create 64 in
   List.iteri
     (fun i g -> List.iter (fun ctx -> Hashtbl.replace group_of_ctx ctx i) g)
     plan.groups;
   let pools =
-    Array.init (List.length plan.groups) (fun _ -> Region.create heap ~chunk_bytes:(16 * 1024))
+    Array.init (List.length plan.groups) (fun _ ->
+        Region.create ?max_bytes:region_cap heap ~chunk_bytes:(16 * 1024))
+  in
+  let exhausted = Metric.counter "policy.region_exhausted" in
+  (* Pool full: lenient mode degrades to the plain heap (counted);
+     strict mode lets [Region.alloc] raise. *)
+  let pool_alloc pool size =
+    match mode with
+    | Policy.Strict -> Region.alloc pool size
+    | Policy.Lenient -> (
+      match Region.try_alloc pool size with
+      | Some addr -> addr
+      | None ->
+        stats.degraded_fallbacks <- stats.degraded_fallbacks + 1;
+        Metric.incr exhausted;
+        Allocator.malloc heap size)
   in
   let in_any_pool addr = Array.exists (fun p -> Region.contains p addr) pools in
   { Policy.name = "HALO";
@@ -26,7 +43,7 @@ let policy (costs : Costs.t) heap (plan : Halo.plan) (cls : Policy.classificatio
           stats.region_objects <- stats.region_objects + 1;
           if cls.is_hot obj then stats.region_hot_objects <- stats.region_hot_objects + 1;
           if cls.is_hds obj then stats.region_hds_objects <- stats.region_hds_objects + 1;
-          Region.alloc pools.(g) size
+          pool_alloc pools.(g) size
         | None ->
           stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;
           Allocator.malloc heap size);

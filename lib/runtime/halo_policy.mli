@@ -7,8 +7,15 @@
     pollution). *)
 
 val policy :
+  ?mode:Policy.mode ->
+  ?region_cap:int ->
   Costs.t ->
   Prefix_heap.Allocator.t ->
   Prefix_halo.Halo.plan ->
   Policy.classification ->
   Policy.t
+(** [mode] (default [Strict]) and [region_cap] (per-pool byte cap)
+    behave as in {!Hds_policy.policy}: a full pool raises in strict
+    mode and degrades to plain malloc (counted in
+    [stats.degraded_fallbacks] / [policy.region_exhausted]) in lenient
+    mode. *)

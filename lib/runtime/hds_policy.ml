@@ -2,6 +2,7 @@ module Allocator = Prefix_heap.Allocator
 module Detector = Prefix_hds.Detector
 module Hds = Prefix_hds.Hds
 module Trace_stats = Prefix_trace.Trace_stats
+module Metric = Prefix_obs.Metric
 
 type plan = { interesting_sites : int list }
 
@@ -15,11 +16,26 @@ let plan_of_trace ?detector stats trace =
   in
   { interesting_sites = sites }
 
-let policy (costs : Costs.t) heap plan (cls : Policy.classification) =
+let policy ?(mode = Policy.Strict) ?region_cap (costs : Costs.t) heap plan
+    (cls : Policy.classification) =
   let stats = Policy.fresh_stats () in
   let interesting = Hashtbl.create 16 in
   List.iter (fun s -> Hashtbl.replace interesting s ()) plan.interesting_sites;
-  let region = Region.create heap ~chunk_bytes:(256 * 1024) in
+  let region = Region.create ?max_bytes:region_cap heap ~chunk_bytes:(256 * 1024) in
+  let exhausted = Metric.counter "policy.region_exhausted" in
+  (* Region full: in lenient mode the object degrades to a plain heap
+     allocation (counted); in strict mode [Region.alloc] raises. *)
+  let region_alloc size =
+    match mode with
+    | Policy.Strict -> Region.alloc region size
+    | Policy.Lenient -> (
+      match Region.try_alloc region size with
+      | Some addr -> addr
+      | None ->
+        stats.degraded_fallbacks <- stats.degraded_fallbacks + 1;
+        Metric.incr exhausted;
+        Allocator.malloc heap size)
+  in
   { Policy.name = "HDS";
     alloc =
       (fun ~obj ~site ~ctx:_ ~size ->
@@ -30,7 +46,7 @@ let policy (costs : Costs.t) heap plan (cls : Policy.classification) =
           stats.region_objects <- stats.region_objects + 1;
           if cls.is_hot obj then stats.region_hot_objects <- stats.region_hot_objects + 1;
           if cls.is_hds obj then stats.region_hds_objects <- stats.region_hds_objects + 1;
-          Region.alloc region size
+          region_alloc size
         end
         else begin
           stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;

@@ -19,8 +19,15 @@ val plan_of_trace :
   plan
 
 val policy :
+  ?mode:Policy.mode ->
+  ?region_cap:int ->
   Costs.t ->
   Prefix_heap.Allocator.t ->
   plan ->
   Policy.classification ->
   Policy.t
+(** [mode] (default [Strict]) controls what happens when the bump
+    region is exhausted (only possible with [region_cap], a byte cap on
+    the region): strict raises, lenient degrades the allocation to
+    plain malloc and counts it in [stats.degraded_fallbacks] and the
+    [policy.region_exhausted] metric. *)

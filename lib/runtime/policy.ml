@@ -1,5 +1,9 @@
 module Allocator = Prefix_heap.Allocator
 
+type mode = Strict | Lenient
+
+let mode_name = function Strict -> "strict" | Lenient -> "lenient"
+
 type stats = {
   mutable mgmt_instrs : int;
   mutable calls_avoided : int;
@@ -7,6 +11,7 @@ type stats = {
   mutable region_hot_objects : int;
   mutable region_hds_objects : int;
   mutable recycle_evictions : int;
+  mutable degraded_fallbacks : int;
 }
 
 let fresh_stats () =
@@ -15,7 +20,8 @@ let fresh_stats () =
     region_objects = 0;
     region_hot_objects = 0;
     region_hds_objects = 0;
-    recycle_evictions = 0 }
+    recycle_evictions = 0;
+    degraded_fallbacks = 0 }
 
 type t = {
   name : string;

@@ -6,6 +6,15 @@
     policy decides where every object lives and accounts for the
     instructions its management code executes. *)
 
+type mode = Strict | Lenient
+(** Failure posture of a policy (and of the {!Executor}).  [Strict]
+    preserves the fail-fast behaviour: malformed input and exhausted
+    regions raise.  [Lenient] turns every such condition into a
+    counted, logged recovery action (degrade to plain malloc, skip the
+    event) so replay is guaranteed crash-free on corrupted traces. *)
+
+val mode_name : mode -> string
+
 type stats = {
   mutable mgmt_instrs : int;
       (** all instructions spent on the allocation paths (standard
@@ -24,6 +33,10 @@ type stats = {
       (** recycled-slot allocations that found their slot still
           occupied by a live object and fell back to malloc (the
           Figure 7 map collided) *)
+  mutable degraded_fallbacks : int;
+      (** lenient-mode graceful degradations: region-exhaustion (or
+          other recoverable failure) paths that fell back to plain
+          malloc instead of raising *)
 }
 
 val fresh_stats : unit -> stats

@@ -15,7 +15,8 @@ type counter_state = {
   required_ctx : int option; (* hybrid gate (§2.2.2) *)
 }
 
-let policy (costs : Costs.t) heap (plan : Plan.t) (cls : Policy.classification) =
+let policy ?(mode = Policy.Strict) (costs : Costs.t) heap (plan : Plan.t)
+    (cls : Policy.classification) =
   let stats = Policy.fresh_stats () in
   let arena =
     Arena.create heap
@@ -104,6 +105,10 @@ let policy (costs : Costs.t) heap (plan : Plan.t) (cls : Policy.classification) 
         (* Figure 5: every free checks against the preallocated region. *)
         stats.mgmt_instrs <- stats.mgmt_instrs + costs.arena_free_instrs;
         match Arena.slot_of_addr arena addr with
+        | Some slot when mode = Policy.Lenient && Arena.is_free arena slot ->
+          (* Double release of a slot (corrupted trace): count and skip
+             instead of letting [Arena.release] raise. *)
+          stats.degraded_fallbacks <- stats.degraded_fallbacks + 1
         | Some slot ->
           Arena.release arena slot;
           stats.calls_avoided <- stats.calls_avoided + 1
@@ -124,7 +129,11 @@ let policy (costs : Costs.t) heap (plan : Plan.t) (cls : Policy.classification) 
             let fresh = fallback_malloc new_size in
             stats.mgmt_instrs <-
               stats.mgmt_instrs + (old_size / 16 * costs.memcpy_instrs_per_16b);
-            Arena.release arena slot;
+            if mode = Policy.Lenient && Arena.is_free arena slot then
+              (* Corrupted trace realloc'd an address whose slot is not
+                 live; nothing to release. *)
+              stats.degraded_fallbacks <- stats.degraded_fallbacks + 1
+            else Arena.release arena slot;
             fresh
           end
         | None ->

@@ -13,11 +13,17 @@
     is correct whatever the real run does. *)
 
 val policy :
+  ?mode:Policy.mode ->
   Costs.t ->
   Prefix_heap.Allocator.t ->
   Prefix_core.Plan.t ->
   Policy.classification ->
   Policy.t
+(** [mode] (default [Strict]): in lenient mode, arena-slot
+    double-releases caused by corrupted traces are counted in
+    [stats.degraded_fallbacks] and skipped instead of raising.  (The
+    arena itself cannot be exhausted — unplaced allocations already
+    fall back to malloc by construction.) *)
 
 val arena_of : Policy.t -> Prefix_heap.Arena.t option
 (** The preallocated arena behind a PreFix policy (for tests and the

@@ -5,15 +5,27 @@ type chunk = { base : int; size : int; mutable used : int }
 type t = {
   heap : Allocator.t;
   chunk_bytes : int;
+  max_bytes : int option; (* cap on total chunk bytes; None = unbounded *)
   mutable chunks : chunk list; (* newest first *)
+  mutable chunk_total : int; (* sum of chunk sizes *)
   mutable objects : int;
   mutable bytes : int;
   free_lists : (int, int list ref) Hashtbl.t; (* rounded size -> addrs *)
 }
 
-let create heap ~chunk_bytes =
+let create ?max_bytes heap ~chunk_bytes =
   if chunk_bytes <= 0 then invalid_arg "Region.create: chunk size must be positive";
-  { heap; chunk_bytes; chunks = []; objects = 0; bytes = 0; free_lists = Hashtbl.create 8 }
+  (match max_bytes with
+  | Some m when m <= 0 -> invalid_arg "Region.create: max_bytes must be positive"
+  | _ -> ());
+  { heap;
+    chunk_bytes;
+    max_bytes;
+    chunks = [];
+    chunk_total = 0;
+    objects = 0;
+    bytes = 0;
+    free_lists = Hashtbl.create 8 }
 
 let align = 16
 
@@ -26,29 +38,53 @@ let pop_free t want =
     Some addr
   | _ -> None
 
-let alloc t size =
+(* [try_alloc] returns [None] only when growing past [max_bytes] would
+   be required: free-list reuse and space left in the current chunk
+   never count against the cap. *)
+let try_alloc t size =
   if size <= 0 then invalid_arg "Region.alloc: size must be positive";
   let want = round_up size in
   match pop_free t want with
   | Some addr ->
     t.objects <- t.objects + 1;
-    addr
+    Some addr
   | None ->
-  let chunk =
-    match t.chunks with
-    | c :: _ when c.size - c.used >= want -> c
-    | _ ->
-      let csize = max t.chunk_bytes want in
-      let base = Allocator.malloc t.heap csize in
-      let c = { base; size = csize; used = 0 } in
-      t.chunks <- c :: t.chunks;
-      c
-  in
-  let addr = chunk.base + chunk.used in
-  chunk.used <- chunk.used + want;
-  t.objects <- t.objects + 1;
-  t.bytes <- t.bytes + want;
-  addr
+    let chunk =
+      match t.chunks with
+      | c :: _ when c.size - c.used >= want -> Some c
+      | _ ->
+        let csize = max t.chunk_bytes want in
+        let within_cap =
+          match t.max_bytes with
+          | Some m -> t.chunk_total + csize <= m
+          | None -> true
+        in
+        if not within_cap then None
+        else begin
+          let base = Allocator.malloc t.heap csize in
+          let c = { base; size = csize; used = 0 } in
+          t.chunks <- c :: t.chunks;
+          t.chunk_total <- t.chunk_total + csize;
+          Some c
+        end
+    in
+    match chunk with
+    | None -> None
+    | Some chunk ->
+      let addr = chunk.base + chunk.used in
+      chunk.used <- chunk.used + want;
+      t.objects <- t.objects + 1;
+      t.bytes <- t.bytes + want;
+      Some addr
+
+let alloc t size =
+  match try_alloc t size with
+  | Some addr -> addr
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Region.alloc: region exhausted (%d chunk bytes, cap %d)"
+         t.chunk_total
+         (Option.value ~default:0 t.max_bytes))
 
 let contains t addr =
   List.exists (fun c -> addr >= c.base && addr < c.base + c.size) t.chunks
@@ -64,8 +100,10 @@ let chunks t = List.map (fun c -> (c.base, c.size)) t.chunks
 
 let allocated_objects t = t.objects
 let allocated_bytes t = t.bytes
+let chunk_bytes_total t = t.chunk_total
 
 let dispose t =
   List.iter (fun c -> Allocator.free t.heap c.base) t.chunks;
   t.chunks <- [];
+  t.chunk_total <- 0;
   Hashtbl.reset t.free_lists

@@ -7,12 +7,22 @@
 
 type t
 
-val create : Prefix_heap.Allocator.t -> chunk_bytes:int -> t
+val create : ?max_bytes:int -> Prefix_heap.Allocator.t -> chunk_bytes:int -> t
+(** [max_bytes] caps the total bytes of chunks the region may hold
+    (rounded up to whole chunks); unbounded when omitted.  A capped
+    region models a fixed-size preallocated area that can run out under
+    deployment drift. *)
 
 val alloc : t -> int -> int
 (** Bump-allocate [size] bytes (16-byte aligned); grows by a new chunk
     when the current one is exhausted.  Oversized requests get a
-    dedicated chunk. *)
+    dedicated chunk.  Raises [Invalid_argument] when growing would
+    exceed [max_bytes] — use {!try_alloc} for a non-raising variant. *)
+
+val try_alloc : t -> int -> int option
+(** Like {!alloc} but returns [None] instead of raising when the region
+    is exhausted (the graceful-degradation path: callers fall back to
+    plain malloc).  Still raises on non-positive sizes. *)
 
 val contains : t -> int -> bool
 (** Whether an address lies in any of the region's chunks. *)
@@ -29,6 +39,9 @@ val chunks : t -> (int * int) list
 
 val allocated_objects : t -> int
 val allocated_bytes : t -> int
+
+val chunk_bytes_total : t -> int
+(** Total bytes currently held in chunks (what [max_bytes] caps). *)
 
 val dispose : t -> unit
 (** Return all chunks to the heap. *)

@@ -31,7 +31,10 @@ let get_uvarint c =
       let b = Char.code (Bytes.get c.data c.pos) in
       c.pos <- c.pos + 1;
       let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 = 0 then Ok acc
+      if b land 0x80 = 0 then
+        (* High continuation bytes can shift into the sign bit on
+           corrupted input; an unsigned varint is never negative. *)
+        if acc < 0 then Error "varint overflows" else Ok acc
       else if shift > 56 then Error "varint too long"
       else go (shift + 7) acc
     end
@@ -103,7 +106,16 @@ let read data =
   let* v = get_uvarint c in
   let* () = if v <> version then Error (Printf.sprintf "unsupported version %d" v) else Ok () in
   let* count = get_uvarint c in
-  let trace = Trace.create ~capacity:count () in
+  (* Every encoded event occupies at least 3 bytes (tag + two varint
+     fields); a count beyond that bound is a corrupted header and must
+     not drive the buffer allocation below. *)
+  let* () =
+    if count > (Bytes.length data - c.pos) then
+      Error (Printf.sprintf "implausible event count %d for %d payload bytes" count
+               (Bytes.length data - c.pos))
+    else Ok ()
+  in
+  let trace = Trace.create ~capacity:(min count (1 lsl 20)) () in
   let st = { obj = 0; site = 0; ctx = 0 } in
   let rec events remaining =
     if remaining = 0 then Ok trace

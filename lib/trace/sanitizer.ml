@@ -1,0 +1,242 @@
+type anomaly =
+  | Duplicate_alloc
+  | Use_after_free
+  | Unknown_access
+  | Out_of_bounds
+  | Double_free
+  | Unknown_free
+  | Unknown_realloc
+  | Nonpositive_size
+  | Negative_field
+  | Leak
+
+let all =
+  [ Duplicate_alloc;
+    Use_after_free;
+    Unknown_access;
+    Out_of_bounds;
+    Double_free;
+    Unknown_free;
+    Unknown_realloc;
+    Nonpositive_size;
+    Negative_field;
+    Leak ]
+
+let name = function
+  | Duplicate_alloc -> "duplicate_alloc"
+  | Use_after_free -> "use_after_free"
+  | Unknown_access -> "unknown_access"
+  | Out_of_bounds -> "out_of_bounds"
+  | Double_free -> "double_free"
+  | Unknown_free -> "unknown_free"
+  | Unknown_realloc -> "unknown_realloc"
+  | Nonpositive_size -> "nonpositive_size"
+  | Negative_field -> "negative_field"
+  | Leak -> "leak"
+
+type report = {
+  events_in : int;
+  events_out : int;
+  counts : (anomaly * int) list;
+  dropped : int;
+  synthesized : int;
+  rewritten : int;
+}
+
+let count report a = try List.assoc a report.counts with Not_found -> 0
+
+let total report = List.fold_left (fun acc (_, n) -> acc + n) 0 report.counts
+
+(* Real programs exit with objects still live, so a leak by itself does
+   not make a trace unreplayable — every other kind does. *)
+let structural report = total report - count report Leak
+
+let clean report = structural report = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d events in, %d out; %d anomalies" r.events_in r.events_out
+    (total r);
+  if total r > 0 then begin
+    Format.fprintf ppf " (";
+    let first = ref true in
+    List.iter
+      (fun (a, n) ->
+        if n > 0 then begin
+          if not !first then Format.fprintf ppf ", ";
+          first := false;
+          Format.fprintf ppf "%s %d" (name a) n
+        end)
+      r.counts;
+    Format.fprintf ppf "); %d dropped, %d synthesized, %d rewritten" r.dropped
+      r.synthesized r.rewritten
+  end
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+(* Single pass over the event stream.  [out = Some trace] repairs into
+   [trace]; [None] only classifies.  Object state mirrors the strict
+   executor's view: a sanitized trace is exactly one a strict
+   {!Prefix_runtime.Executor} accepts. *)
+type obj_state = Live of int (* size *) | Freed
+
+let granule = 16
+
+let run ~out t =
+  let states : (int, obj_state) Hashtbl.t = Hashtbl.create 1024 in
+  let counts = Hashtbl.create 16 in
+  let dropped = ref 0 and synthesized = ref 0 and rewritten = ref 0 in
+  let note a = Hashtbl.replace counts a (1 + Option.value ~default:0 (Hashtbl.find_opt counts a)) in
+  let emit e = match out with Some o -> Trace.add o e | None -> () in
+  let synth e =
+    incr synthesized;
+    emit e
+  in
+  let drop () = incr dropped in
+  (* Clamp a negative thread id (repair counts once per field). *)
+  let fix_thread thread =
+    if thread < 0 then begin
+      note Negative_field;
+      incr rewritten;
+      0
+    end
+    else thread
+  in
+  Trace.iter
+    (fun e ->
+      match (e : Event.t) with
+      | Compute { instrs; thread } ->
+        let thread = fix_thread thread in
+        let instrs =
+          if instrs < 0 then begin
+            note Negative_field;
+            incr rewritten;
+            0
+          end
+          else instrs
+        in
+        emit (Compute { instrs; thread })
+      | Alloc { obj; site; ctx; size; thread } ->
+        let thread = fix_thread thread in
+        let size =
+          if size <= 0 then begin
+            note Nonpositive_size;
+            incr rewritten;
+            granule
+          end
+          else size
+        in
+        (match Hashtbl.find_opt states obj with
+        | Some (Live _) ->
+          (* Colliding id: the previous incarnation's free was lost —
+             synthesize it so the id is re-allocatable. *)
+          note Duplicate_alloc;
+          synth (Free { obj; thread })
+        | Some Freed | None -> ());
+        Hashtbl.replace states obj (Live size);
+        emit (Alloc { obj; site; ctx; size; thread })
+      | Access { obj; offset; write; thread } -> (
+        let thread = fix_thread thread in
+        let materialize kind =
+          (* Unknown or freed object: synthesize an allocation large
+             enough for this access so replay can proceed. *)
+          note kind;
+          let size = max granule (((max offset 0 + 1) + granule - 1) / granule * granule) in
+          synth (Alloc { obj; site = 0; ctx = 0; size; thread });
+          Hashtbl.replace states obj (Live size);
+          size
+        in
+        let size =
+          match Hashtbl.find_opt states obj with
+          | Some (Live size) -> size
+          | Some Freed -> materialize Use_after_free
+          | None -> materialize Unknown_access
+        in
+        let offset =
+          if offset < 0 then begin
+            note Negative_field;
+            incr rewritten;
+            0
+          end
+          else if offset >= size then begin
+            note Out_of_bounds;
+            incr rewritten;
+            size - 1
+          end
+          else offset
+        in
+        emit (Access { obj; offset; write; thread }))
+      | Free { obj; thread } -> (
+        let thread = fix_thread thread in
+        match Hashtbl.find_opt states obj with
+        | Some (Live _) ->
+          Hashtbl.replace states obj Freed;
+          emit (Free { obj; thread })
+        | Some Freed ->
+          note Double_free;
+          drop ()
+        | None ->
+          note Unknown_free;
+          drop ())
+      | Realloc { obj; new_size; thread } -> (
+        let thread = fix_thread thread in
+        let new_size =
+          if new_size <= 0 then begin
+            note Nonpositive_size;
+            incr rewritten;
+            granule
+          end
+          else new_size
+        in
+        match Hashtbl.find_opt states obj with
+        | Some (Live _) ->
+          Hashtbl.replace states obj (Live new_size);
+          emit (Realloc { obj; new_size; thread })
+        | Some Freed | None ->
+          (* Realloc of a dead or unknown id acts as a fresh allocation
+             of the requested size. *)
+          note Unknown_realloc;
+          incr rewritten;
+          Hashtbl.replace states obj (Live new_size);
+          emit (Alloc { obj; site = 0; ctx = 0; size = new_size; thread = max thread 0 }))
+      )
+    t;
+  (* Objects still live at the end: dropped frees or a truncated tail.
+     Repair closes them so the sanitized trace is leak-free. *)
+  let leaked =
+    Hashtbl.fold (fun obj st acc -> match st with Live _ -> obj :: acc | Freed -> acc) states []
+    |> List.sort compare
+  in
+  List.iter
+    (fun obj ->
+      note Leak;
+      synth (Free { obj; thread = 0 }))
+    leaked;
+  let counts = List.map (fun a -> (a, Option.value ~default:0 (Hashtbl.find_opt counts a))) all in
+  fun events_out ->
+    { events_in = Trace.length t;
+      events_out;
+      counts;
+      dropped = !dropped;
+      synthesized = !synthesized;
+      rewritten = !rewritten }
+
+let scan t = (run ~out:None t) (Trace.length t)
+
+let sanitize t =
+  let out = Trace.create ~capacity:(Trace.length t) () in
+  let mk = run ~out:(Some out) t in
+  (out, mk (Trace.length out))
+
+let check t =
+  let r = scan t in
+  if clean r then Ok t else Error r
+
+module Metric = Prefix_obs.Metric
+
+let export_metrics r =
+  List.iter
+    (fun (a, n) -> Metric.add (Metric.counter ("sanitizer." ^ name a)) n)
+    r.counts;
+  Metric.add (Metric.counter "sanitizer.events_dropped") r.dropped;
+  Metric.add (Metric.counter "sanitizer.events_synthesized") r.synthesized;
+  Metric.add (Metric.counter "sanitizer.events_rewritten") r.rewritten

@@ -1,0 +1,76 @@
+(** Trace sanitizer: single-pass validation, anomaly classification and
+    repair of possibly-corrupted event streams.
+
+    Real deployments feed the replay stack traces that drifted from the
+    profile: dropped frees (leaks), duplicate frees, colliding
+    allocation ids, out-of-order events, truncated tails, mutated
+    sizes.  The sanitizer classifies each such anomaly into a per-kind
+    counter and can {e repair} the stream — synthesize the missing
+    allocation, drop the stray free, clamp the corrupt size — into a
+    trace that a strict {!Prefix_runtime.Executor} replays without
+    raising.  Counters are exported through the {!Prefix_obs.Metric}
+    registry as [sanitizer.<kind>]. *)
+
+type anomaly =
+  | Duplicate_alloc  (** alloc of an id that is still live *)
+  | Use_after_free  (** access to a freed id *)
+  | Unknown_access  (** access to a never-allocated id *)
+  | Out_of_bounds  (** access offset outside the object's size *)
+  | Double_free  (** free of a freed id *)
+  | Unknown_free  (** free of a never-allocated id *)
+  | Unknown_realloc  (** realloc of a freed or never-allocated id *)
+  | Nonpositive_size  (** alloc/realloc size [<= 0] *)
+  | Negative_field  (** negative offset, thread or instruction count *)
+  | Leak  (** object still live at end of trace (dropped free / truncation) *)
+
+val all : anomaly list
+(** Every kind, in a fixed order (the order of [report.counts]). *)
+
+val name : anomaly -> string
+(** Stable snake_case name, also the metric suffix. *)
+
+type report = {
+  events_in : int;
+  events_out : int;  (** [= events_in] for {!scan} *)
+  counts : (anomaly * int) list;  (** one entry per {!all} member *)
+  dropped : int;  (** events removed by repair *)
+  synthesized : int;  (** events invented by repair (allocs, closing frees) *)
+  rewritten : int;  (** events kept with a field fixed (clamped size/offset) *)
+}
+(** For {!scan}, [dropped]/[synthesized]/[rewritten] describe what a
+    repair {e would} do. *)
+
+val count : report -> anomaly -> int
+
+val total : report -> int
+(** Sum of all anomaly counts. *)
+
+val structural : report -> int
+(** Sum of all anomaly counts except {!Leak}: realistic traces end with
+    objects still live, and a leak alone never breaks a strict replay. *)
+
+val clean : report -> bool
+(** [structural = 0].  Leaks are reported and repaired but do not make
+    a trace unclean. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_string : report -> string
+
+val scan : Trace.t -> report
+(** Classify without building a repaired trace. *)
+
+val sanitize : Trace.t -> Trace.t * report
+(** Repair: returns a trace with every anomaly fixed — replayable by a
+    strict executor and leak-free — plus the classification report.
+    A clean input round-trips unchanged. *)
+
+val check : Trace.t -> (Trace.t, report) result
+(** Reject: [Ok t] iff the trace is anomaly-free, otherwise the
+    structured report (used by strict mode to fail fast). *)
+
+val export_metrics : report -> unit
+(** Add the report's counters into the {!Prefix_obs.Metric} registry
+    ([sanitizer.duplicate_alloc], ..., [sanitizer.events_dropped],
+    [sanitizer.events_synthesized], [sanitizer.events_rewritten]).
+    No-op while observability is off. *)

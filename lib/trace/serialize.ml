@@ -16,17 +16,51 @@ let event_of_line line : (Event.t, string) result =
     try Ok (List.map int_of_string parts)
     with _ -> Error (Printf.sprintf "malformed integer in %S" line)
   in
+  (* Field sanity: negative ids/threads/offsets and non-positive sizes
+     describe no real allocation and are rejected here, not deferred to
+     a crash deep inside replay. *)
+  let ( let* ) = Result.bind in
+  let nonneg what v =
+    if v < 0 then Error (Printf.sprintf "negative %s %d in %S" what v line) else Ok v
+  in
+  let positive what v =
+    if v <= 0 then Error (Printf.sprintf "non-positive %s %d in %S" what v line) else Ok v
+  in
   match split_ws line with
   | [] -> Error "empty line"
   | tag :: rest -> (
     match (tag, ints rest) with
     | _, Error e -> Error e
-    | "A", Ok [ obj; site; ctx; size; thread ] -> Ok (Alloc { obj; site; ctx; size; thread })
-    | "L", Ok [ obj; offset; thread ] -> Ok (Access { obj; offset; write = false; thread })
-    | "S", Ok [ obj; offset; thread ] -> Ok (Access { obj; offset; write = true; thread })
-    | "F", Ok [ obj; thread ] -> Ok (Free { obj; thread })
-    | "R", Ok [ obj; new_size; thread ] -> Ok (Realloc { obj; new_size; thread })
-    | "C", Ok [ instrs; thread ] -> Ok (Compute { instrs; thread })
+    | "A", Ok [ obj; site; ctx; size; thread ] ->
+      let* obj = nonneg "object id" obj in
+      let* site = nonneg "site id" site in
+      let* ctx = nonneg "context id" ctx in
+      let* size = positive "size" size in
+      let* thread = nonneg "thread id" thread in
+      Ok (Event.Alloc { obj; site; ctx; size; thread })
+    | "L", Ok [ obj; offset; thread ] ->
+      let* obj = nonneg "object id" obj in
+      let* offset = nonneg "offset" offset in
+      let* thread = nonneg "thread id" thread in
+      Ok (Event.Access { obj; offset; write = false; thread })
+    | "S", Ok [ obj; offset; thread ] ->
+      let* obj = nonneg "object id" obj in
+      let* offset = nonneg "offset" offset in
+      let* thread = nonneg "thread id" thread in
+      Ok (Event.Access { obj; offset; write = true; thread })
+    | "F", Ok [ obj; thread ] ->
+      let* obj = nonneg "object id" obj in
+      let* thread = nonneg "thread id" thread in
+      Ok (Event.Free { obj; thread })
+    | "R", Ok [ obj; new_size; thread ] ->
+      let* obj = nonneg "object id" obj in
+      let* new_size = positive "size" new_size in
+      let* thread = nonneg "thread id" thread in
+      Ok (Event.Realloc { obj; new_size; thread })
+    | "C", Ok [ instrs; thread ] ->
+      let* instrs = nonneg "instruction count" instrs in
+      let* thread = nonneg "thread id" thread in
+      Ok (Event.Compute { instrs; thread })
     | _ -> Error (Printf.sprintf "unrecognised event line %S" line))
 
 let write oc trace =

@@ -49,6 +49,40 @@ let test_region_reuse () =
   let d = Region.alloc r 64 in
   Alcotest.(check bool) "size classes separate" true (d <> c)
 
+let test_region_exhaustion () =
+  let heap = Allocator.create () in
+  let r = Region.create ~max_bytes:256 heap ~chunk_bytes:128 in
+  ignore (Region.alloc r 100);
+  ignore (Region.alloc r 100);
+  (* cap reached: try_alloc degrades to None, alloc raises *)
+  Alcotest.(check bool) "try_alloc exhausted" true (Region.try_alloc r 100 = None);
+  (match Region.alloc r 100 with
+  | _ -> Alcotest.fail "alloc past the cap succeeded"
+  | exception Invalid_argument _ -> ());
+  (* free-list hits still work at the cap *)
+  let a = Region.alloc r 16 in
+  Region.release r a 16;
+  Alcotest.(check bool) "free-list reuse at cap" true (Region.try_alloc r 16 = Some a);
+  Alcotest.(check bool) "cap counts chunk bytes" true (Region.chunk_bytes_total r <= 256)
+
+let test_arena_double_occupy_release () =
+  let heap = Allocator.create () in
+  let arena =
+    Arena.create heap
+      [ { Arena.slot_offset = 0; slot_size = 64 };
+        { Arena.slot_offset = 64; slot_size = 64 } ]
+  in
+  let slot = 1 in
+  Arena.occupy arena slot;
+  (match Arena.occupy arena slot with
+  | () -> Alcotest.fail "double occupy succeeded"
+  | exception Invalid_argument _ -> ());
+  Arena.release arena slot;
+  (match Arena.release arena slot with
+  | () -> Alcotest.fail "double release succeeded"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "slot free again" true (Arena.is_free arena slot)
+
 let test_region_dispose () =
   let heap = Allocator.create () in
   let before = Allocator.live_bytes heap in
@@ -380,6 +414,9 @@ let suite =
       [ Alcotest.test_case "bump" `Quick test_region_bump;
         Alcotest.test_case "grows" `Quick test_region_grows;
         Alcotest.test_case "free-list reuse" `Quick test_region_reuse;
+        Alcotest.test_case "exhaustion" `Quick test_region_exhaustion;
+        Alcotest.test_case "arena double occupy/release" `Quick
+          test_arena_double_occupy_release;
         Alcotest.test_case "dispose" `Quick test_region_dispose ] );
     ( "policies",
       [ Alcotest.test_case "baseline costs" `Quick test_baseline_costs;

@@ -152,6 +152,38 @@ let prop_binfmt_roundtrip =
       | Ok t' -> Trace.to_list t' = es
       | Error _ -> false)
 
+(* Decode fuzz: random byte flips and truncations of a valid encoding
+   must yield [Ok] or [Error] — never an exception (and never an
+   absurd allocation). *)
+let prop_binfmt_decode_fuzz =
+  let base =
+    let b = B.create ~seed:33 () in
+    let objs = Array.init 8 (fun i -> B.alloc b ~site:(i + 1) (32 * (i + 1))) in
+    for k = 0 to 199 do
+      B.access b objs.(k mod 8) (k mod 32)
+    done;
+    Array.iter (fun o -> B.free b o) objs;
+    Binfmt.to_bytes (B.trace b)
+  in
+  let n = Bytes.length base in
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 8) (pair (int_range 0 (n - 1)) (int_range 0 255)))
+        (int_range 0 n))
+  in
+  QCheck.Test.make ~name:"binfmt decode survives byte flips and truncation"
+    ~count:500 (QCheck.make gen)
+    (fun (flips, keep) ->
+      let data = Bytes.sub base 0 keep in
+      List.iter
+        (fun (pos, v) ->
+          if pos < keep then Bytes.set data pos (Char.chr v))
+        flips;
+      match Binfmt.read data with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
 let suite =
   [ ( "pruner",
       [ Alcotest.test_case "drops cold accesses" `Quick test_prune_drops_cold_accesses;
@@ -165,4 +197,5 @@ let suite =
         Alcotest.test_case "compact vs text" `Quick test_binfmt_compact;
         Alcotest.test_case "rejects garbage" `Quick test_binfmt_rejects_garbage;
         Alcotest.test_case "file io" `Quick test_binfmt_file_io;
-        QCheck_alcotest.to_alcotest prop_binfmt_roundtrip ] ) ]
+        QCheck_alcotest.to_alcotest prop_binfmt_roundtrip;
+        QCheck_alcotest.to_alcotest prop_binfmt_decode_fuzz ] ) ]

@@ -13,7 +13,12 @@
    Observability: --log-level LEVEL turns on structured logging
    (--verbose is shorthand for --log-level info), and --obs-out FILE
    additionally collects spans/metrics and writes a Chrome trace-event
-   JSON loadable in chrome://tracing or https://ui.perfetto.dev. *)
+   JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+
+   Parallelism: run/stats/experiment/all/fuzz take --jobs N to spread
+   independent benchmark replays (or campaign runs) across a domain
+   pool; --jobs 1 is the exact legacy sequential path and every report
+   is byte-identical whatever N is. *)
 
 open Cmdliner
 
@@ -44,6 +49,16 @@ let seed_arg =
 let verbose_arg =
   let doc = "Print progress to stderr (same as --log-level info)." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Run independent benchmark replays / campaign runs across $(docv) domains \
+     (default: the runtime's recommended domain count).  Results are \
+     bit-identical to --jobs 1; only wall time changes."
+  in
+  Arg.(value
+       & opt int (Prefix_parallel.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let log_level_arg =
   let level_conv =
@@ -189,8 +204,9 @@ let plan_cmd =
 (* --- run *)
 
 let run_cmd =
-  let run name verbose log_level obs_out =
+  let run name jobs verbose log_level obs_out =
     setup_logs log_level verbose;
+    Harness.set_jobs jobs;
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
@@ -214,13 +230,15 @@ let run_cmd =
       0
   in
   Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
-    Term.(const run $ bench_arg $ verbose_arg $ log_level_arg $ obs_out_arg)
+    Term.(const run $ bench_arg $ jobs_arg $ verbose_arg $ log_level_arg
+          $ obs_out_arg)
 
 (* --- stats *)
 
 let stats_cmd =
-  let run name verbose log_level obs_out =
+  let run name jobs verbose log_level obs_out =
     setup_logs log_level verbose;
+    Harness.set_jobs jobs;
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
@@ -243,7 +261,8 @@ let stats_cmd =
        ~doc:
          "Replay one benchmark with observability on and print the per-stage \
           span timing table and the metrics report")
-    Term.(const run $ bench_arg $ verbose_arg $ log_level_arg $ obs_out_arg)
+    Term.(const run $ bench_arg $ jobs_arg $ verbose_arg $ log_level_arg
+          $ obs_out_arg)
 
 (* --- fuzz *)
 
@@ -292,7 +311,8 @@ let fuzz_cmd =
                "Cap each HDS/HALO region at $(docv) during the lenient replay \
                 so exhaustion degrades to malloc fallback.")
   in
-  let run seeds rate benches kinds policies region_cap verbose log_level obs_out =
+  let run seeds rate benches kinds policies region_cap jobs verbose log_level
+      obs_out =
     setup_logs log_level verbose;
     match
       List.filter_map
@@ -307,7 +327,7 @@ let fuzz_cmd =
       let progress m =
         if verbose || log_level <> None then Printf.eprintf "%s\n%!" m
       in
-      let s = Campaign.run ~progress cfg in
+      let s = Campaign.run ~jobs ~progress cfg in
       print_string (Campaign.report s);
       if Campaign.ok s then 0 else 1
   in
@@ -318,8 +338,8 @@ let fuzz_cmd =
           seeded faults, assert lenient replay is crash-free with bounded \
           metric drift, and that sanitized traces replay strictly")
     Term.(const run $ seeds_arg $ rate_arg $ benches_arg $ kinds_arg
-          $ policies_arg $ region_cap_arg $ verbose_arg $ log_level_arg
-          $ obs_out_arg)
+          $ policies_arg $ region_cap_arg $ jobs_arg $ verbose_arg
+          $ log_level_arg $ obs_out_arg)
 
 (* --- experiment *)
 
@@ -327,8 +347,9 @@ let experiment_cmd =
   let ids =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
   in
-  let run ids verbose log_level obs_out =
+  let run ids jobs verbose log_level obs_out =
     setup_logs log_level verbose;
+    Harness.set_jobs jobs;
     with_obs obs_out @@ fun () ->
     List.fold_left
       (fun rc id ->
@@ -340,7 +361,7 @@ let experiment_cmd =
       0 ids
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
-    Term.(const run $ ids $ verbose_arg $ log_level_arg $ obs_out_arg)
+    Term.(const run $ ids $ jobs_arg $ verbose_arg $ log_level_arg $ obs_out_arg)
 
 (* --- hotspots *)
 
@@ -452,13 +473,17 @@ let validate_cmd =
 (* --- all *)
 
 let all_cmd =
-  let run verbose log_level =
+  let run jobs verbose log_level =
     setup_logs log_level verbose;
+    Harness.set_jobs jobs;
+    (* Warm the memo cache across the pool up front; the experiments
+       then find every benchmark already replayed. *)
+    ignore (Harness.run_all ());
     print_string (Report.run_all ());
     0
   in
   Cmd.v (Cmd.info "all" ~doc:"Reproduce every table and figure")
-    Term.(const run $ verbose_arg $ log_level_arg)
+    Term.(const run $ jobs_arg $ verbose_arg $ log_level_arg)
 
 let () =
   let info =

@@ -62,7 +62,9 @@ let report () =
           T.fmt_pct (Prefix_util.Stats.mean ds);
           T.fmt_pct (List.fold_left min infinity ds);
           T.fmt_pct (List.fold_left max neg_infinity ds);
-          T.fmt_f (Prefix_util.Stats.stddev ds);
+          (* The 3 seeds are a sample of all possible seeds, so the
+             spread uses the n-1 estimator, not the population one. *)
+          T.fmt_f (Prefix_util.Stats.stddev_sample ds);
           T.fmt_pct p.best_pct ])
     benchmarks;
   title ^ "\n" ^ T.render t

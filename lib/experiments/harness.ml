@@ -39,6 +39,9 @@ let pipeline_config = Pipeline.default_config
 let exec_config = Executor.default_config
 
 let run_benchmark (wl : Workload.t) =
+  (* Each benchmark derives all randomness from fixed per-benchmark
+     seeds (no RNG state is shared across tasks), so a pooled run is
+     bit-identical to a sequential one whatever the schedule. *)
   Span.with_ ~cat:"harness" ~args:[ ("benchmark", wl.name) ] ("benchmark:" ^ wl.name)
   @@ fun () ->
   Log.info (fun m -> m "%s: generating traces" wl.name);
@@ -110,17 +113,65 @@ let run_benchmark (wl : Workload.t) =
     long_hot_set;
     long_hds_set }
 
+(* The memo cache is shared by every experiment; pooled [run_all]s fill
+   it from several domains at once, so all access goes through a mutex
+   (never held while a benchmark actually runs). *)
 let cache : (string, result) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
+
+let cached name =
+  Mutex.lock cache_mutex;
+  let r = Hashtbl.find_opt cache name in
+  Mutex.unlock cache_mutex;
+  r
+
+(* First store wins, so two domains racing on the same benchmark agree
+   on which (bit-identical anyway) result everyone sees. *)
+let store name r =
+  Mutex.lock cache_mutex;
+  let r =
+    match Hashtbl.find_opt cache name with
+    | Some existing -> existing
+    | None ->
+      Hashtbl.replace cache name r;
+      r
+  in
+  Mutex.unlock cache_mutex;
+  r
+
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
 
 let find name =
-  match Hashtbl.find_opt cache name with
+  match cached name with
   | Some r -> r
-  | None ->
-    let r = run_benchmark (Prefix_workloads.Registry.find name) in
-    Hashtbl.replace cache name r;
-    r
+  | None -> store name (run_benchmark (Prefix_workloads.Registry.find name))
 
-let run_all () = List.map (fun (w : Workload.t) -> find w.name) Prefix_workloads.Registry.all
+(* Degree of parallelism for [run_all]; 1 (the exact legacy sequential
+   path) unless the CLI's --jobs configured otherwise. *)
+let jobs = ref 1
+let set_jobs n = jobs := max 1 n
+
+let run_many ?jobs:j names =
+  let j = match j with Some j -> max 1 j | None -> !jobs in
+  let missing = List.filter (fun n -> cached n = None) names in
+  (match missing with
+  | [] -> ()
+  | [ n ] -> ignore (find n)
+  | missing when j = 1 -> List.iter (fun n -> ignore (find n)) missing
+  | missing ->
+    Prefix_parallel.Pool.with_pool ~jobs:j (fun pool ->
+        let rs =
+          Prefix_parallel.Pool.map pool
+            (fun n -> run_benchmark (Prefix_workloads.Registry.find n))
+            missing
+        in
+        List.iter2 (fun n r -> ignore (store n r)) missing rs));
+  List.map find names
+
+let run_all ?jobs () = run_many ?jobs Prefix_workloads.Registry.names
 
 let time_delta r (p : policy_run) = Metrics.time_pct_change ~baseline:r.baseline.metrics p.metrics
 

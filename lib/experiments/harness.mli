@@ -48,8 +48,25 @@ val time_delta : result -> policy_run -> float
 val run_benchmark : Prefix_workloads.Workload.t -> result
 (** Run one benchmark end to end (not cached). *)
 
-val run_all : unit -> result list
-(** All 13 benchmarks, memoized for the lifetime of the process. *)
+val set_jobs : int -> unit
+(** Default degree of parallelism for {!run_all} / {!run_many} when no
+    explicit [?jobs] is given.  Starts at 1 — the exact legacy
+    sequential path; the CLI's [--jobs] flag lands here.  Values are
+    clamped to [>= 1]. *)
+
+val run_all : ?jobs:int -> unit -> result list
+(** All 13 benchmarks, memoized for the lifetime of the process.
+    Uncached benchmarks run across a domain pool of [jobs] (default:
+    the {!set_jobs} setting).  Every benchmark seeds its own RNGs from
+    fixed constants, so results and report text are bit-identical
+    whatever [jobs] is; only wall time changes. *)
+
+val run_many : ?jobs:int -> string list -> result list
+(** Like {!run_all} for an explicit benchmark list, preserving list
+    order in the results. *)
+
+val clear_cache : unit -> unit
+(** Forget all memoized results (tests use this to force fresh runs). *)
 
 val find : string -> result
 (** Memoized lookup by benchmark name.

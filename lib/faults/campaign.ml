@@ -163,23 +163,42 @@ let one_run cfg ctx (pid, mk) kind fault_seed =
     drift;
     drift_ok }
 
-let run ?(progress = fun _ -> ()) cfg =
-  let runs = ref [] in
-  List.iter
-    (fun bench ->
-      progress (Printf.sprintf "campaign: %s" bench);
-      let ctx = bench_ctx ~policies:cfg.policies bench in
-      List.iter
-        (fun (pid, mk) ->
-          List.iter
-            (fun kind ->
-              for fault_seed = 0 to cfg.seeds - 1 do
-                runs := one_run cfg ctx (pid, mk) kind fault_seed :: !runs
-              done)
-            cfg.kinds)
-        ctx.pols)
-    cfg.benches;
-  { cfg; runs = List.rev !runs }
+module Pool = Prefix_parallel.Pool
+
+let run ?(jobs = 1) ?(progress = fun _ -> ()) cfg =
+  Pool.with_pool ~jobs @@ fun pool ->
+  (* Phase 1: per-benchmark contexts (trace, plans, clean replays) fan
+     out across the pool; each is built once and then only read. *)
+  let ctxs =
+    Pool.map pool
+      (fun bench ->
+        progress (Printf.sprintf "campaign: %s" bench);
+        bench_ctx ~policies:cfg.policies bench)
+      cfg.benches
+  in
+  (* Phase 2: the benches x policies x kinds x seeds grid, sharded one
+     run per task.  The grid is laid out — and Pool.map merges — in
+     exactly the nested-loop order of the sequential path, and each run
+     derives all randomness from its own (kind, fault_seed) injector,
+     so report text and verdicts are identical for any [jobs]. *)
+  let grid =
+    List.concat_map
+      (fun ctx ->
+        List.concat_map
+          (fun pol ->
+            List.concat_map
+              (fun kind ->
+                List.init cfg.seeds (fun fault_seed -> (ctx, pol, kind, fault_seed)))
+              cfg.kinds)
+          ctx.pols)
+      ctxs
+  in
+  let runs =
+    Pool.map pool
+      (fun (ctx, pol, kind, fault_seed) -> one_run cfg ctx pol kind fault_seed)
+      grid
+  in
+  { cfg; runs }
 
 (* ---- report ---- *)
 

@@ -1,13 +1,15 @@
 module Stats = Prefix_util.Stats
 
-type counter = { mutable count : int }
-type gauge = { mutable value : float }
-type histogram = { hist : Stats.histogram }
+type counter = { count : int Atomic.t }
+type gauge = { value : float Atomic.t }
+type histogram = { hist : Stats.histogram; hmu : Mutex.t }
 
 (* Registration is rare (once per metric name per process); a single
    mutex plus name->handle tables keeps it thread-safe.  Updates bypass
-   the lock entirely: each handle owns its cell and int/float stores
-   are atomic in the OCaml runtime. *)
+   the registry lock: counters and gauges are atomic cells (safe to
+   bump from concurrent pool domains), and each histogram carries its
+   own small mutex because bucket increments are read-modify-write on
+   several fields at once. *)
 let mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
@@ -32,18 +34,29 @@ let register tbl order name create =
         order := name :: !order;
         h)
 
-let counter name = register counters c_order name (fun () -> { count = 0 })
-let gauge name = register gauges g_order name (fun () -> { value = 0. })
+let counter name = register counters c_order name (fun () -> { count = Atomic.make 0 })
+let gauge name = register gauges g_order name (fun () -> { value = Atomic.make 0. })
 
 let histogram ?(lo = 0.) ?(hi = 4096.) ?(buckets = 32) name =
   register histograms h_order name (fun () ->
-      { hist = Stats.histogram ~lo ~hi ~buckets })
+      { hist = Stats.histogram ~lo ~hi ~buckets; hmu = Mutex.create () })
 
-let add c n = if Control.is_on () then c.count <- c.count + n
+let add c n = if Control.is_on () then ignore (Atomic.fetch_and_add c.count n)
 let incr c = add c 1
-let set g v = if Control.is_on () then g.value <- v
-let set_max g v = if Control.is_on () && v > g.value then g.value <- v
-let observe h x = if Control.is_on () then Stats.hist_add h.hist x
+let set g v = if Control.is_on () then Atomic.set g.value v
+
+let rec set_max g v =
+  if Control.is_on () then begin
+    let cur = Atomic.get g.value in
+    if v > cur && not (Atomic.compare_and_set g.value cur v) then set_max g v
+  end
+
+let observe h x =
+  if Control.is_on () then begin
+    Mutex.lock h.hmu;
+    Stats.hist_add h.hist x;
+    Mutex.unlock h.hmu
+  end
 
 type hist_view = {
   h_lo : float;
@@ -66,16 +79,21 @@ let snapshot () =
         (* [order] is newest-first; rev_map restores registration order. *)
         List.rev_map (fun name -> (name, view (Hashtbl.find tbl name))) !order
       in
-      { counters = section c_order counters (fun c -> c.count);
-        gauges = section g_order gauges (fun g -> g.value);
+      { counters = section c_order counters (fun c -> Atomic.get c.count);
+        gauges = section g_order gauges (fun g -> Atomic.get g.value);
         histograms =
-          section h_order histograms (fun { hist } ->
-              { h_lo = Stats.hist_lo hist;
-                h_width = Stats.hist_width hist;
-                h_counts = Stats.hist_counts hist;
-                h_total = Stats.hist_total hist;
-                h_underflow = Stats.hist_underflow hist;
-                h_overflow = Stats.hist_overflow hist }) })
+          section h_order histograms (fun { hist; hmu } ->
+              Mutex.lock hmu;
+              let v =
+                { h_lo = Stats.hist_lo hist;
+                  h_width = Stats.hist_width hist;
+                  h_counts = Stats.hist_counts hist;
+                  h_total = Stats.hist_total hist;
+                  h_underflow = Stats.hist_underflow hist;
+                  h_overflow = Stats.hist_overflow hist }
+              in
+              Mutex.unlock hmu;
+              v) })
 
 let reset () =
   locked (fun () ->

@@ -4,9 +4,11 @@
     Handles are registered (or looked up) by name — asking for the same
     name twice returns the same underlying cell, so independent call
     sites accumulate into one metric.  Registration takes a lock;
-    updates through a handle are plain stores on the handle's own cell
-    and check only the global {!Control} flag, so instrumenting a hot
-    loop costs one branch when collection is off. *)
+    updates through a handle are atomic operations on the handle's own
+    cell (histograms take a tiny per-handle mutex) and check only the
+    global {!Control} flag first, so instrumenting a hot loop costs one
+    branch when collection is off and emission is safe from concurrent
+    pool domains when it is on. *)
 
 type counter
 (** Monotonically-increasing integer (events replayed, cache misses,

@@ -42,6 +42,9 @@ let with_ ?(cat = "") ?(args = []) name f =
   if not (Control.is_on ()) then f ()
   else begin
     let tid = Thread.id (Thread.self ()) in
+    (* Every span carries the domain it ran on, so pooled runs can be
+       picked apart per domain in the Chrome trace. *)
+    let args = ("domain", string_of_int (Domain.self () :> int)) :: args in
     let depth, parent =
       locked (fun () ->
           let st = stack_of tid in

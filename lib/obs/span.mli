@@ -18,6 +18,8 @@ type completed = {
   depth : int;  (** 0 for roots; parent.depth + 1 otherwise *)
   parent : string option;  (** name of the enclosing open span, if any *)
   args : (string * string) list;
+      (** user args, always prefixed with [("domain", <id>)] — the
+          domain the span ran on *)
 }
 
 type counter_sample = {

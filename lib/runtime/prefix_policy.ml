@@ -4,8 +4,14 @@ module Plan = Prefix_core.Plan
 module Context = Prefix_core.Context
 
 (* Arena registry (keyed by the policy's stats record identity) so tests
-   and the heatmap experiment can reach the arena behind a policy. *)
+   and the heatmap experiment can reach the arena behind a policy.  The
+   mutex matters now that replays run on pool domains concurrently. *)
 let arenas : (Policy.stats * Arena.t) list ref = ref []
+let arenas_mutex = Mutex.create ()
+
+let with_arenas f =
+  Mutex.lock arenas_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock arenas_mutex) f
 
 type counter_state = {
   mutable count : int;
@@ -26,7 +32,7 @@ let policy ?(mode = Policy.Strict) (costs : Costs.t) heap (plan : Plan.t)
          plan.slots)
   in
   let name = Plan.variant_name plan.variant in
-  arenas := (stats, arena) :: !arenas;
+  with_arenas (fun () -> arenas := (stats, arena) :: !arenas);
   let site_counter = Hashtbl.create 16 in
   List.iter (fun (s, c) -> Hashtbl.replace site_counter s c) plan.site_counter;
   let counter_states = Hashtbl.create 16 in
@@ -141,10 +147,13 @@ let policy ?(mode = Policy.Strict) (costs : Costs.t) heap (plan : Plan.t)
           Allocator.realloc heap addr new_size);
     finish =
       (fun () ->
-        arenas := List.filter (fun (s, _) -> s != stats) !arenas;
+        with_arenas (fun () ->
+            arenas := List.filter (fun (s, _) -> s != stats) !arenas);
         Arena.dispose arena heap);
     stats;
     regions = (fun () -> if Arena.size arena = 0 then [] else [ (Arena.base arena, Arena.size arena) ]) }
 
 let arena_of (p : Policy.t) =
-  List.find_opt (fun (s, _) -> s == p.Policy.stats) !arenas |> Option.map snd
+  with_arenas (fun () ->
+      List.find_opt (fun (s, _) -> s == p.Policy.stats) !arenas)
+  |> Option.map snd

@@ -7,14 +7,25 @@ let mean = function
 let geomean = function
   | [] -> 0.
   | xs ->
+    (* log of a non-positive sample is -inf/NaN and would poison the
+       whole summary silently; refuse the input instead. *)
+    List.iter
+      (fun x ->
+        if not (x > 0.) then
+          invalid_arg "Stats.geomean: samples must be positive")
+      xs;
     let n = float_of_int (List.length xs) in
     Float.exp (sum (List.map (fun x -> Float.log x) xs) /. n)
 
 let percentile p = function
   | [] -> 0.
   | xs ->
+    (* p < 0 used to index the array at -1; p > 100 interpolated past
+       the last element. *)
+    if not (p >= 0. && p <= 100.) then
+      invalid_arg "Stats.percentile: p must be in [0, 100]";
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     if n = 1 then arr.(0)
     else begin
@@ -25,13 +36,20 @@ let percentile p = function
       (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
     end
 
+let variance_around m xs = mean (List.map (fun x -> (x -. m) ** 2.) xs)
+
 let stddev xs =
   match xs with
   | [] | [ _ ] -> 0.
+  | _ -> Float.sqrt (variance_around (mean xs) xs)
+
+let stddev_sample xs =
+  match xs with
+  | [] | [ _ ] -> 0.
   | _ ->
-    let m = mean xs in
-    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
-    Float.sqrt var
+    let n = float_of_int (List.length xs) in
+    (* Bessel's correction: rescale the population variance by n/(n-1). *)
+    Float.sqrt (variance_around (mean xs) xs *. n /. (n -. 1.))
 
 let pct_change ~before ~after =
   if before = 0. then 0. else (after -. before) /. before *. 100.
@@ -58,10 +76,18 @@ let histogram ~lo ~hi ~buckets =
     overflow = 0 }
 
 let hist_add h x =
-  let idx = int_of_float (Float.floor ((x -. h.lo) /. h.width)) in
+  let n = Array.length h.counts in
+  let hi = h.lo +. (h.width *. float_of_int n) in
   if x < h.lo then h.underflow <- h.underflow + 1
-  else if idx >= Array.length h.counts then h.overflow <- h.overflow + 1
-  else h.counts.(idx) <- h.counts.(idx) + 1;
+  else if x > hi then h.overflow <- h.overflow + 1
+  else begin
+    (* The top bucket is closed ([lo + (n-1)w, hi]) so a sample exactly
+       at [hi] — histogram over [0, 100] fed 100., say — counts as
+       in-range, matching the advertised span.  The [min] also absorbs
+       float rounding for x just below hi. *)
+    let idx = min (n - 1) (int_of_float (Float.floor ((x -. h.lo) /. h.width))) in
+    h.counts.(idx) <- h.counts.(idx) + 1
+  end;
   h.total <- h.total + 1
 
 let hist_counts h = Array.copy h.counts

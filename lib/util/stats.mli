@@ -5,14 +5,24 @@ val mean : float list -> float
 (** Arithmetic mean; 0 on the empty list. *)
 
 val geomean : float list -> float
-(** Geometric mean of positive values; 0 on the empty list. *)
+(** Geometric mean; 0 on the empty list.  The domain is strictly
+    positive samples (ratios, normalized times): any sample [<= 0.] or
+    NaN raises [Invalid_argument] instead of silently returning NaN. *)
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [0,100], linear interpolation between
-    closest ranks; 0 on the empty list. *)
+    closest ranks; 0 on the empty list.  Raises [Invalid_argument] when
+    [p] is outside [0,100] (or NaN).  Sorting uses [Float.compare], so
+    NaN samples order deterministically (first) instead of poisoning
+    the sort. *)
 
 val stddev : float list -> float
 (** Population standard deviation; 0 on lists of length < 2. *)
+
+val stddev_sample : float list -> float
+(** Sample standard deviation (Bessel's n-1 correction); 0 on lists of
+    length < 2.  Use this when the list is a sample of a larger
+    population — e.g. run-to-run variance over a handful of seeds. *)
 
 val sum : float list -> float
 
@@ -23,11 +33,12 @@ val ratio : float -> float -> float
 (** Safe division; 0 when the denominator is 0. *)
 
 type histogram
-(** Fixed-width bucket histogram over [lo, hi).  Samples outside the
-    range are NOT clamped into the edge buckets (that used to distort
-    the edge counts silently); they are tallied in dedicated underflow
-    and overflow counters instead, so no sample is ever lost without a
-    record. *)
+(** Fixed-width bucket histogram over [lo, hi]; the top bucket is
+    closed ([lo + (buckets-1)*width, hi]) so a sample exactly at [hi]
+    is in range.  Samples outside the range are NOT clamped into the
+    edge buckets (that used to distort the edge counts silently); they
+    are tallied in dedicated underflow and overflow counters instead,
+    so no sample is ever lost without a record. *)
 
 val histogram : lo:float -> hi:float -> buckets:int -> histogram
 val hist_add : histogram -> float -> unit
@@ -43,7 +54,7 @@ val hist_underflow : histogram -> int
 (** Samples below [lo]. *)
 
 val hist_overflow : histogram -> int
-(** Samples at or above [hi]. *)
+(** Samples strictly above [hi]. *)
 
 val hist_lo : histogram -> float
 val hist_width : histogram -> float

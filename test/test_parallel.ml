@@ -1,0 +1,239 @@
+(* Tests for Prefix_parallel.Pool and the parallel wiring: ordered
+   deterministic map, exception propagation, metric-registry
+   consistency under concurrent emission, and jobs-N ≡ jobs-1
+   equivalence for the harness and the fuzz campaign. *)
+
+module Pool = Prefix_parallel.Pool
+module Control = Prefix_obs.Control
+module Metric = Prefix_obs.Metric
+module Harness = Prefix_experiments.Harness
+module Injector = Prefix_faults.Injector
+module Campaign = Prefix_faults.Campaign
+module M = Prefix_runtime.Metrics
+
+let check = Alcotest.check
+let ci = Alcotest.int
+
+(* ---- pool semantics ---- *)
+
+let test_default_jobs () =
+  Alcotest.(check bool) "at least 1" true (Pool.default_jobs () >= 1);
+  Alcotest.(check bool) "bounded" true (Pool.default_jobs () <= 64)
+
+let test_map_basic () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  check ci "jobs recorded" 4 (Pool.jobs pool);
+  Alcotest.(check (list int)) "order preserved"
+    [ 1; 4; 9; 16; 25 ]
+    (Pool.map pool (fun x -> x * x) [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.map pool (fun x -> x) [ 7 ]);
+  (* The pool is reusable across maps. *)
+  Alcotest.(check (list int)) "second map" [ 2; 3 ] (Pool.map pool succ [ 1; 2 ])
+
+(* Uneven task durations must not reorder the merge. *)
+let test_map_uneven_durations () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let work x =
+    (* Later items finish first. *)
+    let spin = (32 - x) * 20_000 in
+    let acc = ref 0 in
+    for i = 1 to spin do
+      acc := (!acc * 31) + i
+    done;
+    ignore !acc;
+    x
+  in
+  let xs = List.init 32 (fun i -> i) in
+  Alcotest.(check (list int)) "merge in input order" xs (Pool.map pool work xs)
+
+exception Boom of int
+
+let test_map_exception () =
+  Pool.with_pool ~jobs:3 @@ fun pool ->
+  (* The earliest failing index wins, however the schedule interleaves. *)
+  (try
+     ignore
+       (Pool.map pool
+          (fun x -> if x mod 2 = 1 then raise (Boom x) else x)
+          [ 0; 1; 2; 3; 4 ]);
+     Alcotest.fail "expected Boom"
+   with Boom i -> check ci "earliest failure propagates" 1 i);
+  (* The failed batch must not poison the pool. *)
+  Alcotest.(check (list int)) "pool survives" [ 10; 20 ]
+    (Pool.map pool (fun x -> 10 * x) [ 1; 2 ])
+
+let test_map_after_shutdown () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* jobs > 1 so the pooled path (not the List.map shortcut) is hit. *)
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool (fun x -> x) [ 1; 2; 3 ]))
+
+let prop_map_equals_list_map =
+  QCheck.Test.make ~name:"Pool.map ≡ List.map for any jobs" ~count:30
+    QCheck.(pair (int_range 1 5) (small_list small_int))
+    (fun (jobs, xs) ->
+      let f x = (x * 73) mod 41 in
+      Pool.with_pool ~jobs (fun pool -> Pool.map pool f xs) = List.map f xs)
+
+(* ---- metric registry under concurrent emission ---- *)
+
+let with_obs f () =
+  Control.set true;
+  Prefix_obs.Span.reset ();
+  Metric.reset ();
+  Fun.protect ~finally:(fun () -> Control.set false) f
+
+let prop_registry_consistent_concurrent =
+  QCheck.Test.make
+    ~name:"metric registry is consistent under concurrent emission" ~count:10
+    QCheck.(pair (int_range 2 4) (int_range 1 200))
+    (fun (jobs, bumps) ->
+      Control.set true;
+      Metric.reset ();
+      Fun.protect ~finally:(fun () -> Control.set false) @@ fun () ->
+      let tasks = List.init (2 * jobs) (fun i -> i) in
+      Pool.with_pool ~jobs (fun pool ->
+          ignore
+            (Pool.map pool
+               (fun i ->
+                 (* Handles are (re-)registered concurrently on purpose:
+                    same-name registration must return the same cell. *)
+                 let shared = Metric.counter "t.shared" in
+                 let own = Metric.counter (Printf.sprintf "t.own.%d" i) in
+                 let g = Metric.gauge "t.gauge" in
+                 let h = Metric.histogram ~lo:0. ~hi:10. ~buckets:4 "t.hist" in
+                 for _ = 1 to bumps do
+                   Metric.incr shared;
+                   Metric.incr own;
+                   Metric.observe h 5.
+                 done;
+                 Metric.set_max g (float_of_int i))
+               tasks));
+      let snap = Metric.snapshot () in
+      let n = List.length tasks in
+      List.assoc "t.shared" snap.counters = (n * bumps)
+      && List.for_all
+           (fun i -> List.assoc (Printf.sprintf "t.own.%d" i) snap.counters = bumps)
+           tasks
+      && List.assoc "t.gauge" snap.gauges = float_of_int (n - 1)
+      &&
+      let h = List.assoc "t.hist" snap.histograms in
+      h.Metric.h_total = (n * bumps)
+      && Array.fold_left ( + ) 0 h.Metric.h_counts = (n * bumps))
+
+let test_pool_utilization_counters =
+  with_obs (fun () ->
+      Pool.with_pool ~jobs:3 @@ fun pool ->
+      ignore (Pool.map pool (fun x -> x * 2) (List.init 64 (fun i -> i)));
+      let snap = Metric.snapshot () in
+      check ci "every task counted" 64 (List.assoc "parallel.tasks" snap.counters);
+      let steals = List.assoc "parallel.steals" snap.counters in
+      Alcotest.(check bool) "steals within bounds" true (steals >= 0 && steals <= 64);
+      Alcotest.(check bool) "idle counter registered" true
+        (List.mem_assoc "parallel.idle_ns" snap.counters))
+
+(* Spans emitted from pool domains: one per task, all well-formed, each
+   tagged with the domain that ran it. *)
+let test_spans_from_domains =
+  with_obs (fun () ->
+      Pool.with_pool ~jobs:4 @@ fun pool ->
+      ignore
+        (Pool.map pool
+           (fun i -> Prefix_obs.Span.with_ ~cat:"test" "task" (fun () -> i))
+           (List.init 16 (fun i -> i)));
+      let spans = Prefix_obs.Span.completed () in
+      check ci "one span per task" 16 (List.length spans);
+      check ci "no dangling opens" 0 (Prefix_obs.Span.open_count ());
+      List.iter
+        (fun (s : Prefix_obs.Span.completed) ->
+          Alcotest.(check bool) "domain arg present" true
+            (List.mem_assoc "domain" s.args))
+        spans)
+
+(* ---- jobs-N ≡ jobs-1 for the harness ---- *)
+
+let render_result (r : Harness.result) =
+  let line label (pr : Harness.policy_run) =
+    Printf.sprintf "%-14s %12.0f cycles  %+7.2f%%  L1 %5.2f%%  LLC %7.4f%%  peak %d B"
+      label pr.metrics.M.cycles.total_cycles (Harness.time_delta r pr)
+      (100. *. pr.metrics.M.l1_miss_rate)
+      (100. *. pr.metrics.M.llc_miss_rate)
+      pr.metrics.M.peak_bytes
+  in
+  String.concat "\n"
+    [ line "baseline" r.baseline; line "HDS [8]" r.hds; line "HALO" r.halo;
+      line "PreFix:Hot" r.prefix_hot; line "PreFix:HDS" r.prefix_hds;
+      line "PreFix:HDS+Hot" r.prefix_hdshot ]
+
+let test_harness_jobs_equivalence () =
+  let benches = [ "libc"; "swissmap" ] in
+  Harness.clear_cache ();
+  let seq = Harness.run_many ~jobs:1 benches in
+  Harness.clear_cache ();
+  let par = Harness.run_many ~jobs:4 benches in
+  Harness.clear_cache ();
+  List.iter2
+    (fun (a : Harness.result) (b : Harness.result) ->
+      check Alcotest.string ("report text " ^ a.wl.name) (render_result a)
+        (render_result b);
+      List.iter
+        (fun proj ->
+          Alcotest.(check bool)
+            ("metrics identical " ^ a.wl.name)
+            true
+            (proj a = proj b))
+        [ (fun (r : Harness.result) -> r.baseline.metrics);
+          (fun r -> r.hds.metrics);
+          (fun r -> r.halo.metrics);
+          (fun r -> r.prefix_hot.metrics);
+          (fun r -> r.prefix_hds.metrics);
+          (fun r -> r.prefix_hdshot.metrics) ])
+    seq par
+
+(* ---- jobs-N ≡ jobs-1 for the fuzz campaign ---- *)
+
+let test_campaign_jobs_equivalence () =
+  let cfg =
+    { Campaign.default_config with
+      benches = [ "xalanc" ];
+      kinds = [ Injector.Collide_ids; Injector.Mutate_sizes ];
+      seeds = 2;
+      region_cap = Some 65536 }
+  in
+  let seq = Campaign.run ~jobs:1 cfg in
+  let par = Campaign.run ~jobs:4 cfg in
+  check ci "same run count" (List.length seq.runs) (List.length par.runs);
+  List.iter2
+    (fun (a : Campaign.run) (b : Campaign.run) ->
+      check Alcotest.string "grid order" (a.bench ^ "/" ^ a.policy)
+        (b.bench ^ "/" ^ b.policy);
+      check ci "fault seed" a.fault_seed b.fault_seed;
+      Alcotest.(check bool) "identical verdicts" true
+        (a.drift_ok = b.drift_ok && a.strict_rejected = b.strict_rejected
+        && a.recovered = b.recovered && a.degraded = b.degraded
+        && a.drift = b.drift))
+    seq.runs par.runs;
+  check Alcotest.string "byte-identical report" (Campaign.report seq)
+    (Campaign.report par)
+
+let suite =
+  [ ( "parallel",
+      [ Alcotest.test_case "default jobs" `Quick test_default_jobs;
+        Alcotest.test_case "map basics" `Quick test_map_basic;
+        Alcotest.test_case "uneven durations keep order" `Quick
+          test_map_uneven_durations;
+        Alcotest.test_case "exception propagation" `Quick test_map_exception;
+        Alcotest.test_case "map after shutdown" `Quick test_map_after_shutdown;
+        QCheck_alcotest.to_alcotest prop_map_equals_list_map;
+        QCheck_alcotest.to_alcotest prop_registry_consistent_concurrent;
+        Alcotest.test_case "pool utilization counters" `Quick
+          test_pool_utilization_counters;
+        Alcotest.test_case "spans from pool domains" `Quick test_spans_from_domains;
+        Alcotest.test_case "harness jobs 1 = jobs 4" `Slow
+          test_harness_jobs_equivalence;
+        Alcotest.test_case "campaign jobs 1 = jobs 4" `Slow
+          test_campaign_jobs_equivalence ] ) ]

@@ -103,7 +103,17 @@ let test_mean () =
   check cf "basic" 2. (Stats.mean [ 1.; 2.; 3. ])
 
 let test_geomean () =
-  check cf "pair" 2. (Stats.geomean [ 1.; 4. ])
+  check cf "pair" 2. (Stats.geomean [ 1.; 4. ]);
+  check cf "empty" 0. (Stats.geomean [])
+
+let test_geomean_domain () =
+  let msg = "Stats.geomean: samples must be positive" in
+  Alcotest.check_raises "zero sample" (Invalid_argument msg) (fun () ->
+      ignore (Stats.geomean [ 1.; 0.; 4. ]));
+  Alcotest.check_raises "negative sample" (Invalid_argument msg) (fun () ->
+      ignore (Stats.geomean [ 2.; -3. ]));
+  Alcotest.check_raises "nan sample" (Invalid_argument msg) (fun () ->
+      ignore (Stats.geomean [ Float.nan ]))
 
 let test_percentile () =
   let xs = [ 1.; 2.; 3.; 4.; 5. ] in
@@ -112,9 +122,42 @@ let test_percentile () =
   check cf "p100" 5. (Stats.percentile 100. xs);
   check cf "p25 interpolates" 2. (Stats.percentile 25. xs)
 
+let test_percentile_domain () =
+  let msg = "Stats.percentile: p must be in [0, 100]" in
+  let xs = [ 1.; 2.; 3. ] in
+  (* p < 0 used to index the sorted array at -1; p > 100 interpolated
+     past the end. *)
+  Alcotest.check_raises "negative p" (Invalid_argument msg) (fun () ->
+      ignore (Stats.percentile (-1.) xs));
+  Alcotest.check_raises "p > 100" (Invalid_argument msg) (fun () ->
+      ignore (Stats.percentile 100.5 xs));
+  Alcotest.check_raises "nan p" (Invalid_argument msg) (fun () ->
+      ignore (Stats.percentile Float.nan xs));
+  check cf "empty list still fine" 0. (Stats.percentile 50. [])
+
+let test_percentile_nan_samples () =
+  (* Float.compare gives NaN a definite place (first), so the sorted
+     order of the real samples survives a stray NaN. *)
+  check cf "max unaffected by NaN" 9. (Stats.percentile 100. [ 4.; Float.nan; 9.; 1. ]);
+  Alcotest.(check bool) "NaN sorts first" true
+    (Float.is_nan (Stats.percentile 0. [ 4.; Float.nan; 9. ]))
+
 let test_stddev () =
   check cf "constant" 0. (Stats.stddev [ 2.; 2.; 2. ]);
   check (Alcotest.float 1e-6) "known" 2. (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_stddev_sample () =
+  check cf "degenerate" 0. (Stats.stddev_sample [ 42. ]);
+  (* For [2;4], population stddev is 1 while the n-1 estimator gives
+     sqrt(2). *)
+  check (Alcotest.float 1e-9) "bessel corrected" (Float.sqrt 2.)
+    (Stats.stddev_sample [ 2.; 4. ]);
+  let xs = [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  check (Alcotest.float 1e-6) "known"
+    (2. *. Float.sqrt (8. /. 7.))
+    (Stats.stddev_sample xs);
+  Alcotest.(check bool) "sample >= population" true
+    (Stats.stddev_sample xs >= Stats.stddev xs)
 
 let test_pct_change () =
   check cf "down" (-50.) (Stats.pct_change ~before:2. ~after:1.);
@@ -129,9 +172,13 @@ let test_histogram () =
   check ci "last bucket: 9.9 only" 1 counts.(4);
   check ci "underflow recorded, not clamped" 1 (Stats.hist_underflow h);
   check ci "overflow recorded, not clamped" 1 (Stats.hist_overflow h);
-  (* hi itself is outside the half-open range. *)
+  (* The top bucket is closed: a sample exactly at hi is in range, so
+     histogram totals match the advertised [lo, hi] span. *)
   Stats.hist_add h 10.;
-  check ci "hi lands in overflow" 2 (Stats.hist_overflow h);
+  check ci "hi lands in the top bucket" 2 (Stats.hist_counts h).(4);
+  check ci "hi is not overflow" 1 (Stats.hist_overflow h);
+  Stats.hist_add h 10.0000001;
+  check ci "just above hi is overflow" 2 (Stats.hist_overflow h);
   check ci "in-range mass + out-of-range = total" (Stats.hist_total h)
     (Array.fold_left ( + ) 0 (Stats.hist_counts h)
     + Stats.hist_underflow h + Stats.hist_overflow h)
@@ -186,8 +233,12 @@ let suite =
         QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
         Alcotest.test_case "mean" `Quick test_mean;
         Alcotest.test_case "geomean" `Quick test_geomean;
+        Alcotest.test_case "geomean domain" `Quick test_geomean_domain;
         Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "percentile domain" `Quick test_percentile_domain;
+        Alcotest.test_case "percentile NaN samples" `Quick test_percentile_nan_samples;
         Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "stddev_sample" `Quick test_stddev_sample;
         Alcotest.test_case "pct_change" `Quick test_pct_change;
         Alcotest.test_case "histogram" `Quick test_histogram;
         QCheck_alcotest.to_alcotest prop_percentile_monotone;

@@ -11,6 +11,12 @@
       Test.make group per pipeline stage), enabled with the `micro`
       argument.
 
+   Plus `throughput [--benches a,b] [--out FILE]`: replay every
+   benchmark's Profiling-scale trace per policy through both executor
+   paths (boxed reference vs packed struct-of-arrays), print events/s,
+   and write BENCH_replay.json; exits non-zero if the paths' outcomes
+   ever differ.
+
    `--jobs N` (anywhere on the command line) sizes the domain pool used
    by the paper-reproduction harness and the `reps` repetition sweep;
    the default is the runtime's recommended domain count.  Reports are
@@ -127,6 +133,116 @@ let run_reps ~jobs n =
     (List.fold_left max neg_infinity ds)
     (Stats.stddev_sample ds)
 
+(* Replay-throughput comparison: every benchmark's Profiling-scale trace
+   replayed under each policy through both executor paths — the boxed
+   reference interpreter and the packed struct-of-arrays fast path.
+   Beyond the events/s table this doubles as a differential test: the
+   two paths must produce structurally identical metrics (same counters,
+   same cycles, same recovery), and any divergence fails the run. *)
+let run_throughput ~benches ~out =
+  let module Trace_stats = Prefix_trace.Trace_stats in
+  let module Packed = Prefix_trace.Packed in
+  let module Executor = Prefix_runtime.Executor in
+  let module Policy = Prefix_runtime.Policy in
+  let module Pipeline = Prefix_core.Pipeline in
+  let module Plan = Prefix_core.Plan in
+  let costs = Executor.default_config.costs in
+  let reps = 10 in
+  let time_ns f =
+    (* Best of [reps] after one warmup — replays are deterministic, so
+       min is the least-noise estimator. *)
+    ignore (f ());
+    let best = ref Int64.max_int in
+    for _ = 1 to reps do
+      let t0 = Prefix_obs.Clock.now_ns () in
+      ignore (f ());
+      let dt = Int64.sub (Prefix_obs.Clock.now_ns ()) t0 in
+      if dt < !best then best := dt
+    done;
+    Int64.to_float !best /. 1e9
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"scale\": \"profiling\",\n  \"benches\": [";
+  let speedups = ref [] in
+  let all_equal = ref true in
+  Printf.printf "=== replay throughput: boxed vs packed (Profiling scale) ===\n";
+  Printf.printf "%-10s %-12s %14s %14s %8s  %s\n" "bench" "policy" "boxed ev/s"
+    "packed ev/s" "speedup" "metrics";
+  List.iteri
+    (fun bi name ->
+      let wl = Prefix_workloads.Registry.find name in
+      let trace = wl.generate ~scale:Profiling ~seed:7 () in
+      let packed = Packed.of_trace trace in
+      let events = Packed.length packed in
+      let stats = Trace_stats.analyze_packed packed in
+      let hds_plan = Prefix_runtime.Hds_policy.plan_of_trace stats trace in
+      let halo_plan = Prefix_halo.Halo.plan_of_trace stats trace in
+      let prefix_plan = Pipeline.plan_with_stats ~variant:Plan.HdsHot stats trace in
+      let policies =
+        [ ("baseline", fun heap -> Policy.baseline costs heap);
+          ("HDS",
+           fun heap ->
+             Prefix_runtime.Hds_policy.policy costs heap hds_plan Policy.no_classification);
+          ("HALO",
+           fun heap ->
+             Prefix_runtime.Halo_policy.policy costs heap halo_plan
+               Policy.no_classification);
+          ("PreFix",
+           fun heap ->
+             Prefix_runtime.Prefix_policy.policy costs heap prefix_plan
+               Policy.no_classification) ]
+      in
+      if bi > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    { \"bench\": %S, \"events\": %d, \"policies\": [" name
+           events);
+      List.iteri
+        (fun pi (pname, policy) ->
+          let boxed = Executor.run_boxed ~policy trace in
+          let packed_o = Executor.run_packed ~policy packed in
+          let equal =
+            boxed.Executor.metrics = packed_o.Executor.metrics
+            && boxed.Executor.recovery = packed_o.Executor.recovery
+          in
+          if not equal then all_equal := false;
+          let t_boxed = time_ns (fun () -> Executor.run_boxed ~policy trace) in
+          let t_packed = time_ns (fun () -> Executor.run_packed ~policy packed) in
+          let rate t = if t > 0. then float_of_int events /. t else 0. in
+          let speedup = if t_packed > 0. then t_boxed /. t_packed else 0. in
+          speedups := speedup :: !speedups;
+          Printf.printf "%-10s %-12s %14.0f %14.0f %7.2fx  %s\n" name pname
+            (rate t_boxed) (rate t_packed) speedup
+            (if equal then "identical" else "MISMATCH");
+          if pi > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n      { \"policy\": %S, \"boxed_events_per_sec\": %.0f, \
+                \"packed_events_per_sec\": %.0f, \"speedup\": %.3f, \
+                \"metrics_equal\": %b }"
+               pname (rate t_boxed) (rate t_packed) speedup equal))
+        policies;
+      Buffer.add_string buf " ] }")
+    benches;
+  let geomean =
+    match !speedups with
+    | [] -> 1.
+    | ss ->
+      exp (List.fold_left (fun a s -> a +. log (max 1e-9 s)) 0. ss
+           /. float_of_int (List.length ss))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf " ],\n  \"geomean_speedup\": %.3f,\n  \"all_equal\": %b\n}\n"
+       geomean !all_equal);
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "geomean speedup %.2fx over %d (bench, policy) pairs; wrote %s\n"
+    geomean (List.length !speedups) out;
+  if not !all_equal then begin
+    prerr_endline "bench: packed and boxed replay outcomes differ";
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Pull a `--jobs N` pair out of the argument list wherever it sits. *)
@@ -156,6 +272,20 @@ let () =
   | "reps" :: rest ->
     let n = match rest with [ n ] -> int_of_string n | _ -> 10 in
     run_reps ~jobs n
+  | "throughput" :: rest ->
+    let rec parse ~benches ~out = function
+      | "--benches" :: bs :: rest ->
+        parse ~benches:(String.split_on_char ',' bs) ~out rest
+      | "--out" :: f :: rest -> parse ~benches ~out:f rest
+      | [] -> (benches, out)
+      | a :: _ ->
+        Printf.eprintf "bench: throughput: unknown argument %S\n" a;
+        exit 2
+    in
+    let benches, out =
+      parse ~benches:Prefix_workloads.Registry.names ~out:"BENCH_replay.json" rest
+    in
+    run_throughput ~benches ~out
   | [] ->
     print_endline "=== PreFix paper reproduction: all tables and figures ===";
     (* Replay the 13 benchmarks across the pool once; every experiment
@@ -171,5 +301,5 @@ let () =
         | None ->
           Printf.printf "unknown experiment %S; available: %s, micro\n" id
             (String.concat ", " (List.map (fun (e : R.experiment) -> e.id) R.all
-                                  @ [ "csv"; "reps" ])))
+                                  @ [ "csv"; "reps"; "throughput" ])))
       ids

@@ -7,6 +7,7 @@ type t = {
   tags : int array; (* sets * assoc; -1 = invalid *)
   stamps : int array; (* LRU timestamps, parallel to tags *)
   dirty : bool array; (* written since fill, parallel to tags *)
+  mru : int array; (* per set, the way touched by the set's last access *)
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
@@ -31,6 +32,7 @@ let make ~name ~sets ~assoc ~line_bytes =
     tags = Array.make (sets * assoc) (-1);
     stamps = Array.make (sets * assoc) 0;
     dirty = Array.make (sets * assoc) false;
+    mru = Array.make sets 0;
     clock = 0;
     accesses = 0;
     misses = 0;
@@ -50,45 +52,64 @@ let sets t = t.sets
 let assoc t = t.assoc
 let line_bytes t = 1 lsl t.line_bits
 
-let access ?(write = false) t addr =
+(* [probe] takes [write] as a plain labelled argument so the replay
+   fast path pays no option boxing per reference; [access] keeps the
+   original optional-argument API. *)
+let probe t ~write addr =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
   let line = addr lsr t.line_bits in
   let set = line land t.set_mask in
   let tag = line in
   let base = set * t.assoc in
-  let hit = ref false in
-  let way = ref (-1) in
-  (* Look for the tag; remember the LRU way in case of a miss. *)
-  let lru_way = ref 0 in
-  let lru_stamp = ref max_int in
-  for w = 0 to t.assoc - 1 do
-    let i = base + w in
-    if t.tags.(i) = tag then begin
-      hit := true;
-      way := w
-    end;
-    if t.stamps.(i) < !lru_stamp then begin
-      lru_stamp := t.stamps.(i);
-      lru_way := w
-    end
-  done;
-  if !hit then begin
-    let i = base + !way in
-    t.stamps.(i) <- t.clock;
-    if write then t.dirty.(i) <- true;
+  (* MRU-first: the set's last-touched way hits for the common
+     same-line streak without scanning the other ways.  A hit never
+     changes replacement state beyond its own stamp, so counters and
+     evictions are exactly those of the full scan below. *)
+  let m = base + Array.unsafe_get t.mru set in
+  if Array.unsafe_get t.tags m = tag then begin
+    Array.unsafe_set t.stamps m t.clock;
+    if write then Array.unsafe_set t.dirty m true;
     true
   end
   else begin
-    t.misses <- t.misses + 1;
-    let i = base + !lru_way in
-    (* Write-back policy: evicting a dirty line costs a memory write. *)
-    if t.tags.(i) >= 0 && t.dirty.(i) then t.writebacks <- t.writebacks + 1;
-    t.tags.(i) <- tag;
-    t.stamps.(i) <- t.clock;
-    t.dirty.(i) <- write;
-    false
+    let hit = ref false in
+    let way = ref (-1) in
+    (* Look for the tag; remember the LRU way in case of a miss. *)
+    let lru_way = ref 0 in
+    let lru_stamp = ref max_int in
+    for w = 0 to t.assoc - 1 do
+      let i = base + w in
+      if t.tags.(i) = tag then begin
+        hit := true;
+        way := w
+      end;
+      if t.stamps.(i) < !lru_stamp then begin
+        lru_stamp := t.stamps.(i);
+        lru_way := w
+      end
+    done;
+    if !hit then begin
+      let i = base + !way in
+      t.stamps.(i) <- t.clock;
+      if write then t.dirty.(i) <- true;
+      t.mru.(set) <- !way;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      let i = base + !lru_way in
+      (* Write-back policy: evicting a dirty line costs a memory write. *)
+      if t.tags.(i) >= 0 && t.dirty.(i) then t.writebacks <- t.writebacks + 1;
+      t.tags.(i) <- tag;
+      t.stamps.(i) <- t.clock;
+      t.dirty.(i) <- write;
+      t.mru.(set) <- !lru_way;
+      false
+    end
   end
+
+let access ?(write = false) t addr = probe t ~write addr
 
 let accesses t = t.accesses
 let misses t = t.misses
@@ -107,5 +128,6 @@ let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.stamps 0 (Array.length t.stamps) 0;
   Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.mru 0 (Array.length t.mru) 0;
   t.clock <- 0;
   reset_counters t

@@ -23,7 +23,18 @@ val line_bytes : t -> int
 val access : ?write:bool -> t -> int -> bool
 (** [access t addr] simulates one reference; [true] = hit.  The line is
     installed (and the LRU way evicted) on a miss.  [write] marks the
-    line dirty (write-back policy; default false). *)
+    line dirty (write-back policy; default false).
+
+    The common case — another reference to the set's most recently
+    touched line — is served by an MRU-first probe that checks one way
+    and exits early; only on an MRU mismatch does the full way scan
+    (and, on a miss, LRU eviction) run.  Hit/miss/writeback counts and
+    replacement decisions are identical to the plain scan. *)
+
+val probe : t -> write:bool -> int -> bool
+(** Exactly {!access} with [write] as a required labelled argument —
+    the replay hot loop uses this to avoid boxing an option per
+    memory reference. *)
 
 val accesses : t -> int
 val misses : t -> int

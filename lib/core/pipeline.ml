@@ -342,6 +342,9 @@ let plan_with_stats ?(config = default_config) ~variant stats trace =
 
 let analyze trace = stage "trace-analysis" (fun () -> Trace_stats.analyze trace)
 
+let analyze_packed packed =
+  stage "trace-analysis" (fun () -> Trace_stats.analyze_packed packed)
+
 let plan ?config ~variant trace =
   let stats = analyze trace in
   plan_with_stats ?config ~variant stats trace

@@ -39,6 +39,10 @@ val analyze : Prefix_trace.Trace.t -> Prefix_trace.Trace_stats.t
     use this instead of calling the analyzer directly when the run
     should show up in span reports and Chrome traces. *)
 
+val analyze_packed : Prefix_trace.Packed.t -> Prefix_trace.Trace_stats.t
+(** {!analyze} off an already-packed trace, avoiding a second packing
+    when the caller also replays the packed form. *)
+
 val plan :
   ?config:config -> variant:Plan.variant -> Prefix_trace.Trace.t -> Plan.t
 

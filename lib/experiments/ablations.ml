@@ -92,11 +92,11 @@ let recycling_sweep () =
           r.profiling_trace
       in
       let outcome =
-        Prefix_runtime.Executor.run ~config:Harness.exec_config
+        Prefix_runtime.Executor.run_packed ~config:Harness.exec_config
           ~policy:(fun heap ->
             Prefix_runtime.Prefix_policy.policy costs heap plan
               Prefix_runtime.Policy.no_classification)
-          r.long_trace
+          r.long_packed
       in
       T.add_row t
         [ T.fmt_f headroom;
@@ -203,16 +203,16 @@ let geometry_sensitivity () =
     (fun (label, hierarchy) ->
       let config = { Harness.exec_config with hierarchy } in
       let base =
-        Prefix_runtime.Executor.run ~config
+        Prefix_runtime.Executor.run_packed ~config
           ~policy:(fun heap -> Prefix_runtime.Policy.baseline costs heap)
-          r.long_trace
+          r.long_packed
       in
       let opt =
-        Prefix_runtime.Executor.run ~config
+        Prefix_runtime.Executor.run_packed ~config
           ~policy:(fun heap ->
             Prefix_runtime.Prefix_policy.policy costs heap plan
               Prefix_runtime.Policy.no_classification)
-          r.long_trace
+          r.long_packed
       in
       T.add_row t
         [ label;

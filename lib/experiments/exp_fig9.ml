@@ -21,16 +21,16 @@ let report () =
   let pred obj = Hashtbl.mem r.long_hot_set obj in
   let costs = Harness.exec_config.costs in
   let base =
-    Executor.run ~config:Harness.exec_config ~heatmap_objs:pred
+    Executor.run_packed ~config:Harness.exec_config ~heatmap_objs:pred
       ~policy:(fun heap -> Policy.baseline costs heap)
-      r.long_trace
+      r.long_packed
   in
   let best_plan = Option.get r.prefix_hot.plan in
   let cls = Policy.no_classification in
   let opt =
-    Executor.run ~config:Harness.exec_config ~heatmap_objs:pred
+    Executor.run_packed ~config:Harness.exec_config ~heatmap_objs:pred
       ~policy:(fun heap -> Prefix_policy.policy costs heap best_plan cls)
-      r.long_trace
+      r.long_packed
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (title ^ "\n");

@@ -17,6 +17,9 @@ type result = {
   wl : Prefix_workloads.Workload.t;
   profiling_trace : Prefix_trace.Trace.t;
   long_trace : Prefix_trace.Trace.t;
+  long_packed : Prefix_trace.Packed.t;
+      (** [long_trace] packed once, shared read-only by the six policy
+          replays and by experiments that replay the long input again *)
   profiling_stats : Prefix_trace.Trace_stats.t;
   long_stats : Prefix_trace.Trace_stats.t;
   baseline : policy_run;

@@ -90,7 +90,8 @@ let profile_seed = 7
 let bench_ctx ?(policies = all_policies) name =
   let wl = Registry.find name in
   let trace = wl.generate ~scale:Workload.Profiling ~seed:profile_seed () in
-  let stats = Trace_stats.analyze trace in
+  let packed = Prefix_trace.Packed.of_trace trace in
+  let stats = Trace_stats.analyze_packed packed in
   let costs = Executor.default_config.costs in
   let mk = function
     | Hds ->
@@ -107,7 +108,7 @@ let bench_ctx ?(policies = all_policies) name =
   let clean_refs =
     List.map
       (fun (p, mk) ->
-        let o = Executor.run ~policy:(mk Policy.Strict None) trace in
+        let o = Executor.run_packed ~policy:(mk Policy.Strict None) packed in
         (p, o.Executor.metrics.mem_refs))
       pols
   in

@@ -1,6 +1,7 @@
 module Allocator = Prefix_heap.Allocator
 module Trace = Prefix_trace.Trace
 module Event = Prefix_trace.Event
+module Packed = Prefix_trace.Packed
 module Cache = Prefix_cachesim.Cache
 module Hierarchy = Prefix_cachesim.Hierarchy
 module Cycles = Prefix_cachesim.Cycles
@@ -130,8 +131,8 @@ let snapshot_counters ~name heap mem ~mem_refs =
       ("llc_misses", float_of_int c.llc_misses);
       ("l1_tlb_misses", float_of_int c.l1_tlb_misses) ]
 
-let record_metrics ~(p : Policy.t) heap trace counters ~mem_refs ~elapsed_ns =
-  Metric.add (Metric.counter "executor.events_replayed") (Trace.length trace);
+let record_metrics ~(p : Policy.t) heap ~events counters ~mem_refs ~elapsed_ns =
+  Metric.add (Metric.counter "executor.events_replayed") events;
   Metric.add (Metric.counter "executor.mem_refs") mem_refs;
   Metric.add (Metric.counter "executor.l1_misses") counters.Hierarchy.l1_misses;
   Metric.add (Metric.counter "executor.llc_misses") counters.Hierarchy.llc_misses;
@@ -142,14 +143,353 @@ let record_metrics ~(p : Policy.t) heap trace counters ~mem_refs ~elapsed_ns =
   Metric.set_max (Metric.gauge "executor.heap_peak_bytes")
     (float_of_int (Allocator.peak_bytes heap));
   let secs = Int64.to_float elapsed_ns /. 1e9 in
-  let rate = if secs > 0. then float_of_int (Trace.length trace) /. secs else 0. in
+  let rate = if secs > 0. then float_of_int events /. secs else 0. in
   Metric.set (Metric.gauge "executor.events_per_sec") rate;
   Log.info (fun m ->
       m "%s: %d events in %.1f ms (%.0f events/s), %d prealloc hits, %d evictions"
-        p.Policy.name (Trace.length trace) (secs *. 1e3) rate
+        p.Policy.name events (secs *. 1e3) rate
         p.Policy.stats.calls_avoided p.Policy.stats.recycle_evictions)
 
-let run ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
+(* Shared epilogue: recovery logging/metrics + the outcome record. *)
+let finish_run ~config ~(p : Policy.t) ~lenient ~obs_on ~start_ns ~heap ~mem ~events
+    ~instructions_base ~mem_refs ~heatmap ~attribution ~recovery =
+  if lenient && recovery_total recovery > 0 then
+    Log.warn (fun m ->
+        m "%s: lenient replay recovered from %d anomalies (%a)" p.Policy.name
+          (recovery_total recovery) pp_recovery recovery);
+  let peak = Allocator.peak_bytes heap in
+  let extent = Allocator.heap_extent heap in
+  p.Policy.finish ();
+  let counters = mem_counters mem in
+  if obs_on then begin
+    snapshot_counters ~name:p.Policy.name heap mem ~mem_refs;
+    record_metrics ~p heap ~events counters ~mem_refs
+      ~elapsed_ns:(Int64.sub (Prefix_obs.Clock.now_ns ()) start_ns);
+    Metric.add (Metric.counter "executor.recovered.double_alloc") recovery.double_allocs;
+    Metric.add (Metric.counter "executor.recovered.unknown_access") recovery.unknown_accesses;
+    Metric.add (Metric.counter "executor.recovered.unknown_free") recovery.unknown_frees;
+    Metric.add (Metric.counter "executor.recovered.unknown_realloc") recovery.unknown_reallocs;
+    Metric.add (Metric.counter "executor.recovered.invalid_size") recovery.invalid_sizes;
+    Metric.add (Metric.counter "executor.recovered.policy_failure") recovery.policy_failures
+  end;
+  let instructions = instructions_base + p.Policy.stats.mgmt_instrs in
+  let threads = max 1 (Array.length mem.l1s) in
+  let est = Cycles.estimate ~params:config.cycle_params ~instructions counters in
+  (* Perfectly-parallel wall-clock model across threads. *)
+  let est =
+    if threads = 1 then est
+    else
+      { est with
+        total_cycles = est.total_cycles /. float_of_int threads;
+        compute_cycles = est.compute_cycles /. float_of_int threads;
+        memory_stall_cycles = est.memory_stall_cycles /. float_of_int threads }
+  in
+  let rate num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+  let metrics =
+    { Metrics.policy_name = p.Policy.name;
+      instructions;
+      mem_refs;
+      cycles = est;
+      counters;
+      l1_miss_rate = rate counters.l1_misses counters.refs;
+      llc_miss_rate = rate counters.llc_misses counters.refs;
+      l1_tlb_miss_rate = rate counters.l1_tlb_misses counters.refs;
+      l2_tlb_miss_rate = rate counters.l2_tlb_misses counters.refs;
+      backend_stall_pct = est.backend_stall_pct;
+      peak_bytes = peak;
+      heap_extent = extent;
+      malloc_calls = Allocator.malloc_calls heap;
+      free_calls = Allocator.free_calls heap;
+      realloc_calls = Allocator.realloc_calls heap;
+      calls_avoided = p.Policy.stats.calls_avoided;
+      mgmt_instrs = p.Policy.stats.mgmt_instrs;
+      region_objects = p.Policy.stats.region_objects;
+      region_hot_objects = p.Policy.stats.region_hot_objects;
+      region_hds_objects = p.Policy.stats.region_hds_objects;
+      threads }
+  in
+  { metrics; heatmap; attribution; recovery }
+
+(* ---- dense object table ----------------------------------------------
+
+   The replay's per-object state (address, size, and — under
+   attribution — allocation site) lives in flat arrays indexed by
+   object id: workload object ids are dense small integers, so lookup
+   is one bounds check and one load instead of a Hashtbl probe per
+   event.  [not_live] marks dead/unseen slots.  Negative ids (possible
+   only in hand-built traces; generators and the sanitizer never emit
+   them) fall back to a Hashtbl so semantics match the boxed path
+   exactly. *)
+
+let not_live = min_int
+
+type otbl = {
+  mutable addrs : int array; (* not_live when the id is not live *)
+  mutable sizes : int array;
+  mutable sites : int array; (* written only under attribution *)
+  neg : (int, int * int * int) Hashtbl.t; (* obj < 0: addr, size, site *)
+}
+
+let ot_create () =
+  { addrs = Array.make 1024 not_live;
+    sizes = Array.make 1024 0;
+    sites = Array.make 1024 0;
+    neg = Hashtbl.create 8 }
+
+let ot_grow t obj =
+  let cap = Array.length t.addrs in
+  let ncap = ref cap in
+  while obj >= !ncap do
+    ncap := !ncap * 2
+  done;
+  let grow a fill =
+    let b = Array.make !ncap fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.addrs <- grow t.addrs not_live;
+  t.sizes <- grow t.sizes 0;
+  t.sites <- grow t.sites 0
+
+(* Address of a live object, or [not_live]. *)
+let[@inline] ot_addr t obj =
+  if obj >= 0 then
+    if obj < Array.length t.addrs then Array.unsafe_get t.addrs obj else not_live
+  else match Hashtbl.find_opt t.neg obj with Some (a, _, _) -> a | None -> not_live
+
+let[@inline] ot_size t obj =
+  if obj >= 0 then Array.unsafe_get t.sizes obj
+  else match Hashtbl.find_opt t.neg obj with Some (_, s, _) -> s | None -> 0
+
+let[@inline] ot_site t obj =
+  if obj >= 0 then
+    if obj < Array.length t.sites then Array.unsafe_get t.sites obj else 0
+  else match Hashtbl.find_opt t.neg obj with Some (_, _, s) -> s | None -> 0
+
+let ot_set t obj ~addr ~size =
+  if obj >= 0 then begin
+    if obj >= Array.length t.addrs then ot_grow t obj;
+    Array.unsafe_set t.addrs obj addr;
+    Array.unsafe_set t.sizes obj size
+  end
+  else
+    let site = match Hashtbl.find_opt t.neg obj with Some (_, _, s) -> s | None -> 0 in
+    Hashtbl.replace t.neg obj (addr, size, site)
+
+let ot_set_site t obj site =
+  if obj >= 0 then begin
+    if obj >= Array.length t.sites then ot_grow t obj;
+    Array.unsafe_set t.sites obj site
+  end
+  else
+    let addr, size =
+      match Hashtbl.find_opt t.neg obj with
+      | Some (a, s, _) -> (a, s)
+      | None -> (not_live, 0)
+    in
+    Hashtbl.replace t.neg obj (addr, size, site)
+
+let ot_remove t obj =
+  if obj >= 0 then begin
+    if obj < Array.length t.addrs then Array.unsafe_set t.addrs obj not_live
+  end
+  else
+    let site = ot_site t obj in
+    Hashtbl.replace t.neg obj (not_live, 0, site)
+
+(* ---- packed fast path ------------------------------------------------ *)
+
+let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
+    ?(attribute = false) ~policy packed =
+  let events = Packed.length packed in
+  let heap = Allocator.create () in
+  let p = policy heap in
+  Span.with_ ~cat:"executor"
+    ~args:[ ("policy", p.Policy.name); ("events", string_of_int events) ]
+    ("replay:" ^ p.Policy.name)
+  @@ fun () ->
+  let lenient = mode = Policy.Lenient in
+  let obs_on = Obs.is_on () in
+  let start_ns = if obs_on then Prefix_obs.Clock.now_ns () else 0L in
+  let alloc_hist =
+    if obs_on then
+      Some (Metric.histogram ~lo:0. ~hi:4096. ~buckets:32 "executor.alloc_bytes")
+    else None
+  in
+  let mem = mem_create config.hierarchy in
+  let heatmap =
+    Option.map (fun _ -> Heatmap.create ~time_buckets:72 ~addr_buckets:24 ()) heatmap_objs
+  in
+  let attribution = if attribute then Some (Attribution.create ()) else None in
+  let ot = ot_create () in
+  let mem_refs = ref 0 in
+  (* Lenient-mode recovery tallies.  In strict mode these stay zero —
+     the first anomaly raises instead. *)
+  let r_double = ref 0 and r_access = ref 0 and r_free = ref 0 in
+  let r_realloc = ref 0 and r_size = ref 0 and r_policy = ref 0 in
+  (* A policy whose internal state was corrupted by a malformed event
+     stream may itself raise; in lenient mode that becomes a counted
+     failure and the event degrades to the fallback action. *)
+  let guarded ~fallback f =
+    if not lenient then f ()
+    else try f () with Invalid_argument _ | Failure _ | Not_found -> incr r_policy; fallback ()
+  in
+  (* Most traces run long single-thread streaks, so the dense cache
+     slot of the previous event's thread is memoized and the
+     [thread_slot] Hashtbl probe only runs when the thread changes. *)
+  let last_thread = ref min_int and last_slot = ref 0 in
+  let[@inline] slot_of thread =
+    if thread = !last_thread then !last_slot
+    else begin
+      let s = thread_slot mem thread in
+      last_thread := thread;
+      last_slot := s;
+      s
+    end
+  in
+  let tags = packed.Packed.tag in
+  let objs = packed.Packed.obj in
+  let fas = packed.Packed.fa in
+  let fbs = packed.Packed.fb in
+  let fcs = packed.Packed.fc in
+  let threads = packed.Packed.thread in
+  for index = 0 to events - 1 do
+    if obs_on && index land (snap_interval - 1) = 0 then
+      snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:!mem_refs;
+    match Array.unsafe_get tags index with
+    | 1 (* Access *) ->
+      let obj = Array.unsafe_get objs index in
+      let addr = ot_addr ot obj in
+      if addr = not_live then begin
+        if lenient then incr r_access
+        else invalid_arg (Printf.sprintf "Executor: access to unknown object %d" obj)
+      end
+      else begin
+        incr mem_refs;
+        let offset = Array.unsafe_get fas index in
+        let write = Array.unsafe_get fbs index <> 0 in
+        let thread = Array.unsafe_get threads index in
+        let a = addr + offset in
+        (* Inlined mem_access over the memoized thread slot; identical
+           probe order to the boxed path. *)
+        let i = slot_of thread in
+        let l1_hit = Cache.probe (Array.unsafe_get mem.l1s i) ~write a in
+        let llc_miss = if l1_hit then false else not (Cache.probe mem.llc ~write a) in
+        let tlb1_hit = Cache.probe (Array.unsafe_get mem.l1_tlbs i) ~write:false a in
+        if not tlb1_hit then
+          ignore (Cache.probe (Array.unsafe_get mem.l2_tlbs i) ~write:false a);
+        (match attribution with
+        | Some attr ->
+          Attribution.record attr ~site:(ot_site ot obj) ~l1_miss:(not l1_hit) ~llc_miss
+            ~tlb_miss:(not tlb1_hit)
+        | None -> ());
+        match (heatmap, heatmap_objs) with
+        | Some hm, Some pred -> if pred obj then Heatmap.record hm ~time:index ~addr:a
+        | _ -> ()
+      end
+    | 4 (* Compute *) -> ()
+    | 0 (* Alloc *) ->
+      let obj = Array.unsafe_get objs index in
+      let site = Array.unsafe_get fas index in
+      let size = Array.unsafe_get fbs index in
+      let ctx = Array.unsafe_get fcs index in
+      let size =
+        if size <= 0 && lenient then begin
+          (* Mutated/corrupted size: clamp to one granule. *)
+          incr r_size;
+          16
+        end
+        else size
+      in
+      let oaddr = ot_addr ot obj in
+      if oaddr <> not_live then begin
+        if not lenient then
+          invalid_arg (Printf.sprintf "Executor: object %d allocated twice" obj);
+        (* Colliding id: treat the old object as implicitly freed so
+           policy and allocator state stay consistent. *)
+        incr r_double;
+        let osize = ot_size ot obj in
+        guarded
+          ~fallback:(fun () ->
+            if Allocator.is_allocated heap oaddr then Allocator.free heap oaddr)
+          (fun () -> p.Policy.dealloc ~obj ~addr:oaddr ~size:osize);
+        ot_remove ot obj
+      end;
+      let addr =
+        if lenient then
+          guarded
+            ~fallback:(fun () -> Allocator.malloc heap size)
+            (fun () -> p.Policy.alloc ~obj ~site ~ctx ~size)
+        else p.Policy.alloc ~obj ~site ~ctx ~size
+      in
+      (match alloc_hist with
+      | Some h -> Metric.observe h (float_of_int size)
+      | None -> ());
+      if attribute then ot_set_site ot obj site;
+      ot_set ot obj ~addr ~size
+    | 2 (* Free *) ->
+      let obj = Array.unsafe_get objs index in
+      let addr = ot_addr ot obj in
+      if addr = not_live then begin
+        if lenient then incr r_free
+        else invalid_arg (Printf.sprintf "Executor: free of unknown object %d" obj)
+      end
+      else begin
+        let size = ot_size ot obj in
+        if lenient then
+          guarded
+            ~fallback:(fun () ->
+              if Allocator.is_allocated heap addr then Allocator.free heap addr)
+            (fun () -> p.Policy.dealloc ~obj ~addr ~size)
+        else p.Policy.dealloc ~obj ~addr ~size;
+        ot_remove ot obj
+      end
+    | _ (* Realloc *) ->
+      let obj = Array.unsafe_get objs index in
+      let addr = ot_addr ot obj in
+      if addr = not_live then begin
+        if lenient then incr r_realloc
+        else invalid_arg (Printf.sprintf "Executor: realloc of unknown object %d" obj)
+      end
+      else begin
+        let new_size = Array.unsafe_get fas index in
+        if new_size <= 0 && lenient then
+          (* Corrupted size: keep the object as it is. *)
+          incr r_size
+        else begin
+          let old_size = ot_size ot obj in
+          let fresh =
+            if lenient then
+              guarded
+                ~fallback:(fun () -> addr)
+                (fun () -> p.Policy.realloc ~obj ~addr ~old_size ~new_size)
+            else p.Policy.realloc ~obj ~addr ~old_size ~new_size
+          in
+          ot_set ot obj ~addr:fresh ~size:new_size
+        end
+      end
+  done;
+  let recovery =
+    { double_allocs = !r_double;
+      unknown_accesses = !r_access;
+      unknown_frees = !r_free;
+      unknown_reallocs = !r_realloc;
+      invalid_sizes = !r_size;
+      policy_failures = !r_policy }
+  in
+  finish_run ~config ~p ~lenient ~obs_on ~start_ns ~heap ~mem ~events
+    ~instructions_base:(Packed.total_instructions packed)
+    ~mem_refs:!mem_refs ~heatmap ~attribution ~recovery
+
+(* ---- boxed reference path --------------------------------------------
+
+   The seed implementation, kept verbatim as the differential oracle:
+   tests, the throughput benchmark and the CI smoke step replay traces
+   through both paths and require identical metrics and recovery
+   counters.  Functional changes belong in [run_packed]; this loop only
+   changes when the replay semantics themselves do. *)
+
+let run_boxed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
     ?(attribute = false) ~policy trace =
   let heap = Allocator.create () in
   let p = policy heap in
@@ -173,13 +513,8 @@ let run ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
   let site_of : (int, int) Hashtbl.t = Hashtbl.create 4096 in
   let live : (int, int * int) Hashtbl.t = Hashtbl.create 4096 in
   let mem_refs = ref 0 in
-  (* Lenient-mode recovery tallies.  In strict mode these stay zero —
-     the first anomaly raises instead. *)
   let r_double = ref 0 and r_access = ref 0 and r_free = ref 0 in
   let r_realloc = ref 0 and r_size = ref 0 and r_policy = ref 0 in
-  (* A policy whose internal state was corrupted by a malformed event
-     stream may itself raise; in lenient mode that becomes a counted
-     failure and the event degrades to the fallback action. *)
   let guarded ~fallback f =
     if not lenient then f ()
     else try f () with Invalid_argument _ | Failure _ | Not_found -> incr r_policy; fallback ()
@@ -278,62 +613,13 @@ let run ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
       invalid_sizes = !r_size;
       policy_failures = !r_policy }
   in
-  if lenient && recovery_total recovery > 0 then
-    Log.warn (fun m ->
-        m "%s: lenient replay recovered from %d anomalies (%a)" p.Policy.name
-          (recovery_total recovery) pp_recovery recovery);
-  let peak = Allocator.peak_bytes heap in
-  let extent = Allocator.heap_extent heap in
-  p.Policy.finish ();
-  let counters = mem_counters mem in
-  if obs_on then begin
-    snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:!mem_refs;
-    record_metrics ~p heap trace counters ~mem_refs:!mem_refs
-      ~elapsed_ns:(Int64.sub (Prefix_obs.Clock.now_ns ()) start_ns);
-    Metric.add (Metric.counter "executor.recovered.double_alloc") recovery.double_allocs;
-    Metric.add (Metric.counter "executor.recovered.unknown_access") recovery.unknown_accesses;
-    Metric.add (Metric.counter "executor.recovered.unknown_free") recovery.unknown_frees;
-    Metric.add (Metric.counter "executor.recovered.unknown_realloc") recovery.unknown_reallocs;
-    Metric.add (Metric.counter "executor.recovered.invalid_size") recovery.invalid_sizes;
-    Metric.add (Metric.counter "executor.recovered.policy_failure") recovery.policy_failures
-  end;
-  let instructions = Trace.total_instructions trace + p.Policy.stats.mgmt_instrs in
-  let threads = max 1 (Array.length mem.l1s) in
-  let est = Cycles.estimate ~params:config.cycle_params ~instructions counters in
-  (* Perfectly-parallel wall-clock model across threads. *)
-  let est =
-    if threads = 1 then est
-    else
-      { est with
-        total_cycles = est.total_cycles /. float_of_int threads;
-        compute_cycles = est.compute_cycles /. float_of_int threads;
-        memory_stall_cycles = est.memory_stall_cycles /. float_of_int threads }
-  in
-  let rate num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
-  let metrics =
-    { Metrics.policy_name = p.Policy.name;
-      instructions;
-      mem_refs = !mem_refs;
-      cycles = est;
-      counters;
-      l1_miss_rate = rate counters.l1_misses counters.refs;
-      llc_miss_rate = rate counters.llc_misses counters.refs;
-      l1_tlb_miss_rate = rate counters.l1_tlb_misses counters.refs;
-      l2_tlb_miss_rate = rate counters.l2_tlb_misses counters.refs;
-      backend_stall_pct = est.backend_stall_pct;
-      peak_bytes = peak;
-      heap_extent = extent;
-      malloc_calls = Allocator.malloc_calls heap;
-      free_calls = Allocator.free_calls heap;
-      realloc_calls = Allocator.realloc_calls heap;
-      calls_avoided = p.Policy.stats.calls_avoided;
-      mgmt_instrs = p.Policy.stats.mgmt_instrs;
-      region_objects = p.Policy.stats.region_objects;
-      region_hot_objects = p.Policy.stats.region_hot_objects;
-      region_hds_objects = p.Policy.stats.region_hds_objects;
-      threads }
-  in
-  { metrics; heatmap; attribution; recovery }
+  finish_run ~config ~p ~lenient ~obs_on ~start_ns ~heap ~mem
+    ~events:(Trace.length trace)
+    ~instructions_base:(Trace.total_instructions trace)
+    ~mem_refs:!mem_refs ~heatmap ~attribution ~recovery
+
+let run ?config ?mode ?heatmap_objs ?attribute ~policy trace =
+  run_packed ?config ?mode ?heatmap_objs ?attribute ~policy (Packed.of_trace trace)
 
 let run_baseline ?config ?mode trace =
   let costs =

@@ -63,7 +63,39 @@ val run :
     ...).  [Lenient] never raises on malformed input: every anomaly
     becomes a counted recovery action (reported in the outcome's
     [recovery] field and, when observability is on, the
-    [executor.recovered.*] metric counters). *)
+    [executor.recovered.*] metric counters).
+
+    Equivalent to [run_packed ... (Packed.of_trace trace)] — callers
+    that replay the same trace more than once should pack it themselves
+    and call {!run_packed} directly. *)
+
+val run_packed :
+  ?config:config ->
+  ?mode:Policy.mode ->
+  ?heatmap_objs:(int -> bool) ->
+  ?attribute:bool ->
+  policy:(Prefix_heap.Allocator.t -> Policy.t) ->
+  Prefix_trace.Packed.t ->
+  outcome
+(** The replay fast path: identical semantics, metrics, recovery
+    counters and observability behavior to {!run}, but driven off the
+    struct-of-arrays encoding with an allocation-free dispatch loop, a
+    dense object table in place of the per-event [live] Hashtbl, and a
+    memoized last-thread cache slot.  A packed trace is read-only here
+    and can be shared across policies and worker domains. *)
+
+val run_boxed :
+  ?config:config ->
+  ?mode:Policy.mode ->
+  ?heatmap_objs:(int -> bool) ->
+  ?attribute:bool ->
+  policy:(Prefix_heap.Allocator.t -> Policy.t) ->
+  Prefix_trace.Trace.t ->
+  outcome
+(** The original event-by-event reference interpreter over the boxed
+    trace, kept as the differential-testing oracle for {!run_packed}:
+    tests and the throughput benchmark replay through both and require
+    identical outcomes.  Not used on any hot path. *)
 
 val run_baseline :
   ?config:config -> ?mode:Policy.mode -> Prefix_trace.Trace.t -> outcome

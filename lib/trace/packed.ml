@@ -1,0 +1,113 @@
+type t = {
+  len : int;
+  tag : int array;
+  obj : int array;
+  fa : int array;
+  fb : int array;
+  fc : int array;
+  thread : int array;
+}
+
+let tag_alloc = 0
+let tag_access = 1
+let tag_free = 2
+let tag_realloc = 3
+let tag_compute = 4
+
+let length t = t.len
+
+let of_trace tr =
+  let len = Trace.length tr in
+  let tag = Array.make len 0 in
+  let obj = Array.make len 0 in
+  let fa = Array.make len 0 in
+  let fb = Array.make len 0 in
+  let fc = Array.make len 0 in
+  let thread = Array.make len 0 in
+  Trace.iteri
+    (fun i e ->
+      match (e : Event.t) with
+      | Alloc a ->
+        tag.(i) <- tag_alloc;
+        obj.(i) <- a.obj;
+        fa.(i) <- a.site;
+        fb.(i) <- a.size;
+        fc.(i) <- a.ctx;
+        thread.(i) <- a.thread
+      | Access a ->
+        tag.(i) <- tag_access;
+        obj.(i) <- a.obj;
+        fa.(i) <- a.offset;
+        fb.(i) <- (if a.write then 1 else 0);
+        thread.(i) <- a.thread
+      | Free f ->
+        tag.(i) <- tag_free;
+        obj.(i) <- f.obj;
+        thread.(i) <- f.thread
+      | Realloc r ->
+        tag.(i) <- tag_realloc;
+        obj.(i) <- r.obj;
+        fa.(i) <- r.new_size;
+        thread.(i) <- r.thread
+      | Compute c ->
+        tag.(i) <- tag_compute;
+        fa.(i) <- c.instrs;
+        thread.(i) <- c.thread)
+    tr;
+  { len; tag; obj; fa; fb; fc; thread }
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Packed.get: index out of bounds";
+  let obj = t.obj.(i) and thread = t.thread.(i) in
+  match t.tag.(i) with
+  | 0 -> Event.Alloc { obj; site = t.fa.(i); ctx = t.fc.(i); size = t.fb.(i); thread }
+  | 1 -> Event.Access { obj; offset = t.fa.(i); write = t.fb.(i) <> 0; thread }
+  | 2 -> Event.Free { obj; thread }
+  | 3 -> Event.Realloc { obj; new_size = t.fa.(i); thread }
+  | _ -> Event.Compute { instrs = t.fa.(i); thread }
+
+let to_trace t =
+  let tr = Trace.create ~capacity:(max 16 t.len) () in
+  for i = 0 to t.len - 1 do
+    Trace.add tr (get t i)
+  done;
+  tr
+
+let nop_alloc _ ~obj:_ ~site:_ ~ctx:_ ~size:_ ~thread:_ = ()
+let nop_access _ ~obj:_ ~offset:_ ~write:_ ~thread:_ = ()
+let nop_obj _ ~obj:_ ~thread:_ = ()
+let nop_realloc _ ~obj:_ ~new_size:_ ~thread:_ = ()
+let nop_compute _ ~instrs:_ ~thread:_ = ()
+
+let iteri ?(alloc = nop_alloc) ?(access = nop_access) ?(free = nop_obj)
+    ?(realloc = nop_realloc) ?(compute = nop_compute) t =
+  for i = 0 to t.len - 1 do
+    let obj = Array.unsafe_get t.obj i and thread = Array.unsafe_get t.thread i in
+    match Array.unsafe_get t.tag i with
+    | 0 ->
+      alloc i ~obj ~site:(Array.unsafe_get t.fa i) ~ctx:(Array.unsafe_get t.fc i)
+        ~size:(Array.unsafe_get t.fb i) ~thread
+    | 1 ->
+      access i ~obj ~offset:(Array.unsafe_get t.fa i)
+        ~write:(Array.unsafe_get t.fb i <> 0)
+        ~thread
+    | 2 -> free i ~obj ~thread
+    | 3 -> realloc i ~obj ~new_size:(Array.unsafe_get t.fa i) ~thread
+    | _ -> compute i ~instrs:(Array.unsafe_get t.fa i) ~thread
+  done
+
+let total_instructions t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    let tag = Array.unsafe_get t.tag i in
+    if tag = tag_access then incr n
+    else if tag = tag_compute then n := !n + Array.unsafe_get t.fa i
+  done;
+  !n
+
+let num_accesses t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if Array.unsafe_get t.tag i = tag_access then incr n
+  done;
+  !n

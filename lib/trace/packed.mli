@@ -1,0 +1,67 @@
+(** Struct-of-arrays encoding of an event stream.
+
+    A {!Trace.t} stores boxed {!Event.t} variants — one heap block per
+    event, pointer-chased on every replay.  [Packed.t] stores the same
+    stream as parallel flat [int array]s (tag / object id / two payload
+    fields / alloc context / thread), built once with {!of_trace} and
+    then shared read-only by every consumer: replays touch dense,
+    cache-friendly memory and allocate nothing per event.
+
+    The boxed [Trace.t] stays the construction- and sanitizer-facing
+    representation; convert at the replay boundary.  {!to_trace}
+    inverts {!of_trace} exactly ([to_trace (of_trace t)] reproduces
+    [t] event for event — property-tested). *)
+
+type t = private {
+  len : int;
+  tag : int array;  (** event kind per index; see the [tag_*] codes *)
+  obj : int array;  (** object id (0 for [Compute]) *)
+  fa : int array;
+      (** Alloc: site; Access: offset; Realloc: new_size; Compute: instrs *)
+  fb : int array;  (** Alloc: size; Access: 1 when a write else 0 *)
+  fc : int array;  (** Alloc: ctx (0 for every other kind) *)
+  thread : int array;
+}
+(** The arrays are exposed read-only ([private]) so hot loops index
+    them directly instead of paying a closure per event. *)
+
+val tag_alloc : int  (** = 0 *)
+
+val tag_access : int  (** = 1 *)
+
+val tag_free : int  (** = 2 *)
+
+val tag_realloc : int  (** = 3 *)
+
+val tag_compute : int  (** = 4 *)
+
+val length : t -> int
+
+val of_trace : Trace.t -> t
+(** One pass over the boxed trace; the packed arrays have exact
+    capacity. *)
+
+val to_trace : t -> Trace.t
+(** Exact inverse of {!of_trace}. *)
+
+val get : t -> int -> Event.t
+(** Reconstruct one boxed event (for debugging / cold paths); raises
+    [Invalid_argument] out of bounds. *)
+
+val iteri :
+  ?alloc:(int -> obj:int -> site:int -> ctx:int -> size:int -> thread:int -> unit) ->
+  ?access:(int -> obj:int -> offset:int -> write:bool -> thread:int -> unit) ->
+  ?free:(int -> obj:int -> thread:int -> unit) ->
+  ?realloc:(int -> obj:int -> new_size:int -> thread:int -> unit) ->
+  ?compute:(int -> instrs:int -> thread:int -> unit) ->
+  t ->
+  unit
+(** Unboxed iteration: each callback receives the event index plus the
+    variant's fields as plain ints — no [Event.t] is materialized.
+    Omitted callbacks default to ignoring their events. *)
+
+val total_instructions : t -> int
+(** Same quantity as {!Trace.total_instructions}: accesses count one
+    instruction each, plus all [Compute] instructions. *)
+
+val num_accesses : t -> int

@@ -48,23 +48,36 @@ let to_list t =
   go (t.len - 1) []
 
 let of_list es =
-  let t = create ~capacity:(max 16 (List.length es)) () in
-  List.iter (add t) es;
-  t
+  match es with
+  | [] -> create ()
+  | _ ->
+    (* Array.of_list is a single exact-capacity pass — no re-growth. *)
+    let events = Array.of_list es in
+    { events; len = Array.length events }
 
 let append a b =
-  let t = create ~capacity:(a.len + b.len) () in
-  iter (add t) a;
-  iter (add t) b;
-  t
+  let len = a.len + b.len in
+  let events = Array.make (max 16 len) dummy in
+  Array.blit a.events 0 events 0 a.len;
+  Array.blit b.events 0 events a.len b.len;
+  { events; len }
 
 let filter p t =
-  let out = create ~capacity:t.len () in
-  iter (fun e -> if p e then add out e) t;
-  out
+  let events = Array.make (max 16 t.len) dummy in
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    let e = t.events.(i) in
+    if p e then begin
+      events.(!n) <- e;
+      incr n
+    end
+  done;
+  { events; len = !n }
 
 type violation =
   | Access_before_alloc of { obj : int; index : int }
+  | Free_before_alloc of { obj : int; index : int }
+  | Realloc_before_alloc of { obj : int; index : int }
   | Double_alloc of { obj : int; index : int }
   | Double_free of { obj : int; index : int }
   | Use_after_free of { obj : int; index : int }
@@ -74,6 +87,10 @@ type violation =
 let pp_violation ppf = function
   | Access_before_alloc { obj; index } ->
     Format.fprintf ppf "event %d: object %d used before allocation" index obj
+  | Free_before_alloc { obj; index } ->
+    Format.fprintf ppf "event %d: object %d freed before allocation" index obj
+  | Realloc_before_alloc { obj; index } ->
+    Format.fprintf ppf "event %d: object %d realloc'd before allocation" index obj
   | Double_alloc { obj; index } ->
     Format.fprintf ppf "event %d: object id %d allocated twice" index obj
   | Double_free { obj; index } ->
@@ -110,13 +127,13 @@ let validate t =
             report (Offset_out_of_bounds { obj; offset; size; index }))
       | Free { obj; _ } -> (
         match Hashtbl.find_opt states obj with
-        | None -> report (Access_before_alloc { obj; index })
+        | None -> report (Free_before_alloc { obj; index })
         | Some Freed -> report (Double_free { obj; index })
         | Some (Live _) -> Hashtbl.replace states obj Freed)
       | Realloc { obj; new_size; _ } -> (
         if new_size <= 0 then report (Negative_size { obj; index });
         match Hashtbl.find_opt states obj with
-        | None -> report (Access_before_alloc { obj; index })
+        | None -> report (Realloc_before_alloc { obj; index })
         | Some Freed -> report (Use_after_free { obj; index })
         | Some (Live _) -> Hashtbl.replace states obj (Live new_size)))
     t;

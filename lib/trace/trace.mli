@@ -25,12 +25,15 @@ val to_list : t -> Event.t list
 val of_list : Event.t list -> t
 
 val append : t -> t -> t
-(** [append a b] is a fresh trace with all of [a]'s events then [b]'s. *)
+(** [append a b] is a fresh trace with all of [a]'s events then [b]'s,
+    built with two blits into an exact-capacity buffer. *)
 
 val filter : (Event.t -> bool) -> t -> t
 
 type violation =
   | Access_before_alloc of { obj : int; index : int }
+  | Free_before_alloc of { obj : int; index : int }
+  | Realloc_before_alloc of { obj : int; index : int }
   | Double_alloc of { obj : int; index : int }
   | Double_free of { obj : int; index : int }
   | Use_after_free of { obj : int; index : int }

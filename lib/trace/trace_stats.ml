@@ -26,7 +26,7 @@ type t = {
   trace_len : int;
 }
 
-let analyze trace =
+let analyze_packed packed =
   let objs : (int, obj_info) Hashtbl.t = Hashtbl.create 1024 in
   let site_counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let site_objs : (int, int list) Hashtbl.t = Hashtbl.create 64 in
@@ -34,37 +34,34 @@ let analyze trace =
   let total_accesses = ref 0 in
   let live = ref 0 in
   let max_live = ref 0 in
-  Trace.iteri
-    (fun index e ->
-      match (e : Event.t) with
-      | Compute _ -> ()
-      | Alloc { obj; site; ctx; size; _ } ->
-        let instance = 1 + Option.value ~default:0 (Hashtbl.find_opt site_counts site) in
-        Hashtbl.replace site_counts site instance;
-        Hashtbl.replace site_objs site
-          (obj :: Option.value ~default:[] (Hashtbl.find_opt site_objs site));
-        Hashtbl.replace objs obj
-          { obj; site; ctx; size; alloc_size = size; accesses = 0; alloc_index = index;
-            free_index = None; instance };
-        order := obj :: !order;
-        incr live;
-        if !live > !max_live then max_live := !live
-      | Access { obj; _ } -> (
-        incr total_accesses;
-        match Hashtbl.find_opt objs obj with
-        | None -> ()
-        | Some info -> Hashtbl.replace objs obj { info with accesses = info.accesses + 1 })
-      | Free { obj; _ } -> (
-        match Hashtbl.find_opt objs obj with
-        | None -> ()
-        | Some info ->
-          Hashtbl.replace objs obj { info with free_index = Some index };
-          decr live)
-      | Realloc { obj; new_size; _ } -> (
-        match Hashtbl.find_opt objs obj with
-        | None -> ()
-        | Some info -> Hashtbl.replace objs obj { info with size = new_size }))
-    trace;
+  Packed.iteri
+    ~alloc:(fun index ~obj ~site ~ctx ~size ~thread:_ ->
+      let instance = 1 + Option.value ~default:0 (Hashtbl.find_opt site_counts site) in
+      Hashtbl.replace site_counts site instance;
+      Hashtbl.replace site_objs site
+        (obj :: Option.value ~default:[] (Hashtbl.find_opt site_objs site));
+      Hashtbl.replace objs obj
+        { obj; site; ctx; size; alloc_size = size; accesses = 0; alloc_index = index;
+          free_index = None; instance };
+      order := obj :: !order;
+      incr live;
+      if !live > !max_live then max_live := !live)
+    ~access:(fun _ ~obj ~offset:_ ~write:_ ~thread:_ ->
+      incr total_accesses;
+      match Hashtbl.find_opt objs obj with
+      | None -> ()
+      | Some info -> Hashtbl.replace objs obj { info with accesses = info.accesses + 1 })
+    ~free:(fun index ~obj ~thread:_ ->
+      match Hashtbl.find_opt objs obj with
+      | None -> ()
+      | Some info ->
+        Hashtbl.replace objs obj { info with free_index = Some index };
+        decr live)
+    ~realloc:(fun _ ~obj ~new_size ~thread:_ ->
+      match Hashtbl.find_opt objs obj with
+      | None -> ()
+      | Some info -> Hashtbl.replace objs obj { info with size = new_size })
+    packed;
   let site_tbl = Hashtbl.create 64 in
   Hashtbl.iter
     (fun site_id alloc_count ->
@@ -79,7 +76,9 @@ let analyze trace =
     site_tbl;
     total_accesses = !total_accesses;
     max_live = !max_live;
-    trace_len = Trace.length trace }
+    trace_len = Packed.length packed }
+
+let analyze trace = analyze_packed (Packed.of_trace trace)
 
 let objects t = List.map (fun o -> Hashtbl.find t.objs o) t.order
 

@@ -28,7 +28,13 @@ type site_info = {
 type t
 
 val analyze : Trace.t -> t
-(** Single pass over the trace building all statistics. *)
+(** Single pass over the trace building all statistics (packs the
+    trace first; equivalent to [analyze_packed (Packed.of_trace t)]). *)
+
+val analyze_packed : Packed.t -> t
+(** Same statistics straight off a packed trace — use this when the
+    caller already holds a {!Packed.t} so the stream is only packed
+    once. *)
 
 val objects : t -> obj_info list
 (** All dynamic objects in allocation order. *)

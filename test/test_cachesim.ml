@@ -129,6 +129,107 @@ let test_time_seconds () =
   in
   Alcotest.(check (float 1e-6)) "3 GHz" 1.0 (Cycles.time_seconds est)
 
+(* In-test reference model: true-LRU set-associative cache with the
+   same counters, no MRU shortcut.  The production [Cache.probe]'s
+   MRU-first early exit must be behaviorally invisible against it. *)
+module Ref_cache = struct
+  type t = {
+    sets : int;
+    assoc : int;
+    line_bits : int;
+    tags : int array;
+    stamps : int array;
+    dirty : bool array;
+    mutable clock : int;
+    mutable accesses : int;
+    mutable misses : int;
+    mutable writebacks : int;
+  }
+
+  let create ~size_bytes ~assoc ~line_bytes =
+    let sets = size_bytes / (assoc * line_bytes) in
+    let rec log2 a n = if n <= 1 then a else log2 (a + 1) (n / 2) in
+    { sets; assoc; line_bits = log2 0 line_bytes;
+      tags = Array.make (sets * assoc) (-1);
+      stamps = Array.make (sets * assoc) 0;
+      dirty = Array.make (sets * assoc) false;
+      clock = 0; accesses = 0; misses = 0; writebacks = 0 }
+
+  let access t ~write addr =
+    t.accesses <- t.accesses + 1;
+    t.clock <- t.clock + 1;
+    let line = addr lsr t.line_bits in
+    let set = line mod t.sets in
+    let base = set * t.assoc in
+    let hit = ref (-1) in
+    let lru = ref 0 in
+    for w = 0 to t.assoc - 1 do
+      if t.tags.(base + w) = line then hit := w;
+      if t.stamps.(base + w) < t.stamps.(base + !lru) then lru := w
+    done;
+    if !hit >= 0 then begin
+      t.stamps.(base + !hit) <- t.clock;
+      if write then t.dirty.(base + !hit) <- true;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      let i = base + !lru in
+      if t.tags.(i) >= 0 && t.dirty.(i) then t.writebacks <- t.writebacks + 1;
+      t.tags.(i) <- line;
+      t.stamps.(i) <- t.clock;
+      t.dirty.(i) <- write;
+      false
+    end
+end
+
+let prop_mru_matches_reference =
+  (* Random (addr, write) streams with few distinct lines so the same
+     sets get revisited: hit/miss verdicts, counters and eviction
+     decisions must match the plain-scan model access for access. *)
+  QCheck.Test.make ~name:"MRU-first probe ≡ plain LRU scan" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 600) (pair (int_range 0 (24 * 64 - 1)) bool)))
+    (fun stream ->
+      let c = small_cache () in
+      let r = Ref_cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+      List.for_all
+        (fun (addr, write) -> Cache.probe c ~write addr = Ref_cache.access r ~write addr)
+        stream
+      && Cache.misses c = r.Ref_cache.misses
+      && Cache.accesses c = r.Ref_cache.accesses
+      && Cache.writebacks c = r.Ref_cache.writebacks)
+
+let test_mru_fast_path_counts () =
+  (* A same-line streak exercises the MRU early exit; the counters must
+     be exactly those of the seed implementation (1 cold miss, rest
+     hits), and a conflicting line must still evict true-LRU. *)
+  let c = small_cache () in
+  for _ = 1 to 100 do
+    ignore (Cache.probe c ~write:false 0)
+  done;
+  Alcotest.(check int) "one cold miss" 1 (Cache.misses c);
+  Alcotest.(check int) "all counted" 100 (Cache.accesses c);
+  let b = 8 * 64 and d = 16 * 64 in
+  ignore (Cache.probe c ~write:false b); (* fills the empty way of set 0 *)
+  ignore (Cache.probe c ~write:false d); (* evicts line 0, the set's LRU *)
+  Alcotest.(check bool) "LRU (line 0) evicted" false (Cache.probe c ~write:false 0);
+  Alcotest.(check bool) "MRU survivor hits" true (Cache.probe c ~write:false d)
+
+let test_probe_equals_access () =
+  (* [probe] and [access] are the same function under two signatures. *)
+  let c1 = small_cache () and c2 = small_cache () in
+  for i = 0 to 200 do
+    let addr = i * 48 mod 1500 in
+    let w = i mod 3 = 0 in
+    Alcotest.(check bool) "same verdict"
+      (Cache.access ~write:w c1 addr)
+      (Cache.probe c2 ~write:w addr)
+  done;
+  Alcotest.(check int) "same misses" (Cache.misses c1) (Cache.misses c2);
+  Alcotest.(check int) "same writebacks" (Cache.writebacks c1) (Cache.writebacks c2)
+
 let test_heatmap () =
   let h = Heatmap.create ~time_buckets:10 ~addr_buckets:5 () in
   Alcotest.(check int) "empty footprint" 0 (Heatmap.footprint_bytes h);
@@ -162,5 +263,8 @@ let suite =
         Alcotest.test_case "cycles compute only" `Quick test_cycles_compute_only;
         Alcotest.test_case "cycles memory monotone" `Quick test_cycles_memory_monotone;
         Alcotest.test_case "time seconds" `Quick test_time_seconds;
+        Alcotest.test_case "MRU fast path counts" `Quick test_mru_fast_path_counts;
+        Alcotest.test_case "probe = access" `Quick test_probe_equals_access;
+        QCheck_alcotest.to_alcotest prop_mru_matches_reference;
         Alcotest.test_case "heatmap" `Quick test_heatmap;
         Alcotest.test_case "heatmap thinning" `Quick test_heatmap_thinning ] ) ]

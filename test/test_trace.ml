@@ -74,6 +74,20 @@ let test_validate_realloc_bounds () =
   Alcotest.(check int) "grow ok" 0 (violations [ al 0 1 1 32; re 1 64; acc 1 48 ]);
   Alcotest.(check int) "shrink oob" 1 (violations [ al 0 1 1 64; re 1 32; acc 1 48 ])
 
+let test_validate_free_before_alloc () =
+  (* A Free of a never-allocated id is its own violation kind, not an
+     access-before-alloc. *)
+  match Trace.validate (Trace.of_list [ fr 5 ]) with
+  | [ Trace.Free_before_alloc { obj = 5; index = 0 } ] -> ()
+  | [ v ] -> Alcotest.failf "wrong kind: %a" Trace.pp_violation v
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+let test_validate_realloc_before_alloc () =
+  match Trace.validate (Trace.of_list [ al 0 1 1 32; re 9 64; fr 1 ]) with
+  | [ Trace.Realloc_before_alloc { obj = 9; index = 1 } ] -> ()
+  | [ v ] -> Alcotest.failf "wrong kind: %a" Trace.pp_violation v
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
 (* ---- Serialize ---- *)
 
 let test_serialize_roundtrip () =
@@ -115,6 +129,113 @@ let prop_serialize_roundtrip =
       match Serialize.of_string (Serialize.to_string t) with
       | Ok t' -> Trace.to_list t' = es
       | Error _ -> false)
+
+(* ---- Packed (struct-of-arrays) ---- *)
+
+let test_packed_roundtrip_basic () =
+  let t = valid_trace () in
+  let p = Packed.of_trace t in
+  Alcotest.(check int) "length" (Trace.length t) (Packed.length p);
+  Alcotest.(check bool) "events preserved" true
+    (Trace.to_list (Packed.to_trace p) = Trace.to_list t);
+  Alcotest.(check int) "instructions" (Trace.total_instructions t)
+    (Packed.total_instructions p);
+  Alcotest.(check int) "accesses" (Trace.num_accesses t) (Packed.num_accesses p)
+
+let test_packed_get () =
+  let t = valid_trace () in
+  let p = Packed.of_trace t in
+  for i = 0 to Trace.length t - 1 do
+    if Packed.get p i <> Trace.get t i then
+      Alcotest.failf "event %d differs: %s vs %s" i
+        (Event.to_string (Packed.get p i))
+        (Event.to_string (Trace.get t i))
+  done
+
+let test_packed_iteri_order () =
+  let t = valid_trace () in
+  let p = Packed.of_trace t in
+  (* Selective callbacks must see exactly the events of their kind, at
+     the original indices. *)
+  let seen = ref [] in
+  Packed.iteri
+    ~alloc:(fun i ~obj ~site:_ ~ctx:_ ~size:_ ~thread:_ -> seen := (i, `A obj) :: !seen)
+    ~free:(fun i ~obj ~thread:_ -> seen := (i, `F obj) :: !seen)
+    p;
+  let expected =
+    List.mapi
+      (fun i (e : Event.t) ->
+        match e with
+        | Alloc { obj; _ } -> Some (i, `A obj)
+        | Free { obj; _ } -> Some (i, `F obj)
+        | _ -> None)
+      (Trace.to_list t)
+    |> List.filter_map Fun.id
+  in
+  Alcotest.(check bool) "allocs and frees in order" true (List.rev !seen = expected)
+
+(* Arbitrary events of every kind with adversarial field values:
+   negative sizes/offsets (the injector produces those), id reuse,
+   write flags, multiple threads. *)
+let any_event_gen =
+  QCheck.Gen.(
+    let obj = int_range 0 40 in
+    let thread = int_range 0 3 in
+    oneof
+      [ (fun st ->
+          let o = obj st and s = int_range (-8) 9 st and sz = int_range (-16) 256 st
+          and th = thread st in
+          (Event.Alloc { obj = o; site = s; ctx = s * 31; size = sz; thread = th } : Event.t));
+        (fun st ->
+          let o = obj st and off = int_range (-4) 512 st and w = bool st
+          and th = thread st in
+          Event.Access { obj = o; offset = off; write = w; thread = th });
+        (fun st ->
+          let o = obj st and th = thread st in
+          Event.Free { obj = o; thread = th });
+        (fun st ->
+          let o = obj st and sz = int_range (-16) 256 st and th = thread st in
+          Event.Realloc { obj = o; new_size = sz; thread = th });
+        (fun st ->
+          let n = int_range 0 1000 st and th = thread st in
+          Event.Compute { instrs = n; thread = th }) ])
+
+let prop_packed_roundtrip =
+  QCheck.Test.make ~name:"packed roundtrips arbitrary events" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 200) any_event_gen))
+    (fun es ->
+      let t = Trace.of_list es in
+      Trace.to_list (Packed.to_trace (Packed.of_trace t)) = es)
+
+(* ---- of_list / append / filter edges ---- *)
+
+let test_of_list_empty () =
+  let t = Trace.of_list [] in
+  Alcotest.(check int) "empty" 0 (Trace.length t);
+  (* The empty trace must still grow. *)
+  Trace.add t (cp 1);
+  Alcotest.(check int) "grows" 1 (Trace.length t)
+
+let test_append_empty () =
+  let t = valid_trace () in
+  let e = Trace.of_list [] in
+  Alcotest.(check bool) "left identity" true
+    (Trace.to_list (Trace.append e t) = Trace.to_list t);
+  Alcotest.(check bool) "right identity" true
+    (Trace.to_list (Trace.append t e) = Trace.to_list t);
+  let ee = Trace.append e e in
+  Alcotest.(check int) "empty++empty" 0 (Trace.length ee);
+  Trace.add ee (cp 1);
+  Alcotest.(check int) "result grows" 1 (Trace.length ee)
+
+let test_filter_all_out () =
+  let t = valid_trace () in
+  let none = Trace.filter (fun _ -> false) t in
+  Alcotest.(check int) "empty result" 0 (Trace.length none);
+  Trace.add none (cp 1);
+  Alcotest.(check int) "result grows" 1 (Trace.length none);
+  let all = Trace.filter (fun _ -> true) t in
+  Alcotest.(check bool) "identity" true (Trace.to_list all = Trace.to_list t)
 
 (* ---- Trace_stats ---- *)
 
@@ -185,10 +306,20 @@ let suite =
         Alcotest.test_case "use after free" `Quick test_validate_use_after_free;
         Alcotest.test_case "offset bounds" `Quick test_validate_oob_offset;
         Alcotest.test_case "realloc bounds" `Quick test_validate_realloc_bounds;
+        Alcotest.test_case "free before alloc" `Quick test_validate_free_before_alloc;
+        Alcotest.test_case "realloc before alloc" `Quick test_validate_realloc_before_alloc;
+        Alcotest.test_case "of_list empty" `Quick test_of_list_empty;
+        Alcotest.test_case "append empty" `Quick test_append_empty;
+        Alcotest.test_case "filter edges" `Quick test_filter_all_out;
         Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
         Alcotest.test_case "serialize comments" `Quick test_serialize_comments;
         Alcotest.test_case "serialize malformed" `Quick test_serialize_malformed;
         QCheck_alcotest.to_alcotest prop_serialize_roundtrip ] );
+    ( "packed",
+      [ Alcotest.test_case "roundtrip" `Quick test_packed_roundtrip_basic;
+        Alcotest.test_case "get" `Quick test_packed_get;
+        Alcotest.test_case "iteri order" `Quick test_packed_iteri_order;
+        QCheck_alcotest.to_alcotest prop_packed_roundtrip ] );
     ( "trace-stats",
       [ Alcotest.test_case "per-object info" `Quick test_stats_objects;
         Alcotest.test_case "per-site info" `Quick test_stats_sites;

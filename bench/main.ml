@@ -17,6 +17,12 @@
    and write BENCH_replay.json; exits non-zero if the paths' outcomes
    ever differ.
 
+   And `stream [--benches a,b] [--scale long|huge] [--out FILE]`: replay
+   each benchmark's evaluation-scale trace through the bounded-memory
+   streaming engine and the materialized packed path, print events/s and
+   peak heap for both, and write BENCH_stream.json; exits non-zero if
+   the outcomes ever differ.
+
    `--jobs N` (anywhere on the command line) sizes the domain pool used
    by the paper-reproduction harness and the `reps` repetition sweep;
    the default is the runtime's recommended domain count.  Reports are
@@ -243,6 +249,99 @@ let run_throughput ~benches ~out =
     exit 1
   end
 
+(* Streaming-engine comparison: replay each benchmark's evaluation-scale
+   trace under the baseline policy through the bounded-memory streaming
+   path and through the materialized packed path, reporting events/s and
+   peak heap for both.  The streamed leg runs FIRST — top-heap-words and
+   VmHWM are monotonic over the process lifetime, so its peak reading is
+   only meaningful before anything materializes the trace.  Differential
+   too: the two outcomes must be structurally identical. *)
+let run_stream_bench ~benches ~scale ~out =
+  let module Stream = Prefix_trace.Stream in
+  let module Executor = Prefix_runtime.Executor in
+  let module Policy = Prefix_runtime.Policy in
+  let costs = Executor.default_config.costs in
+  let word_bytes = Sys.word_size / 8 in
+  let top_heap_bytes () =
+    Gc.compact ();
+    (Gc.quick_stat ()).Gc.top_heap_words * word_bytes
+  in
+  let vm_hwm_kb () =
+    (* Linux-only high-water RSS; 0 where /proc is absent. *)
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> 0
+    | ic ->
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+          else go ()
+      in
+      go ()
+  in
+  let time_ns f =
+    let t0 = Prefix_obs.Clock.now_ns () in
+    let r = f () in
+    (r, Int64.to_float (Int64.sub (Prefix_obs.Clock.now_ns ()) t0) /. 1e9)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"scale\": %S,\n  \"benches\": ["
+       (Prefix_workloads.Workload.scale_name scale));
+  let all_equal = ref true in
+  Printf.printf "=== streamed vs materialized replay (%s scale, baseline policy) ===\n"
+    (Prefix_workloads.Workload.scale_name scale);
+  Printf.printf "%-10s %10s %14s %14s %12s %12s  %s\n" "bench" "events"
+    "stream ev/s" "packed ev/s" "stream peakB" "packed peakB" "metrics";
+  List.iteri
+    (fun bi name ->
+      let wl = Prefix_workloads.Registry.find name in
+      let stream () = Prefix_workloads.Workload.generate_stream wl ~scale ~seed:8 () in
+      let policy heap = Policy.baseline costs heap in
+      (* Leg 1: streamed — nothing ever materializes the full trace. *)
+      let streamed, t_stream = time_ns (fun () -> Executor.run_stream ~policy (stream ())) in
+      let stream_peak = top_heap_bytes () in
+      let stream_hwm = vm_hwm_kb () in
+      (* Leg 2: materialize the identical trace, replay the fast path. *)
+      let packed = Stream.to_packed (stream ()) in
+      let events = Prefix_trace.Packed.length packed in
+      let materialized, t_packed = time_ns (fun () -> Executor.run_packed ~policy packed) in
+      let packed_peak = top_heap_bytes () in
+      let packed_hwm = vm_hwm_kb () in
+      let equal =
+        streamed.Executor.metrics = materialized.Executor.metrics
+        && streamed.Executor.recovery = materialized.Executor.recovery
+      in
+      if not equal then all_equal := false;
+      let rate t = if t > 0. then float_of_int events /. t else 0. in
+      Printf.printf "%-10s %10d %14.0f %14.0f %12d %12d  %s\n" name events
+        (rate t_stream) (rate t_packed) stream_peak packed_peak
+        (if equal then "identical" else "MISMATCH");
+      if bi > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"bench\": %S, \"events\": %d, \
+            \"stream_events_per_sec\": %.0f, \"packed_events_per_sec\": %.0f, \
+            \"stream_peak_heap_bytes\": %d, \"packed_peak_heap_bytes\": %d, \
+            \"stream_vm_hwm_kb\": %d, \"packed_vm_hwm_kb\": %d, \
+            \"metrics_equal\": %b }"
+           name events (rate t_stream) (rate t_packed) stream_peak packed_peak
+           stream_hwm packed_hwm equal))
+    benches;
+  Buffer.add_string buf
+    (Printf.sprintf " ],\n  \"all_equal\": %b\n}\n" !all_equal);
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if not !all_equal then begin
+    prerr_endline "bench: streamed and materialized replay outcomes differ";
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Pull a `--jobs N` pair out of the argument list wherever it sits. *)
@@ -286,6 +385,29 @@ let () =
       parse ~benches:Prefix_workloads.Registry.names ~out:"BENCH_replay.json" rest
     in
     run_throughput ~benches ~out
+  | "stream" :: rest ->
+    let rec parse ~benches ~scale ~out = function
+      | "--benches" :: bs :: rest ->
+        parse ~benches:(String.split_on_char ',' bs) ~scale ~out rest
+      | "--scale" :: s :: rest -> (
+        match s with
+        | "profiling" -> parse ~benches ~scale:Prefix_workloads.Workload.Profiling ~out rest
+        | "long" -> parse ~benches ~scale:Prefix_workloads.Workload.Long ~out rest
+        | "huge" -> parse ~benches ~scale:Prefix_workloads.Workload.Huge ~out rest
+        | _ ->
+          Printf.eprintf "bench: stream: unknown scale %S\n" s;
+          exit 2)
+      | "--out" :: f :: rest -> parse ~benches ~scale ~out:f rest
+      | [] -> (benches, scale, out)
+      | a :: _ ->
+        Printf.eprintf "bench: stream: unknown argument %S\n" a;
+        exit 2
+    in
+    let benches, scale, out =
+      parse ~benches:Prefix_workloads.Registry.names
+        ~scale:Prefix_workloads.Workload.Long ~out:"BENCH_stream.json" rest
+    in
+    run_stream_bench ~benches ~scale ~out
   | [] ->
     print_endline "=== PreFix paper reproduction: all tables and figures ===";
     (* Replay the 13 benchmarks across the pool once; every experiment
@@ -301,5 +423,5 @@ let () =
         | None ->
           Printf.printf "unknown experiment %S; available: %s, micro\n" id
             (String.concat ", " (List.map (fun (e : R.experiment) -> e.id) R.all
-                                  @ [ "csv"; "reps"; "throughput" ])))
+                                  @ [ "csv"; "reps"; "throughput"; "stream" ])))
       ids

@@ -35,12 +35,31 @@ let bench_arg =
   let doc = "Benchmark name (one of the 13 workload models)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
 
+let scale_conv =
+  Arg.enum
+    [ ("profiling", Workload.Profiling);
+      ("long", Workload.Long);
+      ("huge", Workload.Huge) ]
+
 let scale_arg =
-  let doc = "Input scale: 'profiling' (training input) or 'long'." in
-  let scale =
-    Arg.enum [ ("profiling", Workload.Profiling); ("long", Workload.Long) ]
+  let doc = "Input scale: 'profiling' (training input), 'long' or 'huge'." in
+  Arg.(value & opt scale_conv Workload.Long & info [ "scale" ] ~doc)
+
+let stream_arg =
+  let doc =
+    "Evaluate the long run through the bounded-memory streaming engine: the \
+     evaluation trace is never materialized, only one segment lives in memory \
+     at a time.  Reports are byte-identical to the materialized path."
   in
-  Arg.(value & opt scale Workload.Long & info [ "scale" ] ~doc)
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
+let segment_events_arg =
+  let doc = "Events per stream segment (with --stream; default 65536)." in
+  Arg.(value & opt (some int) None & info [ "segment-events" ] ~docv:"N" ~doc)
+
+let set_streaming stream segment_events =
+  Harness.set_streaming stream;
+  Harness.set_segment_events segment_events
 
 let seed_arg =
   let doc = "Deterministic seed." in
@@ -204,9 +223,11 @@ let plan_cmd =
 (* --- run *)
 
 let run_cmd =
-  let run name jobs verbose log_level obs_out =
+  let run name scale stream segment_events jobs verbose log_level obs_out =
     setup_logs log_level verbose;
     Harness.set_jobs jobs;
+    set_streaming stream segment_events;
+    Harness.set_eval_scale scale;
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
@@ -229,16 +250,22 @@ let run_cmd =
       line "PreFix:HDS+Hot" r.prefix_hdshot;
       0
   in
+  let eval_scale_arg =
+    let doc = "Evaluation-run scale: 'long' (default) or 'huge' (~10x)." in
+    Arg.(value & opt scale_conv Workload.Long & info [ "scale" ] ~doc)
+  in
   Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
-    Term.(const run $ bench_arg $ jobs_arg $ verbose_arg $ log_level_arg
+    Term.(const run $ bench_arg $ eval_scale_arg $ stream_arg
+          $ segment_events_arg $ jobs_arg $ verbose_arg $ log_level_arg
           $ obs_out_arg)
 
 (* --- stats *)
 
 let stats_cmd =
-  let run name jobs verbose log_level obs_out =
+  let run name stream segment_events jobs verbose log_level obs_out =
     setup_logs log_level verbose;
     Harness.set_jobs jobs;
+    set_streaming stream segment_events;
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
@@ -252,7 +279,7 @@ let stats_cmd =
       Printf.printf "%s: %d profiling events, %d long events, 6 policies replayed\n\n"
         w.name
         (Prefix_trace.Trace.length r.profiling_trace)
-        (Prefix_trace.Trace.length r.long_trace);
+        r.long_events;
       print_string (Prefix_obs.Export.report ());
       0
   in
@@ -261,8 +288,8 @@ let stats_cmd =
        ~doc:
          "Replay one benchmark with observability on and print the per-stage \
           span timing table and the metrics report")
-    Term.(const run $ bench_arg $ jobs_arg $ verbose_arg $ log_level_arg
-          $ obs_out_arg)
+    Term.(const run $ bench_arg $ stream_arg $ segment_events_arg $ jobs_arg
+          $ verbose_arg $ log_level_arg $ obs_out_arg)
 
 (* --- fuzz *)
 
@@ -311,8 +338,8 @@ let fuzz_cmd =
                "Cap each HDS/HALO region at $(docv) during the lenient replay \
                 so exhaustion degrades to malloc fallback.")
   in
-  let run seeds rate benches kinds policies region_cap jobs verbose log_level
-      obs_out =
+  let run seeds rate benches kinds policies region_cap stream jobs verbose
+      log_level obs_out =
     setup_logs log_level verbose;
     match
       List.filter_map
@@ -323,7 +350,9 @@ let fuzz_cmd =
     | [] ->
       guard @@ fun () ->
       with_obs obs_out @@ fun () ->
-      let cfg = { Campaign.benches; policies; kinds; seeds; rate; region_cap } in
+      let cfg =
+        { Campaign.benches; policies; kinds; seeds; rate; region_cap; stream }
+      in
       let progress m =
         if verbose || log_level <> None then Printf.eprintf "%s\n%!" m
       in
@@ -338,7 +367,7 @@ let fuzz_cmd =
           seeded faults, assert lenient replay is crash-free with bounded \
           metric drift, and that sanitized traces replay strictly")
     Term.(const run $ seeds_arg $ rate_arg $ benches_arg $ kinds_arg
-          $ policies_arg $ region_cap_arg $ jobs_arg $ verbose_arg
+          $ policies_arg $ region_cap_arg $ stream_arg $ jobs_arg $ verbose_arg
           $ log_level_arg $ obs_out_arg)
 
 (* --- experiment *)

@@ -42,14 +42,20 @@ let record t ~time ~addr =
         | p :: rest -> thin (i + 1) (if i mod 2 = 0 then p :: acc else acc) rest
       in
       t.points <- thin 0 [] t.points;
-      t.kept <- (t.kept + 1) / 2;
+      (* Recompute rather than halve: the arithmetic shortcut drifted
+         from the real list length after odd-length thins. *)
+      t.kept <- List.length t.points;
       t.stride <- t.stride * 2
     end
   end
 
-let footprint_bytes t = if t.count = 0 then 0 else t.max_addr - t.min_addr
+(* Inclusive span: a byte at the max address still occupies it, so a
+   single-address heatmap has a 1-byte footprint, not 0. *)
+let footprint_bytes t = if t.count = 0 then 0 else t.max_addr - t.min_addr + 1
 
 let samples t = t.count
+let kept_points t = t.kept
+let stored_points t = List.length t.points
 
 let render t =
   if t.count = 0 then "(no samples)\n"

@@ -14,9 +14,18 @@ val record : t -> time:int -> addr:int -> unit
     and re-binning on render, so pass raw trace positions/addresses. *)
 
 val footprint_bytes : t -> int
-(** [max addr - min addr] over all recorded references (0 if none). *)
+(** Inclusive span [max addr - min addr + 1] over all recorded
+    references (0 if none) — a non-empty heatmap always has a positive
+    footprint, even when every sample shares one address. *)
 
 val samples : t -> int
+
+val kept_points : t -> int
+(** Size of the thinned sample the renderer will draw; always equals
+    {!stored_points}. *)
+
+val stored_points : t -> int
+(** Actual length of the stored point list (bounded by thinning). *)
 
 val render : t -> string
 (** ASCII-art density grid, time on X, address on Y (low at bottom). *)

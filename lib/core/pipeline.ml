@@ -345,6 +345,9 @@ let analyze trace = stage "trace-analysis" (fun () -> Trace_stats.analyze trace)
 let analyze_packed packed =
   stage "trace-analysis" (fun () -> Trace_stats.analyze_packed packed)
 
+let analyze_stream stream =
+  stage "trace-analysis" (fun () -> Trace_stats.analyze_stream stream)
+
 let plan ?config ~variant trace =
   let stats = analyze trace in
   plan_with_stats ?config ~variant stats trace

@@ -43,6 +43,10 @@ val analyze_packed : Prefix_trace.Packed.t -> Prefix_trace.Trace_stats.t
 (** {!analyze} off an already-packed trace, avoiding a second packing
     when the caller also replays the packed form. *)
 
+val analyze_stream : Prefix_trace.Stream.t -> Prefix_trace.Trace_stats.t
+(** {!analyze} off a segment stream under the same "trace-analysis"
+    span: identical statistics, one segment of trace memory. *)
+
 val plan :
   ?config:config -> variant:Plan.variant -> Prefix_trace.Trace.t -> Plan.t
 

@@ -96,7 +96,7 @@ let recycling_sweep () =
           ~policy:(fun heap ->
             Prefix_runtime.Prefix_policy.policy costs heap plan
               Prefix_runtime.Policy.no_classification)
-          r.long_packed
+          (Harness.long_packed r)
       in
       T.add_row t
         [ T.fmt_f headroom;
@@ -205,14 +205,14 @@ let geometry_sensitivity () =
       let base =
         Prefix_runtime.Executor.run_packed ~config
           ~policy:(fun heap -> Prefix_runtime.Policy.baseline costs heap)
-          r.long_packed
+          (Harness.long_packed r)
       in
       let opt =
         Prefix_runtime.Executor.run_packed ~config
           ~policy:(fun heap ->
             Prefix_runtime.Prefix_policy.policy costs heap plan
               Prefix_runtime.Policy.no_classification)
-          r.long_packed
+          (Harness.long_packed r)
       in
       T.add_row t
         [ label;

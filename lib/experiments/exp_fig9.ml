@@ -23,14 +23,14 @@ let report () =
   let base =
     Executor.run_packed ~config:Harness.exec_config ~heatmap_objs:pred
       ~policy:(fun heap -> Policy.baseline costs heap)
-      r.long_packed
+      (Harness.long_packed r)
   in
   let best_plan = Option.get r.prefix_hot.plan in
   let cls = Policy.no_classification in
   let opt =
     Executor.run_packed ~config:Harness.exec_config ~heatmap_objs:pred
       ~policy:(fun heap -> Prefix_policy.policy costs heap best_plan cls)
-      r.long_packed
+      (Harness.long_packed r)
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (title ^ "\n");

@@ -13,11 +13,15 @@ module Workload = Prefix_workloads.Workload
 
 type policy_run = { metrics : Metrics.t; plan : Plan.t option }
 
+type long_source =
+  | Materialized of Prefix_trace.Packed.t
+  | Streamed of (unit -> Prefix_trace.Stream.t)
+
 type result = {
   wl : Workload.t;
   profiling_trace : Prefix_trace.Trace.t;
-  long_trace : Prefix_trace.Trace.t;
-  long_packed : Prefix_trace.Packed.t;
+  long_source : long_source;
+  long_events : int;
   profiling_stats : Trace_stats.t;
   long_stats : Trace_stats.t;
   baseline : policy_run;
@@ -30,6 +34,18 @@ type result = {
   long_hds_set : (int, unit) Hashtbl.t;
 }
 
+let long_packed r =
+  match r.long_source with
+  | Materialized p -> p
+  | Streamed mk -> Prefix_trace.Stream.to_packed (mk ())
+
+let long_stream r =
+  match r.long_source with
+  | Materialized p -> Prefix_trace.Stream.of_packed p
+  | Streamed mk -> mk ()
+
+let long_trace r = Prefix_trace.Packed.to_trace (long_packed r)
+
 module Span = Prefix_obs.Span
 module Log = (val Logs.src_log Prefix_obs.Log.harness)
 
@@ -39,6 +55,15 @@ let pipeline_config = Pipeline.default_config
 
 let exec_config = Executor.default_config
 
+(* Evaluation-run knobs, configured once at CLI startup (before any
+   benchmark runs, so the memo cache never mixes modes). *)
+let streaming = ref false
+let set_streaming b = streaming := b
+let segment_events : int option ref = ref None
+let set_segment_events n = segment_events := n
+let eval_scale = ref Workload.Long
+let set_eval_scale s = eval_scale := s
+
 let run_benchmark (wl : Workload.t) =
   (* Each benchmark derives all randomness from fixed per-benchmark
      seeds (no RNG state is shared across tasks), so a pooled run is
@@ -46,22 +71,52 @@ let run_benchmark (wl : Workload.t) =
   Span.with_ ~cat:"harness" ~args:[ ("benchmark", wl.name) ] ("benchmark:" ^ wl.name)
   @@ fun () ->
   Log.info (fun m -> m "%s: generating traces" wl.name);
-  let profiling_trace, long_trace =
-    Span.with_ ~cat:"harness" "generate-traces" (fun () ->
-        ( wl.generate ~scale:Profiling ~seed (),
-          wl.generate ~scale:Long ~seed:(seed + 1) () ))
+  let eval_scale = !eval_scale in
+  let profiling_trace, long_source =
+    if !streaming then begin
+      (* Streamed evaluation: the long run is never materialized.  Each
+         consumer below re-runs the deterministic generator, holding one
+         segment of trace memory at a time. *)
+      let profiling_trace =
+        Span.with_ ~cat:"harness" "generate-traces" (fun () ->
+            wl.generate ~scale:Profiling ~seed ())
+      in
+      let segment_events = !segment_events in
+      let mk () =
+        Workload.generate_stream wl ~scale:eval_scale ~seed:(seed + 1) ?segment_events ()
+      in
+      (profiling_trace, Streamed mk)
+    end
+    else begin
+      let profiling_trace, long_trace =
+        Span.with_ ~cat:"harness" "generate-traces" (fun () ->
+            ( wl.generate ~scale:Profiling ~seed (),
+              wl.generate ~scale:eval_scale ~seed:(seed + 1) () ))
+      in
+      (* Pack once; the packed form is read-only and shared by analysis
+         and all six policy replays below (and by any pooled experiment
+         that replays this benchmark's long trace again). *)
+      let long_packed =
+        Span.with_ ~cat:"harness" "pack-traces" (fun () ->
+            Prefix_trace.Packed.of_trace long_trace)
+      in
+      (profiling_trace, Materialized long_packed)
+    end
   in
-  (* Pack once; the packed form is read-only and shared by analysis and
-     all six policy replays below (and by any pooled experiment that
-     replays this benchmark's long trace again). *)
-  let long_packed =
-    Span.with_ ~cat:"harness" "pack-traces" (fun () ->
-        Prefix_trace.Packed.of_trace long_trace)
+  let long_stream_of () =
+    match long_source with
+    | Materialized p -> Prefix_trace.Stream.of_packed p
+    | Streamed mk -> mk ()
   in
   (* Pipeline.analyze rather than Trace_stats.analyze so both analysis
      passes appear as "trace-analysis" spans in obs reports. *)
   let profiling_stats = Pipeline.analyze profiling_trace in
-  let long_stats = Pipeline.analyze_packed long_packed in
+  let long_stats =
+    match long_source with
+    | Materialized p -> Pipeline.analyze_packed p
+    | Streamed _ -> Pipeline.analyze_stream (long_stream_of ())
+  in
+  let long_events = Trace_stats.trace_length long_stats in
   (* Long-run classification, for pollution and capture accounting. *)
   let long_hot_set = Hashtbl.create 1024 in
   List.iter
@@ -71,7 +126,7 @@ let run_benchmark (wl : Workload.t) =
   Log.info (fun m -> m "%s: detecting long-run streams" wl.name);
   let long_ohds =
     Span.with_ ~cat:"harness" "long-run-classification" (fun () ->
-        Detector.detect_with_stats ~config:pipeline_config.detector long_stats long_trace)
+        Detector.detect_stream ~config:pipeline_config.detector long_stats (long_stream_of ()))
   in
   List.iter
     (fun h -> List.iter (fun o -> Hashtbl.replace long_hds_set o ()) (Hds.objs h))
@@ -93,7 +148,11 @@ let run_benchmark (wl : Workload.t) =
   (* Long-run replays. *)
   let replay name policy plan =
     Log.info (fun m -> m "%s: replaying %s" wl.name name);
-    let outcome = Executor.run_packed ~config:exec_config ~policy long_packed in
+    let outcome =
+      match long_source with
+      | Materialized p -> Executor.run_packed ~config:exec_config ~policy p
+      | Streamed _ -> Executor.run_stream ~config:exec_config ~policy (long_stream_of ())
+    in
     { metrics = outcome.metrics; plan }
   in
   let baseline = replay "baseline" (fun heap -> Policy.baseline costs heap) None in
@@ -109,8 +168,8 @@ let run_benchmark (wl : Workload.t) =
   let prefix_hdshot = prefix_run plan_hdshot in
   { wl;
     profiling_trace;
-    long_trace;
-    long_packed;
+    long_source;
+    long_events;
     profiling_stats;
     long_stats;
     baseline;

@@ -13,13 +13,19 @@ module Plan = Prefix_core.Plan
 
 type policy_run = { metrics : Metrics.t; plan : Plan.t option }
 
+type long_source =
+  | Materialized of Prefix_trace.Packed.t
+      (** evaluation trace packed once, shared read-only by the six
+          policy replays and by experiments that replay it again *)
+  | Streamed of (unit -> Prefix_trace.Stream.t)
+      (** bounded-memory mode: each call re-runs the deterministic
+          generator; no full trace ever exists in memory *)
+
 type result = {
   wl : Prefix_workloads.Workload.t;
   profiling_trace : Prefix_trace.Trace.t;
-  long_trace : Prefix_trace.Trace.t;
-  long_packed : Prefix_trace.Packed.t;
-      (** [long_trace] packed once, shared read-only by the six policy
-          replays and by experiments that replay the long input again *)
+  long_source : long_source;
+  long_events : int;  (** length of the evaluation ("long") trace *)
   profiling_stats : Prefix_trace.Trace_stats.t;
   long_stats : Prefix_trace.Trace_stats.t;
   baseline : policy_run;
@@ -32,8 +38,36 @@ type result = {
   long_hds_set : (int, unit) Hashtbl.t;  (** long-run hot objects in streams *)
 }
 
+val long_packed : result -> Prefix_trace.Packed.t
+(** The evaluation trace, materializing it first when the result was
+    produced in streaming mode (experiments that need random access pay
+    the memory cost only then). *)
+
+val long_stream : result -> Prefix_trace.Stream.t
+(** The evaluation trace as a segment stream (cheap in both modes). *)
+
+val long_trace : result -> Prefix_trace.Trace.t
+(** Boxed view of {!long_packed} — materializes; prefer the packed or
+    streamed accessors. *)
+
 val seed : int
 (** The fixed experiment seed (7). *)
+
+val set_streaming : bool -> unit
+(** When true, [run_benchmark] evaluates the long run via
+    {!Prefix_trace.Stream}: generation, analysis, stream detection and
+    all six policy replays hold one segment of trace memory at a time,
+    and results are identical to the materialized path (the CLI's
+    [--stream] flag).  Configure before the first run — the memo cache
+    does not distinguish modes. *)
+
+val set_segment_events : int option -> unit
+(** Segment size (events) for streamed evaluation; [None] uses
+    {!Prefix_trace.Stream.default_segment_events}. *)
+
+val set_eval_scale : Prefix_workloads.Workload.scale -> unit
+(** Scale of the evaluation run (default [Long]; [Huge] is the
+    streaming engine's target, ~10x longer). *)
 
 val pipeline_config : Prefix_core.Pipeline.config
 (** The configuration used for every benchmark's plans. *)

@@ -35,6 +35,9 @@ type config = {
   region_cap : int option;
       (** per-region byte cap for HDS/HALO in the lenient replay, to
           exercise exhaustion degradation *)
+  stream : bool;
+      (** replay the clean reference leg through the streaming engine
+          ([Executor.run_stream]) instead of the packed fast path *)
 }
 
 let default_config =
@@ -43,7 +46,8 @@ let default_config =
     kinds = Injector.all_kinds;
     seeds = 8;
     rate = 0.01;
-    region_cap = None }
+    region_cap = None;
+    stream = false }
 
 type run = {
   bench : string;
@@ -54,6 +58,7 @@ type run = {
   recovered : int;  (** lenient-executor recovery actions *)
   degraded : int;  (** policy degraded fallbacks (region exhaustion etc.) *)
   strict_rejected : bool;  (** [Sanitizer.check] refused the corrupted trace *)
+  region_peak : int;  (** peak region bytes held during the lenient replay *)
   lenient_exn : string option;  (** exception escaping the lenient replay *)
   repaired_exn : string option;  (** exception escaping the strict replay of the repaired trace *)
   drift : float;  (** |mem_refs - clean| / clean *)
@@ -87,7 +92,7 @@ type bench_ctx = {
 
 let profile_seed = 7
 
-let bench_ctx ?(policies = all_policies) name =
+let bench_ctx ?(policies = all_policies) ?(stream = false) name =
   let wl = Registry.find name in
   let trace = wl.generate ~scale:Workload.Profiling ~seed:profile_seed () in
   let packed = Prefix_trace.Packed.of_trace trace in
@@ -108,7 +113,14 @@ let bench_ctx ?(policies = all_policies) name =
   let clean_refs =
     List.map
       (fun (p, mk) ->
-        let o = Executor.run_packed ~policy:(mk Policy.Strict None) packed in
+        (* The clean reference leg optionally goes through the streaming
+           engine — byte-identical metrics, exercised by `fuzz --stream`. *)
+        let o =
+          if stream then
+            Executor.run_stream ~policy:(mk Policy.Strict None)
+              (Prefix_trace.Stream.of_packed packed)
+          else Executor.run_packed ~policy:(mk Policy.Strict None) packed
+        in
         (p, o.Executor.metrics.mem_refs))
       pols
   in
@@ -121,7 +133,7 @@ let one_run cfg ctx (pid, mk) kind fault_seed =
   let strict_rejected = Result.is_error (Sanitizer.check corrupted) in
   (* Leg 1: the corrupted stream straight into a lenient replay —
      graceful degradation must make this crash-free. *)
-  let lenient_exn, recovered, degraded, refs =
+  let lenient_exn, recovered, degraded, region_peak, refs =
     let p = ref None in
     let policy heap =
       let pol = mk Policy.Lenient cfg.region_cap heap in
@@ -130,11 +142,18 @@ let one_run cfg ctx (pid, mk) kind fault_seed =
     in
     match Executor.run ~mode:Policy.Lenient ~policy corrupted with
     | o ->
-      let degraded =
-        match !p with Some pol -> pol.Policy.stats.degraded_fallbacks | None -> 0
+      let degraded, region_peak =
+        match !p with
+        | Some pol ->
+          (pol.Policy.stats.degraded_fallbacks, pol.Policy.stats.region_peak_bytes)
+        | None -> (0, 0)
       in
-      (None, Executor.recovery_total o.recovery, degraded, Some o.Executor.metrics.mem_refs)
-    | exception e -> (Some (Printexc.to_string e), 0, 0, None)
+      ( None,
+        Executor.recovery_total o.recovery,
+        degraded,
+        region_peak,
+        Some o.Executor.metrics.mem_refs )
+    | exception e -> (Some (Printexc.to_string e), 0, 0, 0, None)
   in
   (* Leg 2: sanitize, then replay the repaired trace strictly — the
      repair must produce a trace the fail-fast path accepts. *)
@@ -159,6 +178,7 @@ let one_run cfg ctx (pid, mk) kind fault_seed =
     recovered;
     degraded;
     strict_rejected;
+    region_peak;
     lenient_exn;
     repaired_exn;
     drift;
@@ -174,7 +194,7 @@ let run ?(jobs = 1) ?(progress = fun _ -> ()) cfg =
     Pool.map pool
       (fun bench ->
         progress (Printf.sprintf "campaign: %s" bench);
-        bench_ctx ~policies:cfg.policies bench)
+        bench_ctx ~policies:cfg.policies ~stream:cfg.stream bench)
       cfg.benches
   in
   (* Phase 2: the benches x policies x kinds x seeds grid, sharded one
@@ -209,7 +229,7 @@ let report s =
     Tablefmt.create
       ~headers:
         [ "fault"; "policy"; "runs"; "anomalies"; "leaks"; "rejected"; "recovered";
-          "degraded"; "max drift"; "exceptions" ]
+          "degraded"; "peak region B"; "max drift"; "exceptions" ]
   in
   List.iter
     (fun kind ->
@@ -232,11 +252,14 @@ let report s =
                   + if r.repaired_exn <> None then 1 else 0)
             in
             let max_drift = List.fold_left (fun a r -> max a r.drift) 0. rs in
+            (* Reported, not gated: a drop-free injection legitimately
+               raises the corrupted run's region residency. *)
+            let peak_region = List.fold_left (fun a r -> max a r.region_peak) 0 rs in
             Tablefmt.add_row tbl
               [ Injector.kind_name kind; pname; string_of_int (List.length rs);
                 Tablefmt.fmt_int anomalies; Tablefmt.fmt_int leaks;
                 string_of_int rejected; Tablefmt.fmt_int recovered;
-                Tablefmt.fmt_int degraded;
+                Tablefmt.fmt_int degraded; Tablefmt.fmt_int peak_region;
                 Printf.sprintf "%.2f%%" (100. *. max_drift); string_of_int exns ]
           end)
         s.cfg.policies)

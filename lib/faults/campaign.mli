@@ -30,11 +30,15 @@ type config = {
   region_cap : int option;
       (** per-region byte cap for HDS/HALO pools during the lenient
           replay, to exercise exhaustion -> malloc degradation *)
+  stream : bool;
+      (** replay the clean reference leg through
+          {!Prefix_runtime.Executor.run_stream} instead of the packed
+          fast path (byte-identical metrics) *)
 }
 
 val default_config : config
 (** All 13 benchmarks, all three policies, every fault kind, 8 seeds,
-    1% rate, no region cap. *)
+    1% rate, no region cap, materialized clean leg. *)
 
 type run = {
   bench : string;
@@ -45,6 +49,9 @@ type run = {
   recovered : int;
   degraded : int;
   strict_rejected : bool;
+  region_peak : int;
+      (** peak region bytes during the lenient replay — reported in the
+          table (not gated: drop-free faults legitimately raise it) *)
   lenient_exn : string option;
   repaired_exn : string option;
   drift : float;

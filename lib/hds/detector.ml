@@ -1,6 +1,8 @@
 module Trace = Prefix_trace.Trace
 module Trace_stats = Prefix_trace.Trace_stats
 module Event = Prefix_trace.Event
+module Packed = Prefix_trace.Packed
+module Stream = Prefix_trace.Stream
 
 type method_ = Lcs | Sequitur
 
@@ -31,11 +33,15 @@ let default_config =
     ngram_max = 4;
     ngram_min_hits = 6 }
 
-let hot_sequence stats trace =
+let hot_table stats =
   let hot = Hashtbl.create 256 in
   List.iter
     (fun (o : Trace_stats.obj_info) -> Hashtbl.replace hot o.obj ())
     (Trace_stats.hot_objects stats);
+  hot
+
+let hot_sequence stats trace =
+  let hot = hot_table stats in
   let out = ref [] in
   let last = ref min_int in
   Trace.iter
@@ -46,6 +52,23 @@ let hot_sequence stats trace =
         last := obj
       | _ -> ())
     trace;
+  Array.of_list (List.rev !out)
+
+(* Streaming variant: the pruned sequence (hot accesses, adjacent
+   duplicates collapsed) is far smaller than the trace, so mining stays
+   in memory while the trace itself never is. *)
+let hot_sequence_stream stats stream =
+  let hot = hot_table stats in
+  let out = ref [] in
+  let last = ref min_int in
+  Stream.iter_segments stream (fun ~base:_ seg ->
+      Packed.iteri
+        ~access:(fun _ ~obj ~offset:_ ~write:_ ~thread:_ ->
+          if Hashtbl.mem hot obj && obj <> !last then begin
+            out := obj :: !out;
+            last := obj
+          end)
+        seg);
   Array.of_list (List.rev !out)
 
 (* Sampled autocorrelation: for each candidate lag, the fraction of
@@ -212,8 +235,9 @@ let mine_sequitur cfg seq tbl =
       end)
     (Sequitur.rules g)
 
-let detect_with_stats ?(config = default_config) ?(method_ = Lcs) stats trace =
-  let seq = hot_sequence stats trace in
+(* Mining operates on the pruned hot-access sequence only; the trace
+   source (boxed or streamed) matters solely to [hot_sequence*]. *)
+let detect_seq ~config ~method_ stats seq =
   let tbl : (int list, candidate) Hashtbl.t = Hashtbl.create 256 in
   (match method_ with
   | Lcs ->
@@ -228,6 +252,12 @@ let detect_with_stats ?(config = default_config) ?(method_ = Lcs) stats trace =
   |> List.map (fun c -> Hds.make ~objs:c.order ~refs:(weight_of c.order * c.hits))
   |> List.sort Hds.compare_by_refs
   |> List.filteri (fun i _ -> i < config.max_streams)
+
+let detect_with_stats ?(config = default_config) ?(method_ = Lcs) stats trace =
+  detect_seq ~config ~method_ stats (hot_sequence stats trace)
+
+let detect_stream ?(config = default_config) ?(method_ = Lcs) stats stream =
+  detect_seq ~config ~method_ stats (hot_sequence_stream stats stream)
 
 let detect ?config ?method_ trace =
   let stats = Trace_stats.analyze trace in

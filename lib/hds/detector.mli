@@ -39,6 +39,11 @@ val hot_sequence : Prefix_trace.Trace_stats.t -> Prefix_trace.Trace.t -> int arr
 (** The pruned hot-object access sequence: object ids of accesses to hot
     objects with consecutive duplicates collapsed. *)
 
+val hot_sequence_stream :
+  Prefix_trace.Trace_stats.t -> Prefix_trace.Stream.t -> int array
+(** Same pruned sequence off a segment stream — the trace is never
+    materialized, only the (much smaller) pruned sequence is. *)
+
 val dominant_periods : ?config:config -> int array -> int list
 (** Candidate repeat periods of a sequence, best first, by sampled
     autocorrelation (exposed for tests). *)
@@ -55,3 +60,12 @@ val detect_with_stats :
   Prefix_trace.Trace.t ->
   Hds.t list
 (** Same, reusing an existing analysis to avoid a second trace pass. *)
+
+val detect_stream :
+  ?config:config ->
+  ?method_:method_ ->
+  Prefix_trace.Trace_stats.t ->
+  Prefix_trace.Stream.t ->
+  Hds.t list
+(** {!detect_with_stats} off a segment stream: identical OHDS (the
+    miners run on the same pruned sequence), bounded trace memory. *)

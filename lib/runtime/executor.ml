@@ -2,6 +2,7 @@ module Allocator = Prefix_heap.Allocator
 module Trace = Prefix_trace.Trace
 module Event = Prefix_trace.Event
 module Packed = Prefix_trace.Packed
+module Stream = Prefix_trace.Stream
 module Cache = Prefix_cachesim.Cache
 module Hierarchy = Prefix_cachesim.Hierarchy
 module Cycles = Prefix_cachesim.Cycles
@@ -297,53 +298,113 @@ let ot_remove t obj =
     let site = ot_site t obj in
     Hashtbl.replace t.neg obj (not_live, 0, site)
 
-(* ---- packed fast path ------------------------------------------------ *)
+(* ---- packed fast path ------------------------------------------------
 
-let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
-    ?(attribute = false) ~policy packed =
-  let events = Packed.length packed in
-  let heap = Allocator.create () in
-  let p = policy heap in
-  Span.with_ ~cat:"executor"
-    ~args:[ ("policy", p.Policy.name); ("events", string_of_int events) ]
-    ("replay:" ^ p.Policy.name)
-  @@ fun () ->
-  let lenient = mode = Policy.Lenient in
-  let obs_on = Obs.is_on () in
-  let start_ns = if obs_on then Prefix_obs.Clock.now_ns () else 0L in
-  let alloc_hist =
-    if obs_on then
-      Some (Metric.histogram ~lo:0. ~hi:4096. ~buckets:32 "executor.alloc_bytes")
-    else None
-  in
-  let mem = mem_create config.hierarchy in
-  let heatmap =
-    Option.map (fun _ -> Heatmap.create ~time_buckets:72 ~addr_buckets:24 ()) heatmap_objs
-  in
-  let attribution = if attribute then Some (Attribution.create ()) else None in
-  let ot = ot_create () in
-  let mem_refs = ref 0 in
+   The replay loop is written against a [session]: all state that must
+   survive a segment boundary (heap, policy, caches, object table,
+   thread memo, counters) lives in the session, and [replay_segment]
+   advances it by one packed segment whose first event has global index
+   [base].  [run_packed] is then a session over a single segment and
+   [run_stream] the same session folded over {!Stream.iter_segments} —
+   by construction the two observe identical event sequences and global
+   indices, which is what makes streamed outcomes exactly equal to
+   materialized ones. *)
+
+type session = {
+  ss_config : config;
+  ss_p : Policy.t;
+  ss_heap : Allocator.t;
+  ss_lenient : bool;
+  ss_obs_on : bool;
+  ss_start_ns : int64;
+  ss_observe_alloc : int -> unit;
+  ss_mem : mem_system;
+  ss_heatmap : Heatmap.t option;
+  ss_heatmap_pred : (int -> bool) option;
+  ss_attribute : bool;
+  ss_attribution : Attribution.t option;
+  ss_ot : otbl;
+  mutable ss_mem_refs : int;
+  mutable ss_events : int;
+  mutable ss_instrs : int;
   (* Lenient-mode recovery tallies.  In strict mode these stay zero —
      the first anomaly raises instead. *)
-  let r_double = ref 0 and r_access = ref 0 and r_free = ref 0 in
-  let r_realloc = ref 0 and r_size = ref 0 and r_policy = ref 0 in
+  mutable ss_double : int;
+  mutable ss_access : int;
+  mutable ss_free : int;
+  mutable ss_realloc : int;
+  mutable ss_size : int;
+  mutable ss_policy_fail : int;
+  (* Most traces run long single-thread streaks, so the dense cache
+     slot of the previous event's thread is memoized and the
+     [thread_slot] Hashtbl probe only runs when the thread changes. *)
+  mutable ss_last_thread : int;
+  mutable ss_last_slot : int;
+}
+
+let session_create ~config ~mode ~heatmap_objs ~attribute ~heap ~p =
+  let obs_on = Obs.is_on () in
+  let observe_alloc =
+    if obs_on then begin
+      let h = Metric.histogram ~lo:0. ~hi:4096. ~buckets:32 "executor.alloc_bytes" in
+      fun size -> Metric.observe h (float_of_int size)
+    end
+    else fun (_ : int) -> ()
+  in
+  { ss_config = config;
+    ss_p = p;
+    ss_heap = heap;
+    ss_lenient = mode = Policy.Lenient;
+    ss_obs_on = obs_on;
+    ss_start_ns = (if obs_on then Prefix_obs.Clock.now_ns () else 0L);
+    ss_observe_alloc = observe_alloc;
+    ss_mem = mem_create config.hierarchy;
+    ss_heatmap =
+      Option.map
+        (fun _ -> Heatmap.create ~time_buckets:72 ~addr_buckets:24 ())
+        heatmap_objs;
+    ss_heatmap_pred = heatmap_objs;
+    ss_attribute = attribute;
+    ss_attribution = (if attribute then Some (Attribution.create ()) else None);
+    ss_ot = ot_create ();
+    ss_mem_refs = 0;
+    ss_events = 0;
+    ss_instrs = 0;
+    ss_double = 0;
+    ss_access = 0;
+    ss_free = 0;
+    ss_realloc = 0;
+    ss_size = 0;
+    ss_policy_fail = 0;
+    ss_last_thread = min_int;
+    ss_last_slot = 0 }
+
+let replay_segment st ~base packed =
+  let seg_events = Packed.length packed in
+  let p = st.ss_p in
+  let heap = st.ss_heap in
+  let mem = st.ss_mem in
+  let ot = st.ss_ot in
+  let lenient = st.ss_lenient in
+  let obs_on = st.ss_obs_on in
+  let attribution = st.ss_attribution in
   (* A policy whose internal state was corrupted by a malformed event
      stream may itself raise; in lenient mode that becomes a counted
      failure and the event degrades to the fallback action. *)
   let guarded ~fallback f =
     if not lenient then f ()
-    else try f () with Invalid_argument _ | Failure _ | Not_found -> incr r_policy; fallback ()
+    else
+      try f ()
+      with Invalid_argument _ | Failure _ | Not_found ->
+        st.ss_policy_fail <- st.ss_policy_fail + 1;
+        fallback ()
   in
-  (* Most traces run long single-thread streaks, so the dense cache
-     slot of the previous event's thread is memoized and the
-     [thread_slot] Hashtbl probe only runs when the thread changes. *)
-  let last_thread = ref min_int and last_slot = ref 0 in
   let[@inline] slot_of thread =
-    if thread = !last_thread then !last_slot
+    if thread = st.ss_last_thread then st.ss_last_slot
     else begin
       let s = thread_slot mem thread in
-      last_thread := thread;
-      last_slot := s;
+      st.ss_last_thread <- thread;
+      st.ss_last_slot <- s;
       s
     end
   in
@@ -353,19 +414,22 @@ let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
   let fbs = packed.Packed.fb in
   let fcs = packed.Packed.fc in
   let threads = packed.Packed.thread in
-  for index = 0 to events - 1 do
-    if obs_on && index land (snap_interval - 1) = 0 then
-      snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:!mem_refs;
+  for index = 0 to seg_events - 1 do
+    (* Snapshot gating and heatmap time use the global index, so
+       segment boundaries leave no trace in any output. *)
+    let gindex = base + index in
+    if obs_on && gindex land (snap_interval - 1) = 0 then
+      snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:st.ss_mem_refs;
     match Array.unsafe_get tags index with
     | 1 (* Access *) ->
       let obj = Array.unsafe_get objs index in
       let addr = ot_addr ot obj in
       if addr = not_live then begin
-        if lenient then incr r_access
+        if lenient then st.ss_access <- st.ss_access + 1
         else invalid_arg (Printf.sprintf "Executor: access to unknown object %d" obj)
       end
       else begin
-        incr mem_refs;
+        st.ss_mem_refs <- st.ss_mem_refs + 1;
         let offset = Array.unsafe_get fas index in
         let write = Array.unsafe_get fbs index <> 0 in
         let thread = Array.unsafe_get threads index in
@@ -383,8 +447,8 @@ let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
           Attribution.record attr ~site:(ot_site ot obj) ~l1_miss:(not l1_hit) ~llc_miss
             ~tlb_miss:(not tlb1_hit)
         | None -> ());
-        match (heatmap, heatmap_objs) with
-        | Some hm, Some pred -> if pred obj then Heatmap.record hm ~time:index ~addr:a
+        match (st.ss_heatmap, st.ss_heatmap_pred) with
+        | Some hm, Some pred -> if pred obj then Heatmap.record hm ~time:gindex ~addr:a
         | _ -> ()
       end
     | 4 (* Compute *) -> ()
@@ -396,7 +460,7 @@ let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
       let size =
         if size <= 0 && lenient then begin
           (* Mutated/corrupted size: clamp to one granule. *)
-          incr r_size;
+          st.ss_size <- st.ss_size + 1;
           16
         end
         else size
@@ -407,7 +471,7 @@ let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
           invalid_arg (Printf.sprintf "Executor: object %d allocated twice" obj);
         (* Colliding id: treat the old object as implicitly freed so
            policy and allocator state stay consistent. *)
-        incr r_double;
+        st.ss_double <- st.ss_double + 1;
         let osize = ot_size ot obj in
         guarded
           ~fallback:(fun () ->
@@ -422,16 +486,14 @@ let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
             (fun () -> p.Policy.alloc ~obj ~site ~ctx ~size)
         else p.Policy.alloc ~obj ~site ~ctx ~size
       in
-      (match alloc_hist with
-      | Some h -> Metric.observe h (float_of_int size)
-      | None -> ());
-      if attribute then ot_set_site ot obj site;
+      st.ss_observe_alloc size;
+      if st.ss_attribute then ot_set_site ot obj site;
       ot_set ot obj ~addr ~size
     | 2 (* Free *) ->
       let obj = Array.unsafe_get objs index in
       let addr = ot_addr ot obj in
       if addr = not_live then begin
-        if lenient then incr r_free
+        if lenient then st.ss_free <- st.ss_free + 1
         else invalid_arg (Printf.sprintf "Executor: free of unknown object %d" obj)
       end
       else begin
@@ -448,14 +510,14 @@ let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
       let obj = Array.unsafe_get objs index in
       let addr = ot_addr ot obj in
       if addr = not_live then begin
-        if lenient then incr r_realloc
+        if lenient then st.ss_realloc <- st.ss_realloc + 1
         else invalid_arg (Printf.sprintf "Executor: realloc of unknown object %d" obj)
       end
       else begin
         let new_size = Array.unsafe_get fas index in
         if new_size <= 0 && lenient then
           (* Corrupted size: keep the object as it is. *)
-          incr r_size
+          st.ss_size <- st.ss_size + 1
         else begin
           let old_size = ot_size ot obj in
           let fresh =
@@ -469,17 +531,49 @@ let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
         end
       end
   done;
+  st.ss_events <- st.ss_events + seg_events;
+  st.ss_instrs <- st.ss_instrs + Packed.total_instructions packed
+
+let session_finish st =
   let recovery =
-    { double_allocs = !r_double;
-      unknown_accesses = !r_access;
-      unknown_frees = !r_free;
-      unknown_reallocs = !r_realloc;
-      invalid_sizes = !r_size;
-      policy_failures = !r_policy }
+    { double_allocs = st.ss_double;
+      unknown_accesses = st.ss_access;
+      unknown_frees = st.ss_free;
+      unknown_reallocs = st.ss_realloc;
+      invalid_sizes = st.ss_size;
+      policy_failures = st.ss_policy_fail }
   in
-  finish_run ~config ~p ~lenient ~obs_on ~start_ns ~heap ~mem ~events
-    ~instructions_base:(Packed.total_instructions packed)
-    ~mem_refs:!mem_refs ~heatmap ~attribution ~recovery
+  finish_run ~config:st.ss_config ~p:st.ss_p ~lenient:st.ss_lenient ~obs_on:st.ss_obs_on
+    ~start_ns:st.ss_start_ns ~heap:st.ss_heap ~mem:st.ss_mem ~events:st.ss_events
+    ~instructions_base:st.ss_instrs ~mem_refs:st.ss_mem_refs ~heatmap:st.ss_heatmap
+    ~attribution:st.ss_attribution ~recovery
+
+let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
+    ?(attribute = false) ~policy packed =
+  let events = Packed.length packed in
+  let heap = Allocator.create () in
+  let p = policy heap in
+  Span.with_ ~cat:"executor"
+    ~args:[ ("policy", p.Policy.name); ("events", string_of_int events) ]
+    ("replay:" ^ p.Policy.name)
+  @@ fun () ->
+  let st = session_create ~config ~mode ~heatmap_objs ~attribute ~heap ~p in
+  replay_segment st ~base:0 packed;
+  session_finish st
+
+let run_stream ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
+    ?(attribute = false) ~policy stream =
+  let heap = Allocator.create () in
+  let p = policy heap in
+  (* The event count is unknown until the stream is consumed, so the
+     span advertises the mode instead. *)
+  Span.with_ ~cat:"executor"
+    ~args:[ ("policy", p.Policy.name); ("events", "streamed") ]
+    ("replay:" ^ p.Policy.name)
+  @@ fun () ->
+  let st = session_create ~config ~mode ~heatmap_objs ~attribute ~heap ~p in
+  Stream.iter_segments stream (fun ~base seg -> replay_segment st ~base seg);
+  session_finish st
 
 (* ---- boxed reference path --------------------------------------------
 

@@ -84,6 +84,23 @@ val run_packed :
     memoized last-thread cache slot.  A packed trace is read-only here
     and can be shared across policies and worker domains. *)
 
+val run_stream :
+  ?config:config ->
+  ?mode:Policy.mode ->
+  ?heatmap_objs:(int -> bool) ->
+  ?attribute:bool ->
+  policy:(Prefix_heap.Allocator.t -> Policy.t) ->
+  Prefix_trace.Stream.t ->
+  outcome
+(** Bounded-memory replay: the same per-segment loop as {!run_packed}
+    folded over {!Prefix_trace.Stream.iter_segments}, holding one
+    segment of trace memory at a time.  All replay state (heap, caches,
+    object table, counters, observability snapshots keyed on the global
+    event index) carries across segment boundaries, so the outcome —
+    metrics, recovery counters, heatmap, attribution, and strict-mode
+    exceptions — is exactly what {!run_packed} produces on the
+    materialized trace. *)
+
 val run_boxed :
   ?config:config ->
   ?mode:Policy.mode ->

@@ -70,6 +70,10 @@ let policy ?(mode = Policy.Strict) ?region_cap (costs : Costs.t) heap (plan : Ha
           end
         end
         else Allocator.realloc heap addr new_size);
-    finish = (fun () -> Array.iter Region.dispose pools);
+    finish =
+      (fun () ->
+        stats.region_peak_bytes <-
+          Array.fold_left (fun acc p -> acc + Region.peak_bytes p) 0 pools;
+        Array.iter Region.dispose pools);
     stats;
     regions = (fun () -> Array.to_list pools |> List.concat_map Region.chunks) }

@@ -70,6 +70,9 @@ let policy ?(mode = Policy.Strict) ?region_cap (costs : Costs.t) heap plan
           end
         end
         else Allocator.realloc heap addr new_size);
-    finish = (fun () -> Region.dispose region);
+    finish =
+      (fun () ->
+        stats.region_peak_bytes <- Region.peak_bytes region;
+        Region.dispose region);
     stats;
     regions = (fun () -> Region.chunks region) }

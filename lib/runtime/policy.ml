@@ -12,6 +12,7 @@ type stats = {
   mutable region_hds_objects : int;
   mutable recycle_evictions : int;
   mutable degraded_fallbacks : int;
+  mutable region_peak_bytes : int;
 }
 
 let fresh_stats () =
@@ -21,7 +22,8 @@ let fresh_stats () =
     region_hot_objects = 0;
     region_hds_objects = 0;
     recycle_evictions = 0;
-    degraded_fallbacks = 0 }
+    degraded_fallbacks = 0;
+    region_peak_bytes = 0 }
 
 type t = {
   name : string;

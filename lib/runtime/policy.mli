@@ -37,6 +37,9 @@ type stats = {
       (** lenient-mode graceful degradations: region-exhaustion (or
           other recoverable failure) paths that fell back to plain
           malloc instead of raising *)
+  mutable region_peak_bytes : int;
+      (** high-water mark of live region bytes (summed over pools for
+          HALO), recorded by [finish] — the campaign's footprint leg *)
 }
 
 val fresh_stats : unit -> stats

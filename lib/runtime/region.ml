@@ -10,6 +10,7 @@ type t = {
   mutable chunk_total : int; (* sum of chunk sizes *)
   mutable objects : int;
   mutable bytes : int;
+  mutable peak_bytes : int;
   free_lists : (int, int list ref) Hashtbl.t; (* rounded size -> addrs *)
 }
 
@@ -25,6 +26,7 @@ let create ?max_bytes heap ~chunk_bytes =
     chunk_total = 0;
     objects = 0;
     bytes = 0;
+    peak_bytes = 0;
     free_lists = Hashtbl.create 8 }
 
 let align = 16
@@ -41,12 +43,21 @@ let pop_free t want =
 (* [try_alloc] returns [None] only when growing past [max_bytes] would
    be required: free-list reuse and space left in the current chunk
    never count against the cap. *)
+(* [objects]/[bytes] move together: + on every successful alloc (bump
+   or free-list reuse), - on every release.  The seed only counted
+   [bytes] on the bump path, so the live-bytes figure drifted up and
+   disagreed with [objects]. *)
+let count_alloc t want =
+  t.objects <- t.objects + 1;
+  t.bytes <- t.bytes + want;
+  if t.bytes > t.peak_bytes then t.peak_bytes <- t.bytes
+
 let try_alloc t size =
   if size <= 0 then invalid_arg "Region.alloc: size must be positive";
   let want = round_up size in
   match pop_free t want with
   | Some addr ->
-    t.objects <- t.objects + 1;
+    count_alloc t want;
     Some addr
   | None ->
     let chunk =
@@ -73,8 +84,7 @@ let try_alloc t size =
     | Some chunk ->
       let addr = chunk.base + chunk.used in
       chunk.used <- chunk.used + want;
-      t.objects <- t.objects + 1;
-      t.bytes <- t.bytes + want;
+      count_alloc t want;
       Some addr
 
 let alloc t size =
@@ -94,12 +104,14 @@ let release t addr size =
   (match Hashtbl.find_opt t.free_lists want with
   | Some l -> l := addr :: !l
   | None -> Hashtbl.replace t.free_lists want (ref [ addr ]));
-  t.objects <- t.objects - 1
+  t.objects <- t.objects - 1;
+  t.bytes <- t.bytes - want
 
 let chunks t = List.map (fun c -> (c.base, c.size)) t.chunks
 
 let allocated_objects t = t.objects
 let allocated_bytes t = t.bytes
+let peak_bytes t = t.peak_bytes
 let chunk_bytes_total t = t.chunk_total
 
 let dispose t =

@@ -38,7 +38,16 @@ val chunks : t -> (int * int) list
 (** (base, size) of every chunk, newest first. *)
 
 val allocated_objects : t -> int
+
 val allocated_bytes : t -> int
+(** Live bytes (rounded sizes) currently allocated from the region.
+    Symmetric with {!allocated_objects}: grows on every successful
+    alloc — bump {e and} free-list reuse — and shrinks on every
+    {!release}. *)
+
+val peak_bytes : t -> int
+(** High-water mark of {!allocated_bytes} over the region's lifetime
+    (the campaign's footprint leg). *)
 
 val chunk_bytes_total : t -> int
 (** Total bytes currently held in chunks (what [max_bytes] caps). *)

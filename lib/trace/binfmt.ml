@@ -164,6 +164,100 @@ let read data =
   in
   events count
 
+(* --- streaming decode -------------------------------------------------
+
+   Mirrors [read] but pulls bytes from a (stdlib-buffered) channel, so
+   decoding holds O(1) memory regardless of file size: no [bytes] copy
+   of the whole file, no materialized trace — each event is pushed to
+   the caller as soon as it is decoded. *)
+
+let get_uvarint_ch ic =
+  let rec go shift acc =
+    match input_char ic with
+    | exception End_of_file -> Error "truncated varint"
+    | ch ->
+      let b = Char.code ch in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then if acc < 0 then Error "varint overflows" else Ok acc
+      else if shift > 56 then Error "varint too long"
+      else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_varint_ch ic = Result.map unzigzag (get_uvarint_ch ic)
+
+let iter_channel ic ~f =
+  let ( let* ) = Result.bind in
+  let* () =
+    match really_input_string ic 4 with
+    | exception End_of_file -> Error "bad magic"
+    | m -> if m <> magic then Error "bad magic" else Ok ()
+  in
+  let* v = get_uvarint_ch ic in
+  let* () = if v <> version then Error (Printf.sprintf "unsupported version %d" v) else Ok () in
+  let* count = get_uvarint_ch ic in
+  let* () =
+    (* Same header-plausibility bound as [read]: at least one payload
+       byte per claimed event must remain in the channel. *)
+    match in_channel_length ic - pos_in ic with
+    | exception Sys_error _ -> Ok ()
+    | remaining ->
+      if count > remaining then
+        Error (Printf.sprintf "implausible event count %d for %d payload bytes" count remaining)
+      else Ok ()
+  in
+  let st = { obj = 0; site = 0; ctx = 0 } in
+  let rec events remaining =
+    if remaining = 0 then Ok ()
+    else
+      match input_char ic with
+      | exception End_of_file -> Error "truncated stream"
+      | tag_ch ->
+        let tag = Char.code tag_ch in
+        let* e =
+          match tag with
+          | 0 ->
+            let* dobj = get_varint_ch ic in
+            let* dsite = get_varint_ch ic in
+            let* dctx = get_varint_ch ic in
+            let* size = get_uvarint_ch ic in
+            let* thread = get_uvarint_ch ic in
+            st.obj <- st.obj + dobj;
+            st.site <- st.site + dsite;
+            st.ctx <- st.ctx + dctx;
+            Ok (Event.Alloc { obj = st.obj; site = st.site; ctx = st.ctx; size; thread })
+          | 1 | 2 ->
+            let* dobj = get_varint_ch ic in
+            let* offset = get_uvarint_ch ic in
+            let* thread = get_uvarint_ch ic in
+            st.obj <- st.obj + dobj;
+            Ok (Event.Access { obj = st.obj; offset; write = tag = 2; thread })
+          | 3 ->
+            let* dobj = get_varint_ch ic in
+            let* thread = get_uvarint_ch ic in
+            st.obj <- st.obj + dobj;
+            Ok (Event.Free { obj = st.obj; thread })
+          | 4 ->
+            let* dobj = get_varint_ch ic in
+            let* new_size = get_uvarint_ch ic in
+            let* thread = get_uvarint_ch ic in
+            st.obj <- st.obj + dobj;
+            Ok (Event.Realloc { obj = st.obj; new_size; thread })
+          | 5 ->
+            let* instrs = get_uvarint_ch ic in
+            let* thread = get_uvarint_ch ic in
+            Ok (Event.Compute { instrs; thread })
+          | t -> Error (Printf.sprintf "unknown tag %d at offset %d" t (pos_in ic - 1))
+        in
+        f e;
+        events (remaining - 1)
+  in
+  events count
+
+let iter_file path ~f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> iter_channel ic ~f)
+
 let write_file path trace =
   let oc = open_out_bin path in
   Fun.protect

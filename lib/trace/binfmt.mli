@@ -31,3 +31,12 @@ val read : bytes -> (Trace.t, string) result
 
 val write_file : string -> Trace.t -> unit
 val read_file : string -> (Trace.t, string) result
+
+val iter_channel : in_channel -> f:(Event.t -> unit) -> (unit, string) result
+(** Streaming decode straight off a (buffered) channel: [f] is called
+    once per event, no trace and no whole-file copy is materialized.
+    Stops at the first corruption with the same errors as {!read}. *)
+
+val iter_file : string -> f:(Event.t -> unit) -> (unit, string) result
+(** {!iter_channel} over a freshly opened binary file (always closed).
+    Raises [Sys_error] if the file cannot be opened. *)

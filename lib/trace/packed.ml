@@ -96,6 +96,112 @@ let iteri ?(alloc = nop_alloc) ?(access = nop_access) ?(free = nop_obj)
     | _ -> compute i ~instrs:(Array.unsafe_get t.fa i) ~thread
   done
 
+(* ---- segment buffers -------------------------------------------------
+
+   A [Buf.t] is a reusable fixed-capacity packed segment: the streaming
+   engine fills one, hands a {!view} of it to the consumer, clears it
+   and fills it again.  The arrays are allocated once per stream, so a
+   bounded-memory pass over an arbitrarily long event source allocates
+   O(segment) however many events flow through. *)
+
+module Buf = struct
+  type packed = t
+
+  type t = {
+    cap : int;
+    mutable blen : int;
+    btag : int array;
+    bobj : int array;
+    bfa : int array;
+    bfb : int array;
+    bfc : int array;
+    bthread : int array;
+  }
+
+  let create cap =
+    if cap <= 0 then invalid_arg "Packed.Buf.create: capacity must be positive";
+    { cap;
+      blen = 0;
+      btag = Array.make cap 0;
+      bobj = Array.make cap 0;
+      bfa = Array.make cap 0;
+      bfb = Array.make cap 0;
+      bfc = Array.make cap 0;
+      bthread = Array.make cap 0 }
+
+  let capacity b = b.cap
+  let length b = b.blen
+  let is_full b = b.blen = b.cap
+  let clear b = b.blen <- 0
+
+  let add b (e : Event.t) =
+    if b.blen = b.cap then invalid_arg "Packed.Buf.add: segment full";
+    let i = b.blen in
+    (* fb/fc are only written by Alloc/Access, so stale values from the
+       previous segment must be cleared for the other tags. *)
+    (match e with
+    | Alloc a ->
+      b.btag.(i) <- tag_alloc;
+      b.bobj.(i) <- a.obj;
+      b.bfa.(i) <- a.site;
+      b.bfb.(i) <- a.size;
+      b.bfc.(i) <- a.ctx;
+      b.bthread.(i) <- a.thread
+    | Access a ->
+      b.btag.(i) <- tag_access;
+      b.bobj.(i) <- a.obj;
+      b.bfa.(i) <- a.offset;
+      b.bfb.(i) <- (if a.write then 1 else 0);
+      b.bfc.(i) <- 0;
+      b.bthread.(i) <- a.thread
+    | Free f ->
+      b.btag.(i) <- tag_free;
+      b.bobj.(i) <- f.obj;
+      b.bfa.(i) <- 0;
+      b.bfb.(i) <- 0;
+      b.bfc.(i) <- 0;
+      b.bthread.(i) <- f.thread
+    | Realloc r ->
+      b.btag.(i) <- tag_realloc;
+      b.bobj.(i) <- r.obj;
+      b.bfa.(i) <- r.new_size;
+      b.bfb.(i) <- 0;
+      b.bfc.(i) <- 0;
+      b.bthread.(i) <- r.thread
+    | Compute c ->
+      b.btag.(i) <- tag_compute;
+      b.bobj.(i) <- 0;
+      b.bfa.(i) <- c.instrs;
+      b.bfb.(i) <- 0;
+      b.bfc.(i) <- 0;
+      b.bthread.(i) <- c.thread);
+    b.blen <- i + 1
+
+  (* The view shares the buffer's arrays (len <= capacity bounds every
+     consumer loop), so it is only valid until the next [clear]/[add]. *)
+  let view b : packed =
+    { len = b.blen;
+      tag = b.btag;
+      obj = b.bobj;
+      fa = b.bfa;
+      fb = b.bfb;
+      fc = b.bfc;
+      thread = b.bthread }
+
+  let blit_packed b (src : packed) ~pos ~len =
+    if len < 0 || pos < 0 || pos + len > src.len then
+      invalid_arg "Packed.Buf.blit_packed: bad range";
+    if b.blen + len > b.cap then invalid_arg "Packed.Buf.blit_packed: segment full";
+    let d = b.blen in
+    Array.blit src.tag pos b.btag d len;
+    Array.blit src.obj pos b.bobj d len;
+    Array.blit src.fa pos b.bfa d len;
+    Array.blit src.fb pos b.bfb d len;
+    Array.blit src.fc pos b.bfc d len;
+    Array.blit src.thread pos b.bthread d len;
+    b.blen <- d + len
+end
+
 let total_instructions t =
   let n = ref 0 in
   for i = 0 to t.len - 1 do

@@ -60,6 +60,39 @@ val iteri :
     variant's fields as plain ints — no [Event.t] is materialized.
     Omitted callbacks default to ignoring their events. *)
 
+(** Reusable fixed-capacity packed segment, the unit of the streaming
+    engine ({!Stream}): fill, hand a {!Buf.view} to the consumer, clear,
+    refill.  One [Buf.t] bounds the memory of a pass over an
+    arbitrarily long event source. *)
+module Buf : sig
+  type packed := t
+
+  type t
+
+  val create : int -> t
+  (** Fixed capacity (events); raises [Invalid_argument] when <= 0. *)
+
+  val capacity : t -> int
+
+  val length : t -> int
+
+  val is_full : t -> bool
+
+  val clear : t -> unit
+
+  val add : t -> Event.t -> unit
+  (** Append one event; raises [Invalid_argument] when full. *)
+
+  val view : t -> packed
+  (** The buffered events as a packed segment.  The segment {e shares}
+      the buffer's arrays: it is valid only until the next [clear] or
+      [add], and must not be retained by consumers. *)
+
+  val blit_packed : t -> packed -> pos:int -> len:int -> unit
+  (** Bulk-append a slice of an existing packed trace (array blits, no
+      per-event boxing). *)
+end
+
 val total_instructions : t -> int
 (** Same quantity as {!Trace.total_instructions}: accesses count one
     instruction each, plus all [Compute] instructions. *)

@@ -93,11 +93,31 @@ let parse_lines lines =
 
 let of_string s = parse_lines (String.split_on_char '\n' s)
 
+(* Line-by-line: only the current line is live, so reading never costs
+   more than the decoded events themselves (the seed accumulated the
+   whole file as a [string list] first — 2-3x the trace's own memory). *)
+let iter_channel ic ~f =
+  let rec go lineno =
+    match input_line ic with
+    | exception End_of_file -> Ok ()
+    | line ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1)
+      else (
+        match event_of_line trimmed with
+        | Ok e ->
+          f e;
+          go (lineno + 1)
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1
+
+let iter_file path ~f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> iter_channel ic ~f)
+
 let read ic =
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> ());
-  parse_lines (List.rev !lines)
+  let trace = Trace.create () in
+  match iter_channel ic ~f:(Trace.add trace) with
+  | Ok () -> Ok trace
+  | Error _ as e -> e

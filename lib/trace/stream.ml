@@ -1,0 +1,106 @@
+(* Streaming, bounded-memory traces.
+
+   A [Stream.t] represents an event stream as a generator of fixed-size
+   packed segments instead of one giant array: consumers fold over
+   segments (each a {!Packed.t} view into a single reused buffer), so a
+   pass over a trace of any length holds O(segment_events) trace memory.
+   Streams are re-iterable — every iteration re-runs the underlying
+   generator, which is deterministic for every source below. *)
+
+type t = {
+  segment_events : int;
+  feed : (Packed.t -> unit) -> unit;
+      (** push-based segment generator; re-run on every iteration.
+          Emitted segments share one reused buffer and are only valid
+          for the duration of the callback. *)
+}
+
+let default_segment_events = 1 lsl 16
+
+let check_segment_events ~who n =
+  if n <= 0 then invalid_arg (who ^ ": segment_events must be positive")
+
+let create ?(segment_events = default_segment_events) gen =
+  check_segment_events ~who:"Stream.create" segment_events;
+  let feed emit =
+    let buf = Packed.Buf.create segment_events in
+    let flush () =
+      if Packed.Buf.length buf > 0 then begin
+        emit (Packed.Buf.view buf);
+        Packed.Buf.clear buf
+      end
+    in
+    gen (fun e ->
+        Packed.Buf.add buf e;
+        if Packed.Buf.is_full buf then flush ());
+    flush ()
+  in
+  { segment_events; feed }
+
+let segment_events t = t.segment_events
+
+let iter_segments t f =
+  let base = ref 0 in
+  t.feed (fun seg ->
+      f ~base:!base seg;
+      base := !base + Packed.length seg)
+
+let iter_events t f =
+  iter_segments t (fun ~base seg ->
+      for i = 0 to Packed.length seg - 1 do
+        f (base + i) (Packed.get seg i)
+      done)
+
+let length t =
+  let n = ref 0 in
+  iter_segments t (fun ~base:_ seg -> n := !n + Packed.length seg);
+  !n
+
+let fold_segments t ~init ~f =
+  let acc = ref init in
+  iter_segments t (fun ~base seg -> acc := f !acc ~base seg);
+  !acc
+
+(* ---- sources --------------------------------------------------------- *)
+
+let of_trace ?segment_events trace =
+  create ?segment_events (fun push -> Trace.iter push trace)
+
+(* Already-packed traces are segmented by array blits — the per-event
+   boxing path of [create] is bypassed entirely. *)
+let of_packed ?(segment_events = default_segment_events) packed =
+  check_segment_events ~who:"Stream.of_packed" segment_events;
+  let feed emit =
+    let buf = Packed.Buf.create segment_events in
+    let n = Packed.length packed in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min segment_events (n - !pos) in
+      Packed.Buf.clear buf;
+      Packed.Buf.blit_packed buf packed ~pos:!pos ~len;
+      emit (Packed.Buf.view buf);
+      pos := !pos + len
+    done
+  in
+  { segment_events; feed }
+
+let of_text_file ?segment_events path =
+  create ?segment_events (fun push ->
+      match Serialize.iter_file path ~f:push with
+      | Ok () -> ()
+      | Error msg -> failwith (path ^ ": " ^ msg))
+
+let of_binary_file ?segment_events path =
+  create ?segment_events (fun push ->
+      match Binfmt.iter_file path ~f:push with
+      | Ok () -> ()
+      | Error msg -> failwith (path ^ ": " ^ msg))
+
+(* ---- sinks ----------------------------------------------------------- *)
+
+let to_trace t =
+  let trace = Trace.create () in
+  iter_events t (fun _ e -> Trace.add trace e);
+  trace
+
+let to_packed t = Packed.of_trace (to_trace t)

@@ -1,0 +1,63 @@
+(** Streaming, bounded-memory traces.
+
+    A stream represents an event source as a generator of fixed-size
+    packed segments ({!Packed.t} chunks filled from one reused
+    {!Packed.Buf}) instead of a single materialized array, so a pass
+    over a trace of any length holds O([segment_events]) trace memory.
+
+    Streams are {e re-iterable}: every {!iter_segments} (or derived
+    consumer) re-runs the underlying generator from the start.  All
+    the sources below are deterministic, so repeated passes observe
+    identical events. *)
+
+type t
+
+val default_segment_events : int
+(** 65536 events per segment. *)
+
+val create : ?segment_events:int -> ((Event.t -> unit) -> unit) -> t
+(** [create gen] wraps a push-based event generator: each iteration
+    calls [gen push] and [gen] must call [push] once per event, in
+    order.  Raises [Invalid_argument] when [segment_events <= 0]. *)
+
+val segment_events : t -> int
+
+val iter_segments : t -> (base:int -> Packed.t -> unit) -> unit
+(** One pass: the callback receives each segment together with the
+    global index of its first event ([base]).  Segments share one
+    reused buffer — they are valid only for the duration of the
+    callback and must not be retained. *)
+
+val iter_events : t -> (int -> Event.t -> unit) -> unit
+(** Boxed per-event iteration (cold paths / tests); the [int] is the
+    global event index. *)
+
+val fold_segments : t -> init:'a -> f:('a -> base:int -> Packed.t -> 'a) -> 'a
+
+val length : t -> int
+(** Total event count; consumes one full pass. *)
+
+(** {1 Sources} *)
+
+val of_trace : ?segment_events:int -> Trace.t -> t
+
+val of_packed : ?segment_events:int -> Packed.t -> t
+(** Segments are produced by array blits from the packed trace — no
+    per-event boxing. *)
+
+val of_text_file : ?segment_events:int -> string -> t
+(** Streams the textual format line by line ({!Serialize}); never holds
+    more than one segment of decoded events.  Iterating raises
+    [Failure "<path>: line N: ..."] on a malformed line and [Sys_error]
+    if the file cannot be opened (checked on each pass). *)
+
+val of_binary_file : ?segment_events:int -> string -> t
+(** Streams the binary format ({!Binfmt}) through a fixed refill
+    buffer.  Iterating raises [Failure] on corruption, [Sys_error] on
+    open failure. *)
+
+(** {1 Sinks (materialize — for tests and small traces)} *)
+
+val to_trace : t -> Trace.t
+
+val to_packed : t -> Packed.t

@@ -36,11 +36,19 @@ val analyze_packed : Packed.t -> t
     caller already holds a {!Packed.t} so the stream is only packed
     once. *)
 
+val analyze_stream : Stream.t -> t
+(** Online single-pass fold over a segment stream: identical results to
+    {!analyze_packed} on the materialized trace, but holding only one
+    segment of trace memory at a time. *)
+
 val objects : t -> obj_info list
-(** All dynamic objects in allocation order. *)
+(** All dynamic objects in allocation order.  When an object id is
+    reused (corrupted / lenient traces), every incarnation appears
+    once — reuse no longer double-counts the latest incarnation. *)
 
 val obj_info : t -> int -> obj_info
-(** Info for one object id; raises [Not_found] for unknown ids. *)
+(** Info for one object id — the {e latest} incarnation when the id was
+    reused; raises [Not_found] for unknown ids. *)
 
 val sites : t -> site_info list
 (** All static sites, ascending by id. *)
@@ -49,9 +57,20 @@ val site_info : t -> int -> site_info
 
 val total_heap_accesses : t -> int
 
+val trace_length : t -> int
+(** Number of events the analysis consumed (the trace/stream length). *)
+
 val max_live_objects : t -> int
 (** Maximum number of simultaneously-live objects at any trace point —
-    the quantity that makes object recycling applicable (§2.4). *)
+    the quantity that makes object recycling applicable (§2.4).  Only
+    the first Free of an object ends its lifetime: duplicate frees
+    (tolerated by lenient replay) no longer drive the live count
+    negative, and a reused id counts as at most one live object. *)
+
+val reused_ids : t -> int
+(** Number of Alloc events whose object id was already known — i.e. how
+    many incarnations beyond the first each id contributed.  0 for
+    well-formed traces. *)
 
 val max_live_objects_of_site : t -> int -> int
 (** Same, restricted to objects from one site. *)

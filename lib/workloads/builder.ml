@@ -4,18 +4,25 @@ module Rng = Prefix_util.Rng
 
 type t = {
   trace : Trace.t;
+  sink : (Event.t -> unit) option;
   rng : Rng.t;
   sizes : (int, int) Hashtbl.t; (* live objects only *)
   mutable next_obj : int;
   mutable thread : int;
 }
 
-let create ?(seed = 1) () =
+let create ?(seed = 1) ?sink () =
   { trace = Trace.create ();
+    sink;
     rng = Rng.create seed;
     sizes = Hashtbl.create 1024;
     next_obj = 1;
     thread = 0 }
+
+(* With a sink, events are pushed out instead of appended: the builder's
+   trace stays empty and memory is bounded by the live-object table —
+   the streaming engine's generation path. *)
+let emit t e = match t.sink with Some push -> push e | None -> Trace.add t.trace e
 
 let trace t = t.trace
 let rng t = t.rng
@@ -28,7 +35,7 @@ let alloc t ~site ?ctx size =
   let obj = t.next_obj in
   t.next_obj <- t.next_obj + 1;
   Hashtbl.replace t.sizes obj size;
-  Trace.add t.trace (Event.Alloc { obj; site; ctx; size; thread = t.thread });
+  emit t (Event.Alloc { obj; site; ctx; size; thread = t.thread });
   obj
 
 let check_live t obj fn =
@@ -41,21 +48,21 @@ let access t ?(write = false) obj offset =
   if offset < 0 || offset >= size then
     invalid_arg
       (Printf.sprintf "Builder.access: offset %d outside object %d (size %d)" offset obj size);
-  Trace.add t.trace (Event.Access { obj; offset; write; thread = t.thread })
+  emit t (Event.Access { obj; offset; write; thread = t.thread })
 
 let free t obj =
   ignore (check_live t obj "free");
   Hashtbl.remove t.sizes obj;
-  Trace.add t.trace (Event.Free { obj; thread = t.thread })
+  emit t (Event.Free { obj; thread = t.thread })
 
 let realloc t obj new_size =
   if new_size <= 0 then invalid_arg "Builder.realloc: size must be positive";
   ignore (check_live t obj "realloc");
   Hashtbl.replace t.sizes obj new_size;
-  Trace.add t.trace (Event.Realloc { obj; new_size; thread = t.thread })
+  emit t (Event.Realloc { obj; new_size; thread = t.thread })
 
 let compute t instrs =
-  if instrs > 0 then Trace.add t.trace (Event.Compute { instrs; thread = t.thread })
+  if instrs > 0 then emit t (Event.Compute { instrs; thread = t.thread })
 
 let size_of t obj = check_live t obj "size_of"
 

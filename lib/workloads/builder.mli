@@ -6,10 +6,15 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?sink:(Prefix_trace.Event.t -> unit) -> unit -> t
+(** With [sink], every emitted event is pushed to it instead of being
+    appended to the builder's trace (which then stays empty): the
+    streaming generation path.  Memory is bounded by the live-object
+    table either way. *)
 
 val trace : t -> Prefix_trace.Trace.t
-(** The trace built so far (shared, not copied). *)
+(** The trace built so far (shared, not copied); empty when the builder
+    was created with a [sink]. *)
 
 val rng : t -> Prefix_util.Rng.t
 

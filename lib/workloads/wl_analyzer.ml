@@ -29,9 +29,8 @@ let record_bytes = 48
 let index_bytes = 48
 let cursor_bytes = 64
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let passes = W.iterations scale ~base:64 in
   (* --- Index tables: three fixed hot ids on site 1 (cold spill tables
      follow). *)
@@ -62,7 +61,7 @@ let generate ?threads ~scale ~seed () =
      -57.1%); PreFix's dynamic instance ids are immune. *)
   let records =
     Array.init n_records (fun i ->
-        let salt = if scale = W.Long && i mod 8 <> 0 then 5000 else 0 in
+        let salt = if scale <> W.Profiling && i mod 8 <> 0 then 5000 else 0 in
         let r = B.alloc b ~site:site_record ~ctx:(site_record + salt) record_bytes in
         ignore (Patterns.cold_block b ~site:site_line ~size:208 (if i mod 3 = 0 then 2 else 1));
         r)
@@ -87,10 +86,13 @@ let generate ?threads ~scale ~seed () =
     B.compute b 3200;
     ignore pass
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "analyzer";
     description = "log analyzer: packed record scans plus one index-table stream";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

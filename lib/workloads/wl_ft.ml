@@ -36,9 +36,8 @@ let aux_bytes = 512
 let chain_len = 4
 let n_chains = 110 (* 440 objects in neighbour chains *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let rounds = W.iterations scale ~base:56 in
   (* --- Read the graph.  Per vertex: hot vertex, parser temporary from
      the same site, hot heap node, parser temporary from its site —
@@ -92,10 +91,13 @@ let generate ?threads ~scale ~seed () =
     List.iter (fun a -> Patterns.sweep b ~stride:128 a) aux;
     B.compute b 800
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "ft";
     description = "Ptrdist MST: thousands of hot vertices/heap nodes";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

@@ -41,9 +41,8 @@ let patient_bytes = 32
 let population = 4000
 let n_ward = 110 (* cells chained in fixed ward order *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let steps = W.iterations scale ~base:40 in
   (* --- Setup: villages (fixed ids 1..6 on site 1). *)
   let villages =
@@ -98,10 +97,13 @@ let generate ?threads ~scale ~seed () =
     Patterns.churn b ~site:site_waiting ~size:96 ~touches:1 4;
     B.compute b 6000
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "health";
     description = "Olden hospital lists: everything equally hot, TLB-bound";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

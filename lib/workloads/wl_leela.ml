@@ -19,9 +19,8 @@ let plies = 12 (* expansion depth per playout *)
 let site_board = 10 (* cold: persistent board/pattern tables *)
 let site_history = 11 (* cold: growing game history, fragments the heap *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let playouts = W.iterations scale ~base:640 in
   ignore (Patterns.cold_block b ~site:site_board ~size:2048 16);
   for p = 0 to playouts - 1 do
@@ -42,10 +41,13 @@ let generate ?threads ~scale ~seed () =
     if p mod 5 = 0 then ignore (Patterns.cold_block b ~site:site_history ~size:112 2);
     List.iter (fun o -> B.free b o) chain
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "leela";
     description = "MCTS engine: allocation-dominated playout expansions";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

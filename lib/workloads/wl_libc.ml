@@ -20,9 +20,8 @@ let n_chains = 48 (* chains of 8 entries: 384 stream objects *)
 let chain_len = 8
 let n_scratch = 27 (* singletons with glued cold companions *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let rounds = W.iterations scale ~base:800 in
   (* --- Table build: chains drawn from one group at a time; each chain
      interleaves a couple of cold helper cells from the same sites. *)
@@ -72,17 +71,20 @@ let generate ?threads ~scale ~seed () =
     for _k = 0 to 4 do
       let s, companion = scratch_arr.(Prefix_util.Rng.int (B.rng b) n_scratch) in
       B.access b s 0;
-      if scale = W.Long then B.access b companion 0;
+      if scale <> W.Profiling then B.access b companion 0;
       B.access b s 16;
-      if scale = W.Long then B.access b companion 16
+      if scale <> W.Profiling then B.access b companion 16
     done;
     Patterns.churn b ~site:site_cold ~size:96 ~touches:1 2;
     B.compute b 2600
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "libc";
     description = "library tables: tandem trios, stream-dominated hot set";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

@@ -42,8 +42,7 @@ let array_bytes = 192 * 1024
 let array_initial = 128 * 1024
 let price_bytes = 48
 
-let generate ?(threads = 1) ~scale ~seed () =
-  let b = B.create ~seed () in
+let fill ?(threads = 1) ~scale b =
   let rounds = W.iterations scale ~base:480 in
   (* --- Input parsing: the network arrays, interleaved with parser scratch
      that stays live (spreading the arrays apart in the baseline heap). *)
@@ -125,10 +124,13 @@ let generate ?(threads = 1) ~scale ~seed () =
   done;
   B.set_thread b 0;
   List.iter (fun o -> B.free b o) (pricing @ graph);
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "mcf";
     description = "SPEC CPU network simplex: six hot objects, two tandem trios";
     bench_threads = true;
-    generate }
+    generate;
+    fill }

@@ -30,14 +30,15 @@ let n_growth_events = 32
    evaluation input stops earlier — which is exactly why the paper's
    mysql peak memory jumps from 18 MB to 426 MB: PreFix preallocates at
    the profiled maxima (Table 6). *)
-let grown_bytes = function Workload.Profiling -> 40 * 1024 | Workload.Long -> 24 * 1024
+let grown_bytes = function
+  | Workload.Profiling -> 40 * 1024
+  | Workload.Long | Workload.Huge -> 24 * 1024
 
 (* Setup order defines counter sharing: sites initialising back-to-back
    share a counter.  Groups: {1,2} {3} {4,5} {6,7} {8,9} {10}. *)
 let groups = [ [ 1; 2 ]; [ 3 ]; [ 4; 5 ]; [ 6; 7 ]; [ 8; 9 ]; [ 10 ] ]
 
-let generate ?(threads = 1) ~scale ~seed () =
-  let b = B.create ~seed () in
+let fill ?(threads = 1) ~scale b =
   let queries = W.iterations scale ~base:512 in
   (* --- Server startup: allocate the pools group by group.  Sites 1-3
      allocate two hot buffers each; the rest one.  Catalog entries load
@@ -90,10 +91,13 @@ let generate ?(threads = 1) ~scale ~seed () =
   done;
   B.set_thread b 0;
   Array.iter (fun buf -> B.free b buf) buffers;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "mysql";
     description = "database server: large realloc-grown buffers, fixed ids";
     bench_threads = true;
-    generate }
+    generate;
+    fill }

@@ -19,9 +19,8 @@ let sites_per_subsystem = [ 9; 9; 9; 9; 8; 8 ] (* 52 sites total *)
 let site_cold = 90 (* long-lived cold topology tables *)
 let n_triples = 30 (* module/gate/queue access streams *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let events = W.iterations scale ~base:900 in
   (* --- Network setup: each subsystem initialises its sites in tandem;
      every site contributes one fixed hot object, then 3-4 cold
@@ -100,10 +99,13 @@ let generate ?threads ~scale ~seed () =
     Patterns.churn b ~site:site_cold ~size:256 ~touches:2 2;
     B.compute b 1500
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "omnetpp";
     description = "discrete-event simulator: 52 sites, message churn pollution";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

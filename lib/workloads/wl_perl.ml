@@ -33,9 +33,8 @@ let n_chains = 24 (* operand chains (hot data streams) *)
 let chain_len = 5
 let n_scratch = 54 (* hot singletons with cold companions *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let ops = W.iterations scale ~base:800 in
   (* --- Compile phase: build operand chains.  Each chain draws its cells
      from one site group; header allocations (odd instances) are the hot
@@ -103,9 +102,9 @@ let generate ?threads ~scale ~seed () =
     for _k = 0 to 3 do
       let s, companion = scratch_arr.(Prefix_util.Rng.int (B.rng b) n_scratch) in
       B.access b s 0;
-      if scale = W.Long then B.access b companion 0;
+      if scale <> W.Profiling then B.access b companion 0;
       B.access b s 16;
-      if scale = W.Long then B.access b companion 16
+      if scale <> W.Profiling then B.access b companion 16
     done;
     (* Transient pads from the chain sites: HDS pollution. *)
     if op mod 2 = 0 then
@@ -118,10 +117,13 @@ let generate ?threads ~scale ~seed () =
     Patterns.churn b ~site:site_cold ~size:512 ~touches:2 2;
     B.compute b 1200
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "perl";
     description = "interpreter: operand-chain streams, regular ids, glued singletons";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

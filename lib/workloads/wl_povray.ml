@@ -23,9 +23,8 @@ let record_bytes = 48
 let site_texture = 20 (* cold long-lived texture cache entries *)
 let site_scene = 21 (* cold scene metadata *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let rays = W.iterations scale ~base:2400 in
   (* Scene load: long-lived cold data. *)
   ignore (Patterns.cold_block b ~site:site_scene ~size:1024 48);
@@ -47,10 +46,13 @@ let generate ?threads ~scale ~seed () =
     if ray mod 7 = 0 then ignore (Patterns.cold_block b ~site:site_texture ~size:record_bytes 2);
     List.iter (fun r -> B.free b r) records
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "povray";
     description = "ray tracer: tandem per-ray records, object recycling";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

@@ -19,9 +19,8 @@ let grid_bytes = 1024
 let site_diag = 40 (* cold persistent diagnostics *)
 let site_forcing = 41 (* cold forcing data, loaded once *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let steps = W.iterations scale ~base:400 in
   ignore (Patterns.cold_block b ~site:site_forcing ~size:4096 32);
   for _step = 0 to steps - 1 do
@@ -39,10 +38,13 @@ let generate ?threads ~scale ~seed () =
     ignore (Patterns.cold_block b ~site:site_diag ~size:512 6);
     List.iter (fun g -> B.free b g) grids
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "roms";
     description = "ocean model: per-timestep work grids, recycling";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

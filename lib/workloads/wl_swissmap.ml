@@ -17,9 +17,8 @@ let site_meta = 5 (* cold: persistent table metadata / iterators *)
 let group_size = 8
 let backing_bytes = 512
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let rounds = W.iterations scale ~base:700 in
   for r = 0 to rounds - 1 do
     (* Build a group of tables. *)
@@ -35,10 +34,13 @@ let generate ?threads ~scale ~seed () =
     if r mod 3 = 0 then ignore (Patterns.cold_block b ~site:site_meta ~size:144 2);
     List.iter (fun t -> B.free b t) tables
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "swissmap";
     description = "hash-table churn: one site, recycled backing stores";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

@@ -21,9 +21,8 @@ let string_bytes = 32
 
 let n_hot_pairs = 118 (* 236 hot objects *)
 
-let generate ?threads ~scale ~seed () =
+let fill ?threads ~scale b =
   ignore threads;
-  let b = B.create ~seed () in
   let rounds = W.iterations scale ~base:700 in
   (* --- Parse: hot (node,string) pairs with cold nodes in between, all
      from the same two sites.  The number of cold siblings varies with
@@ -67,10 +66,13 @@ let generate ?threads ~scale ~seed () =
     Patterns.churn b ~site:site_cold ~size:128 ~touches:2 3;
     B.compute b 1800
   done;
-  B.trace b
+  ()
+
+let generate = W.of_fill fill
 
 let workload =
   { W.name = "xalanc";
     description = "XSLT processor: two sites, node/string chains";
     bench_threads = false;
-    generate }
+    generate;
+    fill }

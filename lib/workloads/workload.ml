@@ -1,13 +1,32 @@
-type scale = Profiling | Long
+type scale = Profiling | Long | Huge
 
-let scale_name = function Profiling -> "profiling" | Long -> "long"
+let scale_name = function Profiling -> "profiling" | Long -> "long" | Huge -> "huge"
 
 type t = {
   name : string;
   description : string;
   bench_threads : bool;
   generate : ?threads:int -> scale:scale -> seed:int -> unit -> Prefix_trace.Trace.t;
+  fill : ?threads:int -> scale:scale -> Builder.t -> unit;
 }
 
 let iterations scale ~base =
-  match scale with Profiling -> max 1 (base / 8) | Long -> base
+  match scale with
+  | Profiling -> max 1 (base / 8)
+  | Long -> base
+  | Huge -> base * 10
+
+let of_fill fill : ?threads:int -> scale:scale -> seed:int -> unit -> Prefix_trace.Trace.t
+    =
+ fun ?threads ~scale ~seed () ->
+  let b = Builder.create ~seed () in
+  fill ?threads ~scale b;
+  Builder.trace b
+
+let generate_stream w ?threads ~scale ~seed ?segment_events () =
+  Prefix_trace.Stream.create ?segment_events (fun push ->
+      (* A fresh builder per pass keeps the stream re-iterable: the
+         generators are deterministic in [seed], so every pass pushes
+         the identical event sequence without materializing it. *)
+      let b = Builder.create ~seed ~sink:push () in
+      w.fill ?threads ~scale b)

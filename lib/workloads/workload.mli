@@ -13,9 +13,10 @@
     Scales: [Profiling] is the short training-input run used to build
     plans; [Long] is the evaluation run (more iterations, more cold
     churn, slightly perturbed behaviour so profile and reality differ
-    the way Table 5 shows). *)
+    the way Table 5 shows); [Huge] is ~10x [Long], sized for the
+    streaming engine — materializing it is deliberately painful. *)
 
-type scale = Profiling | Long
+type scale = Profiling | Long | Huge
 
 val scale_name : scale -> string
 
@@ -25,7 +26,36 @@ type t = {
   bench_threads : bool;
       (** whether the model honours [threads] (mysql, mcf — Fig 10) *)
   generate : ?threads:int -> scale:scale -> seed:int -> unit -> Prefix_trace.Trace.t;
+  fill : ?threads:int -> scale:scale -> Builder.t -> unit;
+      (** The model body: emits the whole event sequence into an
+          existing builder.  [generate] and {!generate_stream} are both
+          thin wrappers over this. *)
 }
 
 val iterations : scale -> base:int -> int
-(** Standard iteration scaling: profiling runs are ~8x shorter. *)
+(** Standard iteration scaling: profiling runs are ~8x shorter than
+    [Long]; [Huge] is 10x [Long]. *)
+
+val of_fill :
+  (?threads:int -> scale:scale -> Builder.t -> unit) ->
+  ?threads:int ->
+  scale:scale ->
+  seed:int ->
+  unit ->
+  Prefix_trace.Trace.t
+(** Materializing wrapper: fresh builder, run the fill, return its
+    trace.  Every workload's [generate] is [of_fill fill]. *)
+
+val generate_stream :
+  t ->
+  ?threads:int ->
+  scale:scale ->
+  seed:int ->
+  ?segment_events:int ->
+  unit ->
+  Prefix_trace.Stream.t
+(** Push-based generation: the returned stream runs [fill] with a
+    builder whose events feed segments directly, so no trace is ever
+    materialized — event-for-event identical to [generate] with the
+    same arguments (property-tested).  Each iteration of the stream
+    re-runs the deterministic generator. *)

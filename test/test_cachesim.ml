@@ -235,17 +235,33 @@ let test_heatmap () =
   Alcotest.(check int) "empty footprint" 0 (Heatmap.footprint_bytes h);
   Heatmap.record h ~time:0 ~addr:1000;
   Heatmap.record h ~time:50 ~addr:9000;
-  Alcotest.(check int) "footprint" 8000 (Heatmap.footprint_bytes h);
+  (* Inclusive span: addresses 1000..9000 cover 8001 bytes, not 8000. *)
+  Alcotest.(check int) "footprint" 8001 (Heatmap.footprint_bytes h);
   Alcotest.(check int) "samples" 2 (Heatmap.samples h);
   let s = Heatmap.render h in
   Alcotest.(check bool) "renders" true (String.length s > 0)
 
+let test_heatmap_single_address () =
+  (* Regression: a heatmap with samples at exactly one address used to
+     report a footprint of 0 bytes (max - min). *)
+  let h = Heatmap.create ~time_buckets:4 ~addr_buckets:4 () in
+  Heatmap.record h ~time:0 ~addr:4096;
+  Heatmap.record h ~time:9 ~addr:4096;
+  Alcotest.(check int) "one byte footprint" 1 (Heatmap.footprint_bytes h)
+
 let test_heatmap_thinning () =
   let h = Heatmap.create ~time_buckets:4 ~addr_buckets:4 () in
   for i = 0 to 500_000 do
-    Heatmap.record h ~time:i ~addr:(i mod 1000)
+    Heatmap.record h ~time:i ~addr:(i mod 1000);
+    (* Regression: the thinning bookkeeping drifted from the real number
+       of retained points, so the reservoir either over- or under-thinned. *)
+    if i land 0xFFFF = 0 then
+      Alcotest.(check int) "kept matches stored"
+        (Heatmap.stored_points h) (Heatmap.kept_points h)
   done;
   Alcotest.(check int) "all samples counted" 500_001 (Heatmap.samples h);
+  Alcotest.(check int) "kept matches stored at end"
+    (Heatmap.stored_points h) (Heatmap.kept_points h);
   ignore (Heatmap.render h)
 
 let suite =
@@ -267,4 +283,5 @@ let suite =
         Alcotest.test_case "probe = access" `Quick test_probe_equals_access;
         QCheck_alcotest.to_alcotest prop_mru_matches_reference;
         Alcotest.test_case "heatmap" `Quick test_heatmap;
+        Alcotest.test_case "heatmap single address" `Quick test_heatmap_single_address;
         Alcotest.test_case "heatmap thinning" `Quick test_heatmap_thinning ] ) ]

@@ -91,6 +91,29 @@ let test_region_dispose () =
   Region.dispose r;
   Alcotest.(check int) "chunks returned" before (Allocator.live_bytes heap)
 
+let test_region_byte_accounting () =
+  (* Regression: [release] decremented [allocated_objects] but never
+     [allocated_bytes], and a free-list hit incremented objects but not
+     bytes — the two counters drifted apart on any alloc/release cycle. *)
+  let heap = Allocator.create () in
+  let r = Region.create heap ~chunk_bytes:512 in
+  let a = Region.alloc r 64 in
+  Alcotest.(check int) "bytes after alloc" 64 (Region.allocated_bytes r);
+  Region.release r a 64;
+  Alcotest.(check int) "bytes return on release" 0 (Region.allocated_bytes r);
+  Alcotest.(check int) "objects return on release" 0 (Region.allocated_objects r);
+  (* A free-list hit must count exactly like a bump allocation. *)
+  let b = Region.alloc r 64 in
+  Alcotest.(check int) "free-list hit reused" a b;
+  Alcotest.(check int) "bytes after free-list hit" 64 (Region.allocated_bytes r);
+  Alcotest.(check int) "objects after free-list hit" 1 (Region.allocated_objects r);
+  ignore (Region.alloc r 32);
+  Alcotest.(check int) "bytes accumulate" 96 (Region.allocated_bytes r);
+  Alcotest.(check int) "peak tracks the high-water mark" 96 (Region.peak_bytes r);
+  Region.release r b 64;
+  Alcotest.(check int) "release is symmetric" 32 (Region.allocated_bytes r);
+  Alcotest.(check int) "peak survives releases" 96 (Region.peak_bytes r)
+
 (* ---- Baseline policy ---- *)
 
 let test_baseline_costs () =
@@ -417,7 +440,8 @@ let suite =
         Alcotest.test_case "exhaustion" `Quick test_region_exhaustion;
         Alcotest.test_case "arena double occupy/release" `Quick
           test_arena_double_occupy_release;
-        Alcotest.test_case "dispose" `Quick test_region_dispose ] );
+        Alcotest.test_case "dispose" `Quick test_region_dispose;
+        Alcotest.test_case "byte accounting" `Quick test_region_byte_accounting ] );
     ( "policies",
       [ Alcotest.test_case "baseline costs" `Quick test_baseline_costs;
         Alcotest.test_case "HDS redirects whole site" `Quick test_hds_policy_redirects_whole_site;

@@ -293,6 +293,92 @@ let test_stats_max_live_site () =
   let s = Trace_stats.analyze (stats_trace ()) in
   Alcotest.(check int) "site 10 peak" 2 (Trace_stats.max_live_objects_of_site s 10)
 
+(* ---- regressions: the statistics fold on malformed traces ---- *)
+
+let test_stats_duplicate_free () =
+  (* A duplicate Free (tolerated by lenient replay) used to decrement
+     the live counter twice, driving it negative and making max_live
+     report 1 here instead of 2. *)
+  let t =
+    Trace.of_list
+      [ al 0 1 10 64; fr 1; fr 1; al 0 2 10 64; al 0 3 10 64; fr 2; fr 3 ]
+  in
+  let s = Trace_stats.analyze t in
+  Alcotest.(check int) "max live" 2 (Trace_stats.max_live_objects s);
+  Alcotest.(check int) "first free wins"
+    1
+    (Option.get (Trace_stats.obj_info s 1).Trace_stats.free_index)
+
+let test_stats_reused_id () =
+  (* An id allocated twice (corrupted traces do this) used to keep only
+     the second incarnation in [objects] — double-counting it against
+     the first one's accesses — and to count the id as two live
+     objects. *)
+  let t =
+    Trace.of_list [ al 0 1 10 64; acc 1 0; al 0 1 11 32; acc 1 8; acc 1 16; fr 1 ]
+  in
+  let s = Trace_stats.analyze t in
+  Alcotest.(check int) "reused ids" 1 (Trace_stats.reused_ids s);
+  (match Trace_stats.objects s with
+  | [ a; b ] ->
+    Alcotest.(check int) "first incarnation site" 10 a.Trace_stats.site;
+    Alcotest.(check int) "first incarnation accesses" 1 a.Trace_stats.accesses;
+    Alcotest.(check int) "second incarnation site" 11 b.Trace_stats.site;
+    Alcotest.(check int) "second incarnation accesses" 2 b.Trace_stats.accesses
+  | objs -> Alcotest.fail (Printf.sprintf "expected 2 incarnations, got %d" (List.length objs)));
+  Alcotest.(check int) "lookup sees latest incarnation" 11
+    (Trace_stats.obj_info s 1).Trace_stats.site;
+  Alcotest.(check int) "an id is at most one live object" 1
+    (Trace_stats.max_live_objects s);
+  Alcotest.(check int) "well-formed traces report none" 0
+    (Trace_stats.reused_ids (Trace_stats.analyze (valid_trace ())))
+
+(* ---- regressions: line-by-line deserialization ---- *)
+
+let with_temp_file body =
+  let path = Filename.temp_file "prefix_serialize" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> body path)
+
+let test_serialize_error_line_numbers () =
+  (* Blank lines and comments still count toward the reported (1-based)
+     line number of the first malformed line. *)
+  with_temp_file @@ fun path ->
+  let oc = open_out path in
+  output_string oc "# header\n\nC 10 0\nL 1 -3 0\n";
+  close_out oc;
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  match Serialize.read ic with
+  | Ok _ -> Alcotest.fail "accepted a negative offset"
+  | Error msg ->
+    Alcotest.(check bool) ("names line 4: " ^ msg) true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 4:")
+
+let test_serialize_read_streams () =
+  (* [read] used to slurp the entire channel into a string list before
+     parsing anything.  With a malformed first line it must now stop
+     after that line: allocation stays flat instead of growing with the
+     ~100k lines that follow. *)
+  with_temp_file @@ fun path ->
+  let oc = open_out path in
+  output_string oc "garbage\n";
+  for _ = 1 to 100_000 do
+    output_string oc "C 10 0\n"
+  done;
+  close_out oc;
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let before = Gc.minor_words () in
+  (match Serialize.read ic with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error msg ->
+    Alcotest.(check bool) "fails on line 1" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 1:"));
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded allocation (%.0f words)" words)
+    true (words < 100_000.)
+
 let suite =
   [ ( "trace",
       [ Alcotest.test_case "add/get" `Quick test_add_get;
@@ -314,6 +400,9 @@ let suite =
         Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
         Alcotest.test_case "serialize comments" `Quick test_serialize_comments;
         Alcotest.test_case "serialize malformed" `Quick test_serialize_malformed;
+        Alcotest.test_case "serialize error line numbers" `Quick
+          test_serialize_error_line_numbers;
+        Alcotest.test_case "serialize read streams" `Quick test_serialize_read_streams;
         QCheck_alcotest.to_alcotest prop_serialize_roundtrip ] );
     ( "packed",
       [ Alcotest.test_case "roundtrip" `Quick test_packed_roundtrip_basic;
@@ -328,4 +417,6 @@ let suite =
         Alcotest.test_case "max live" `Quick test_stats_max_live;
         Alcotest.test_case "access share" `Quick test_stats_share;
         Alcotest.test_case "lifetimes overlap" `Quick test_stats_lifetimes;
-        Alcotest.test_case "max live per site" `Quick test_stats_max_live_site ] ) ]
+        Alcotest.test_case "max live per site" `Quick test_stats_max_live_site;
+        Alcotest.test_case "duplicate free" `Quick test_stats_duplicate_free;
+        Alcotest.test_case "reused object id" `Quick test_stats_reused_id ] ) ]

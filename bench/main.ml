@@ -23,6 +23,12 @@
    peak heap for both, and write BENCH_stream.json; exits non-zero if
    the outcomes ever differ.
 
+   And `telemetry [--benches a,b] [--out FILE]`: replay each benchmark's
+   Profiling-scale trace with the continuous flight recorder off and on,
+   print the throughput cost of telemetry, and write
+   BENCH_telemetry.json; exits non-zero if the geomean overhead exceeds
+   the 3% budget.
+
    `--jobs N` (anywhere on the command line) sizes the domain pool used
    by the paper-reproduction harness and the `reps` repetition sweep;
    the default is the runtime's recommended domain count.  Reports are
@@ -342,6 +348,102 @@ let run_stream_bench ~benches ~scale ~out =
     exit 1
   end
 
+(* Flight-recorder overhead: replay each benchmark's Profiling-scale
+   packed trace under the baseline policy with observability on, first
+   with the recorder disabled and then recording at the default cadence,
+   and report the throughput cost of continuous telemetry.  Both legs
+   pay the same span/metric cost, so the delta isolates the recorder:
+   one integer compare per event plus a registry snapshot every 2^16
+   events.  Budget: 3% geomean. *)
+let run_telemetry ~benches ~out =
+  let module Packed = Prefix_trace.Packed in
+  let module Executor = Prefix_runtime.Executor in
+  let module Policy = Prefix_runtime.Policy in
+  let costs = Executor.default_config.costs in
+  let reps = 8 in
+  let time1 f =
+    let t0 = Prefix_obs.Clock.now_ns () in
+    ignore (f ());
+    Int64.sub (Prefix_obs.Clock.now_ns ()) t0
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benches\": [";
+  let ratios = ref [] in
+  (* Long-scale traces: each timed replay runs ~10^2 ms, long enough
+     that container noise stays small next to the work being gated. *)
+  Printf.printf "=== flight-recorder overhead (Long scale, baseline policy) ===\n";
+  Printf.printf "%-10s %14s %14s %9s\n" "bench" "off ev/s" "on ev/s" "overhead";
+  List.iteri
+    (fun bi name ->
+      let wl = Prefix_workloads.Registry.find name in
+      let packed = Packed.of_trace (wl.generate ~scale:Long ~seed:8 ()) in
+      let events = Packed.length packed in
+      let run () =
+        Executor.run_packed ~policy:(fun heap -> Policy.baseline costs heap) packed
+      in
+      (* Each rep times the two legs back to back (off, then on) and
+         contributes one paired ratio; the overhead estimate is the
+         median ratio.  Pairing cancels slow drift, the median discards
+         the noise spikes a shared machine throws at individual reps,
+         and taking the per-leg min of the same samples gives the
+         throughput figures. *)
+      Prefix_obs.Control.set true;
+      ignore (run ());
+      let best_off = ref Int64.max_int and best_on = ref Int64.max_int in
+      let pair_ratios =
+        Array.init reps (fun _ ->
+            Prefix_obs.Recorder.disable ();
+            let d_off = time1 run in
+            if d_off < !best_off then best_off := d_off;
+            Prefix_obs.Recorder.configure ();
+            let d_on = time1 run in
+            if d_on < !best_on then best_on := d_on;
+            Int64.to_float d_on /. Int64.to_float d_off)
+      in
+      Prefix_obs.Recorder.disable ();
+      Prefix_obs.Control.set false;
+      Array.sort compare pair_ratios;
+      let median =
+        let n = Array.length pair_ratios in
+        if n land 1 = 1 then pair_ratios.(n / 2)
+        else (pair_ratios.((n / 2) - 1) +. pair_ratios.(n / 2)) /. 2.
+      in
+      let t_off = Int64.to_float !best_off /. 1e9 in
+      let t_on = Int64.to_float !best_on /. 1e9 in
+      let rate t = if t > 0. then float_of_int events /. t else 0. in
+      let overhead = median -. 1. in
+      ratios := (1. +. max 0. overhead) :: !ratios;
+      Printf.printf "%-10s %14.0f %14.0f %8.2f%%\n" name (rate t_off) (rate t_on)
+        (100. *. overhead);
+      if bi > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"bench\": %S, \"events\": %d, \"off_events_per_sec\": %.0f, \
+            \"on_events_per_sec\": %.0f, \"overhead_pct\": %.2f }"
+           name events (rate t_off) (rate t_on) (100. *. overhead)))
+    benches;
+  let geomean =
+    match !ratios with
+    | [] -> 1.
+    | rs ->
+      exp (List.fold_left (fun a r -> a +. log r) 0. rs /. float_of_int (List.length rs))
+  in
+  let geomean_pct = 100. *. (geomean -. 1.) in
+  let budget_pct = 3.0 in
+  Buffer.add_string buf
+    (Printf.sprintf " ],\n  \"geomean_overhead_pct\": %.2f,\n  \"budget_pct\": %.1f\n}\n"
+       geomean_pct budget_pct);
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "geomean recorder overhead %.2f%% (budget %.1f%%); wrote %s\n" geomean_pct
+    budget_pct out;
+  if geomean_pct > budget_pct then begin
+    Printf.eprintf "bench: recorder overhead %.2f%% exceeds %.1f%% budget\n" geomean_pct
+      budget_pct;
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Pull a `--jobs N` pair out of the argument list wherever it sits. *)
@@ -408,6 +510,20 @@ let () =
         ~scale:Prefix_workloads.Workload.Long ~out:"BENCH_stream.json" rest
     in
     run_stream_bench ~benches ~scale ~out
+  | "telemetry" :: rest ->
+    let rec parse ~benches ~out = function
+      | "--benches" :: bs :: rest ->
+        parse ~benches:(String.split_on_char ',' bs) ~out rest
+      | "--out" :: f :: rest -> parse ~benches ~out:f rest
+      | [] -> (benches, out)
+      | a :: _ ->
+        Printf.eprintf "bench: telemetry: unknown argument %S\n" a;
+        exit 2
+    in
+    let benches, out =
+      parse ~benches:Prefix_workloads.Registry.names ~out:"BENCH_telemetry.json" rest
+    in
+    run_telemetry ~benches ~out
   | [] ->
     print_endline "=== PreFix paper reproduction: all tables and figures ===";
     (* Replay the 13 benchmarks across the pool once; every experiment

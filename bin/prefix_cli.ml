@@ -8,12 +8,18 @@
      stats <bench>             replay and print span timings + metrics
      fuzz                      fault-injection campaign over corrupted traces
      experiment <id>...        reproduce specific tables/figures
+     top <bench>               replay with a live telemetry dashboard
      all                       reproduce everything
 
    Observability: --log-level LEVEL turns on structured logging
    (--verbose is shorthand for --log-level info), and --obs-out FILE
    additionally collects spans/metrics and writes a Chrome trace-event
    JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+   --telemetry FILE turns on the continuous flight recorder and writes
+   the run's timeline (.csv / .json) or an OpenMetrics exposition (any
+   other extension) on exit; --telemetry-interval N sets the event
+   cadence.  Missing parent directories of either output path are
+   created.
 
    Parallelism: run/stats/experiment/all/fuzz take --jobs N to spread
    independent benchmark replays (or campaign runs) across a domain
@@ -102,6 +108,43 @@ let obs_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "obs-out" ] ~docv:"FILE" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Record continuous telemetry (bounded flight recorder over every counter, \
+     gauge and histogram quantile) during the command and write it to $(docv): \
+     a CSV timeline for .csv, a JSON timeline for .json, an \
+     OpenMetrics/Prometheus text exposition otherwise."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let telemetry_interval_arg =
+  let doc = "Telemetry sample cadence in replay events (default 65536)." in
+  Arg.(value
+       & opt int 65536
+       & info [ "telemetry-interval" ] ~docv:"N" ~doc)
+
+(* Output files (--obs-out, --telemetry) may point into directories that
+   do not exist yet; create them, and turn an uncreatable path into a
+   clean exit-2 error naming the path instead of a backtrace. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_out_path ~flag file =
+  let dir = Filename.dirname file in
+  match mkdir_p dir with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "%s %s: cannot create directory %s (%s)" flag file dir
+         (Unix.error_message e))
+  | () -> (
+    match open_out file with
+    | exception Sys_error msg -> Error (Printf.sprintf "%s %s: %s" flag file msg)
+    | oc -> Ok oc)
+
 (* Install the Logs reporter when asked; leave the default nop reporter
    (complete silence) otherwise. *)
 let setup_logs log_level verbose =
@@ -118,16 +161,47 @@ let with_obs obs_out k =
   match obs_out with
   | None -> k ()
   | Some file -> (
-    match open_out file with
-    | exception Sys_error msg ->
-      Printf.eprintf "cannot write --obs-out file: %s\n" msg;
-      1
-    | oc ->
+    match open_out_path ~flag:"--obs-out" file with
+    | Error msg ->
+      Printf.eprintf "prefix: error: %s\n" msg;
+      2
+    | Ok oc ->
       Prefix_obs.Control.set true;
       let rc = k () in
       output_string oc (Prefix_obs.Export.chrome_trace ());
       close_out oc;
       Printf.eprintf "chrome trace written to %s\n%!" file;
+      rc)
+
+(* Same shape for --telemetry: configure the flight recorder around the
+   command and dump the timeline (or an OpenMetrics exposition) on the
+   way out.  The file is opened up front so a bad path fails before the
+   expensive run. *)
+let with_telemetry ?on_sample telemetry interval k =
+  match telemetry with
+  | None -> k ()
+  | Some _ when interval <= 0 ->
+    Printf.eprintf "prefix: error: --telemetry-interval must be positive\n";
+    2
+  | Some file -> (
+    match open_out_path ~flag:"--telemetry" file with
+    | Error msg ->
+      Printf.eprintf "prefix: error: %s\n" msg;
+      2
+    | Ok oc ->
+      Prefix_obs.Control.set true;
+      Prefix_obs.Recorder.configure ~interval_events:interval ?on_sample ();
+      let rc = k () in
+      Prefix_obs.Recorder.disable ();
+      let data =
+        if Filename.check_suffix file ".csv" then Prefix_obs.Export.timeline_csv ()
+        else if Filename.check_suffix file ".json" then
+          Prefix_obs.Export.timeline_json ()
+        else Prefix_obs.Export.openmetrics ()
+      in
+      output_string oc data;
+      close_out oc;
+      Printf.eprintf "telemetry written to %s\n%!" file;
       rc)
 
 (* Replay and parse failures surface as clean one-line errors with exit
@@ -223,7 +297,8 @@ let plan_cmd =
 (* --- run *)
 
 let run_cmd =
-  let run name scale stream segment_events jobs verbose log_level obs_out =
+  let run name scale stream segment_events jobs verbose log_level obs_out
+      telemetry telemetry_interval =
     setup_logs log_level verbose;
     Harness.set_jobs jobs;
     set_streaming stream segment_events;
@@ -233,6 +308,7 @@ let run_cmd =
     | Ok w ->
       guard @@ fun () ->
       with_obs obs_out @@ fun () ->
+      with_telemetry telemetry telemetry_interval @@ fun () ->
       let r = Harness.find w.name in
       let line label (pr : Harness.policy_run) =
         Printf.printf "%-14s %12.0f cycles  %+7.2f%%  L1 %5.2f%%  LLC %7.4f%%  peak %s B\n"
@@ -257,12 +333,13 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
     Term.(const run $ bench_arg $ eval_scale_arg $ stream_arg
           $ segment_events_arg $ jobs_arg $ verbose_arg $ log_level_arg
-          $ obs_out_arg)
+          $ obs_out_arg $ telemetry_arg $ telemetry_interval_arg)
 
 (* --- stats *)
 
 let stats_cmd =
-  let run name stream segment_events jobs verbose log_level obs_out =
+  let run name stream segment_events jobs verbose log_level obs_out telemetry
+      telemetry_interval =
     setup_logs log_level verbose;
     Harness.set_jobs jobs;
     set_streaming stream segment_events;
@@ -275,6 +352,7 @@ let stats_cmd =
       Prefix_obs.Span.reset ();
       Prefix_obs.Metric.reset ();
       with_obs obs_out @@ fun () ->
+      with_telemetry telemetry telemetry_interval @@ fun () ->
       let r = Harness.find w.name in
       Printf.printf "%s: %d profiling events, %d long events, 6 policies replayed\n\n"
         w.name
@@ -289,7 +367,8 @@ let stats_cmd =
          "Replay one benchmark with observability on and print the per-stage \
           span timing table and the metrics report")
     Term.(const run $ bench_arg $ stream_arg $ segment_events_arg $ jobs_arg
-          $ verbose_arg $ log_level_arg $ obs_out_arg)
+          $ verbose_arg $ log_level_arg $ obs_out_arg $ telemetry_arg
+          $ telemetry_interval_arg)
 
 (* --- fuzz *)
 
@@ -339,7 +418,7 @@ let fuzz_cmd =
                 so exhaustion degrades to malloc fallback.")
   in
   let run seeds rate benches kinds policies region_cap stream jobs verbose
-      log_level obs_out =
+      log_level obs_out telemetry telemetry_interval =
     setup_logs log_level verbose;
     match
       List.filter_map
@@ -350,6 +429,7 @@ let fuzz_cmd =
     | [] ->
       guard @@ fun () ->
       with_obs obs_out @@ fun () ->
+      with_telemetry telemetry telemetry_interval @@ fun () ->
       let cfg =
         { Campaign.benches; policies; kinds; seeds; rate; region_cap; stream }
       in
@@ -368,7 +448,8 @@ let fuzz_cmd =
           metric drift, and that sanitized traces replay strictly")
     Term.(const run $ seeds_arg $ rate_arg $ benches_arg $ kinds_arg
           $ policies_arg $ region_cap_arg $ stream_arg $ jobs_arg $ verbose_arg
-          $ log_level_arg $ obs_out_arg)
+          $ log_level_arg $ obs_out_arg $ telemetry_arg
+          $ telemetry_interval_arg)
 
 (* --- experiment *)
 
@@ -499,6 +580,98 @@ let validate_cmd =
        ~doc:"Validate every workload trace and every generated plan")
     Term.(const run $ const ())
 
+(* --- top *)
+
+(* Live telemetry dashboard: a streamed replay of one benchmark with the
+   flight recorder on, rendering every sample as it is recorded.  On a
+   TTY the frame is redrawn in place with ANSI escapes; when stdout is a
+   pipe (CI, redirects) each sample degrades to one plain line starting
+   with "sample ", so scripts can assert on the output. *)
+let top_cmd =
+  let run name scale segment_events interval verbose log_level =
+    setup_logs log_level verbose;
+    Harness.set_jobs 1;
+    set_streaming true segment_events;
+    Harness.set_eval_scale scale;
+    match get_workload name with
+    | Error e -> prerr_endline e; 1
+    | Ok w ->
+      if interval <= 0 then begin
+        Printf.eprintf "prefix: error: --interval must be positive\n";
+        2
+      end
+      else
+        guard @@ fun () ->
+        Prefix_obs.Control.set true;
+        let tty = Unix.isatty Unix.stdout in
+        let n_samples = ref 0 in
+        let frame_lines = ref 0 in
+        let fmt v =
+          if Float.is_nan v then "-"
+          else if Float.is_integer v && Float.abs v < 1e15 then
+            Printf.sprintf "%.0f" v
+          else Printf.sprintf "%.4g" v
+        in
+        let render (s : Prefix_obs.Recorder.sample) =
+          incr n_samples;
+          let get k =
+            match List.assoc_opt k s.Prefix_obs.Recorder.s_values with
+            | Some v -> fmt v
+            | None -> "-"
+          in
+          if tty then begin
+            let lines =
+              [ Printf.sprintf "prefix top — %s  [%s]  sample %d  events %d"
+                  w.name s.s_label !n_samples s.s_ev;
+                Printf.sprintf "  events/s (segment) %-14s live objects %s"
+                  (get "executor.segment_events_per_sec")
+                  (get "executor.live_objects");
+                Printf.sprintf "  heap live bytes    %-14s cache hit    %s"
+                  (get "executor.heap_live_bytes")
+                  (get "executor.cache_hit_rate");
+                Printf.sprintf "  region peak bytes  %-14s recoveries   %s"
+                  (get "executor.region_peak_bytes") (get "executor.recoveries");
+                Printf.sprintf "  alloc bytes        p50 %-8s p95 %-8s p99 %s"
+                  (get "executor.alloc_bytes.p50") (get "executor.alloc_bytes.p95")
+                  (get "executor.alloc_bytes.p99") ]
+            in
+            (* Move back over the previous frame and redraw each line. *)
+            if !frame_lines > 0 then Printf.printf "\027[%dA" !frame_lines;
+            List.iter (fun l -> Printf.printf "\027[2K%s\n" l) lines;
+            frame_lines := List.length lines;
+            flush stdout
+          end
+          else
+            Printf.printf
+              "sample %d events=%d label=%s live=%s heap=%s hit=%s evps=%s p99=%s\n%!"
+              !n_samples s.s_ev s.s_label
+              (get "executor.live_objects")
+              (get "executor.heap_live_bytes")
+              (get "executor.cache_hit_rate")
+              (get "executor.segment_events_per_sec")
+              (get "executor.alloc_bytes.p99")
+        in
+        Prefix_obs.Recorder.configure ~interval_events:interval
+          ~wall_interval_ns:250_000_000L ~on_sample:render ();
+        let r = Harness.find w.name in
+        Prefix_obs.Recorder.disable ();
+        Printf.printf "%d samples over %d events x 6 policies (%s)\n" !n_samples
+          r.Harness.long_events w.name;
+        0
+  in
+  let interval_arg =
+    let doc = "Sample cadence in replay events (default 65536)." in
+    Arg.(value & opt int 65536 & info [ "interval" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Replay one benchmark through the streaming engine with a live \
+          telemetry dashboard (plain per-sample lines when stdout is not a \
+          TTY)")
+    Term.(const run $ bench_arg $ scale_arg $ segment_events_arg $ interval_arg
+          $ verbose_arg $ log_level_arg)
+
 (* --- all *)
 
 let all_cmd =
@@ -519,4 +692,4 @@ let () =
     Cmd.info "prefix" ~version:"1.0.0"
       ~doc:"PreFix (CGO 2025) reproduction: profile-guided heap layout optimization"
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; stats_cmd; fuzz_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; all_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; stats_cmd; fuzz_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; top_cmd; all_cmd ]))

@@ -153,6 +153,10 @@ let run_benchmark (wl : Workload.t) =
       | Materialized p -> Executor.run_packed ~config:exec_config ~policy p
       | Streamed _ -> Executor.run_stream ~config:exec_config ~policy (long_stream_of ())
     in
+    (* Wall-clock fallback sample between policy replays, so a pooled
+       experiment's timeline keeps moving even while every event-cadence
+       tick belongs to some other domain's replay. *)
+    Prefix_obs.Recorder.poll ~label:("benchmark:" ^ wl.name) ();
     { metrics = outcome.metrics; plan }
   in
   let baseline = replay "baseline" (fun heap -> Policy.baseline costs heap) None in

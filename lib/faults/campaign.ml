@@ -170,6 +170,15 @@ let one_run cfg ctx (pid, mk) kind fault_seed =
       (float_of_int (abs (r - clean)) /. float_of_int (max 1 clean), r <= clean)
     | None -> (1., false)
   in
+  let module Metric = Prefix_obs.Metric in
+  Metric.incr (Metric.counter "campaign.runs");
+  if lenient_exn <> None || repaired_exn <> None then
+    Metric.incr (Metric.counter "campaign.exceptions");
+  if not drift_ok then Metric.incr (Metric.counter "campaign.drift_violations");
+  Prefix_obs.Recorder.poll
+    ~label:(Printf.sprintf "fault:%s/%s/%s" ctx.wl.name (policy_name pid)
+              (Injector.kind_name kind))
+    ();
   { bench = ctx.wl.name;
     policy = policy_name pid;
     kind;

@@ -1,3 +1,25 @@
-let now_ns () = Monotonic_clock.now ()
+(* The raw source is bechamel's monotonic clock (CLOCK_MONOTONIC /
+   mach_absolute_time), which the OS promises never steps backwards.
+   Span durations and time-series sample ordering additionally rely on
+   readings being non-decreasing *across domains*, and a clock source
+   swap (or a platform where the promise is weaker, e.g. per-CPU TSC
+   skew on old kernels) must not silently produce negative durations
+   or out-of-order telemetry rows — so every reading is clamped
+   against a process-wide high-water mark.  The CAS loop is contention
+   -free in practice: readings are rare (span open/close, recorder
+   ticks) next to the event loops they instrument. *)
+
+let high_water = Atomic.make 0L
+
+let now_ns () =
+  let t = Monotonic_clock.now () in
+  let rec clamp () =
+    let seen = Atomic.get high_water in
+    if Int64.compare t seen >= 0 then
+      if Atomic.compare_and_set high_water seen t then t else clamp ()
+    else seen
+  in
+  clamp ()
+
 let us_of_ns ns = Int64.to_float ns /. 1e3
 let ms_of_ns ns = Int64.to_float ns /. 1e6

@@ -6,8 +6,11 @@
     with bechamel (the same clock the micro-benchmarks use). *)
 
 val now_ns : unit -> int64
-(** Nanoseconds from an arbitrary (but fixed) origin; never decreases
-    within a process. *)
+(** Nanoseconds from an arbitrary (but fixed) origin.  Guaranteed
+    non-decreasing process-wide (across domains): readings are clamped
+    against a shared high-water mark, so even a misbehaving underlying
+    clock cannot yield negative span durations or out-of-order
+    time-series samples. *)
 
 val us_of_ns : int64 -> float
 (** Microseconds as a float — the unit of Chrome trace-event [ts]/[dur]

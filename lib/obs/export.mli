@@ -1,11 +1,16 @@
 (** Renderers over the {!Span} sink and {!Metric} registry.
 
-    Three formats:
+    Formats:
     - {!report}: a flat text report (span timing table + metrics), for
       terminals;
     - {!json}: a structured dump of the same data;
     - {!chrome_trace}: Chrome trace-event format, loadable in
-      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} —
+      includes the flight recorder's series as counter tracks;
+    - {!openmetrics}: Prometheus/OpenMetrics text exposition of the
+      current registry (with sketch-backed quantile summaries);
+    - {!timeline_csv} / {!timeline_json}: dumps of the {!Recorder}
+      flight-recorder timeline. *)
 
 val span_report : unit -> string
 (** Per-span timing table: one row per (cat, name), with call count,
@@ -33,3 +38,22 @@ val chrome_trace : unit -> string
 
 val write_chrome_trace : string -> unit
 (** Write {!chrome_trace} to a file path. *)
+
+val openmetrics : unit -> string
+(** OpenMetrics / Prometheus text exposition of the current
+    {!Metric.snapshot}: counters as [name_total], gauges as-is, and
+    histograms as summaries — [name{quantile="0.5"}] … lines backed by
+    the mergeable quantile {!Sketch}, plus [name_sum]/[name_count].
+    Metric names are sanitized to [[a-zA-Z0-9_:]]; the output ends with
+    the mandatory [# EOF] terminator. *)
+
+val timeline_csv : unit -> string
+(** The {!Recorder} flight-recorder timeline as CSV: header
+    [t_ms,events,label,<column …>], one row per sample (oldest first),
+    timestamps relative to the first sample, [nan] cells left empty.
+    Empty (header-only) when the recorder never ran. *)
+
+val timeline_json : unit -> string
+(** The {!Recorder} timeline as one JSON object: ["columns"] (name +
+    kind ["cum"]/["inst"]), ["coarsenings"], and ["rows"] of
+    [{t_ms, events, label, values}] with [nan] rendered as [null]. *)

@@ -2,7 +2,14 @@ module Stats = Prefix_util.Stats
 
 type counter = { count : int Atomic.t }
 type gauge = { value : float Atomic.t }
-type histogram = { hist : Stats.histogram; hmu : Mutex.t }
+
+(* Every histogram also feeds a fixed-size quantile sketch, so
+   exporters can report p50/p95/p99 without any per-sample storage.
+   The sketch carries its own lock (it is independently domain-safe);
+   [hmu] still guards the bucket read-modify-write. *)
+type histogram = { hist : Stats.histogram; sketch : Sketch.t; hmu : Mutex.t }
+
+let quantile_levels = [ 0.5; 0.95; 0.99 ]
 
 (* Registration is rare (once per metric name per process); a single
    mutex plus name->handle tables keeps it thread-safe.  Updates bypass
@@ -39,7 +46,11 @@ let gauge name = register gauges g_order name (fun () -> { value = Atomic.make 0
 
 let histogram ?(lo = 0.) ?(hi = 4096.) ?(buckets = 32) name =
   register histograms h_order name (fun () ->
-      { hist = Stats.histogram ~lo ~hi ~buckets; hmu = Mutex.create () })
+      { hist = Stats.histogram ~lo ~hi ~buckets;
+        sketch = Sketch.create ();
+        hmu = Mutex.create () })
+
+let sketch h = h.sketch
 
 let add c n = if Control.is_on () then ignore (Atomic.fetch_and_add c.count n)
 let incr c = add c 1
@@ -55,7 +66,8 @@ let observe h x =
   if Control.is_on () then begin
     Mutex.lock h.hmu;
     Stats.hist_add h.hist x;
-    Mutex.unlock h.hmu
+    Mutex.unlock h.hmu;
+    Sketch.add h.sketch x
   end
 
 type hist_view = {
@@ -65,6 +77,9 @@ type hist_view = {
   h_total : int;
   h_underflow : int;
   h_overflow : int;
+  h_sum : float;
+  h_quantiles : (float * float) list;
+      (* (q, estimate) at [quantile_levels]; empty when no samples *)
 }
 
 type snapshot = {
@@ -82,7 +97,7 @@ let snapshot () =
       { counters = section c_order counters (fun c -> Atomic.get c.count);
         gauges = section g_order gauges (fun g -> Atomic.get g.value);
         histograms =
-          section h_order histograms (fun { hist; hmu } ->
+          section h_order histograms (fun { hist; sketch; hmu } ->
               Mutex.lock hmu;
               let v =
                 { h_lo = Stats.hist_lo hist;
@@ -90,10 +105,19 @@ let snapshot () =
                   h_counts = Stats.hist_counts hist;
                   h_total = Stats.hist_total hist;
                   h_underflow = Stats.hist_underflow hist;
-                  h_overflow = Stats.hist_overflow hist }
+                  h_overflow = Stats.hist_overflow hist;
+                  h_sum = Stats.hist_sum hist;
+                  h_quantiles = [] }
               in
               Mutex.unlock hmu;
-              v) })
+              (* Quantiles come from the sketch, outside [hmu]: the
+                 sketch has its own lock and the two views may lag each
+                 other by at most the samples in flight right now. *)
+              let h_quantiles =
+                if Sketch.count sketch = 0 then []
+                else Sketch.quantiles sketch quantile_levels
+              in
+              { v with h_quantiles }) })
 
 let reset () =
   locked (fun () ->

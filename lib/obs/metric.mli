@@ -38,6 +38,15 @@ val set_max : gauge -> float -> unit
     (e.g. heap peak bytes across several replays). *)
 
 val observe : histogram -> float -> unit
+(** Feeds both the fixed-range buckets and the histogram's quantile
+    {!Sketch} (p50/p95/p99 without per-sample storage). *)
+
+val sketch : histogram -> Sketch.t
+(** The histogram's attached quantile sketch (live handle, not a
+    copy). *)
+
+val quantile_levels : float list
+(** Quantiles reported in snapshots and exporters: 0.5, 0.95, 0.99. *)
 
 (** {1 Snapshots} *)
 
@@ -48,6 +57,9 @@ type hist_view = {
   h_total : int;
   h_underflow : int;
   h_overflow : int;
+  h_sum : float;  (** sum of all samples, in range or not *)
+  h_quantiles : (float * float) list;
+      (** [(q, estimate)] at {!quantile_levels}; empty when no samples *)
 }
 
 type snapshot = {

@@ -1,0 +1,126 @@
+type sample = {
+  s_ts_ns : int64;
+  s_ev : int;
+  s_label : string;
+  s_values : (string * float) list;
+}
+
+type state = {
+  ts : Timeseries.t;
+  interval : int;
+  wall_ns : int64;
+  on_sample : (sample -> unit) option;
+  mutable last_tick_ns : int64;
+  mutable last_ev : int;
+}
+
+let default_interval = 65536
+
+(* [enabled_flag] is the only thing hot paths look at; everything else
+   is guarded by [mu].  The state outlives [disable] so exporters can
+   read the timeline after the instrumented command finishes. *)
+let enabled_flag = Atomic.make false
+let mu = Mutex.create ()
+let state : state option ref = ref None
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let configure ?(capacity = 512) ?(interval_events = default_interval)
+    ?(wall_interval_ns = 1_000_000_000L) ?on_sample () =
+  if interval_events <= 0 then
+    invalid_arg "Recorder.configure: interval_events <= 0";
+  if Int64.compare wall_interval_ns 0L <= 0 then
+    invalid_arg "Recorder.configure: wall_interval_ns <= 0";
+  locked (fun () ->
+      state :=
+        Some
+          { ts = Timeseries.create ~capacity ();
+            interval = interval_events;
+            wall_ns = wall_interval_ns;
+            on_sample;
+            last_tick_ns = 0L;
+            last_ev = 0 });
+  Atomic.set enabled_flag true
+
+let enabled () = Atomic.get enabled_flag
+let disable () = Atomic.set enabled_flag false
+
+let interval_events () =
+  locked (fun () ->
+      match !state with Some s -> s.interval | None -> default_interval)
+
+let timeseries () = locked (fun () -> Option.map (fun s -> s.ts) !state)
+
+let clear () =
+  locked (fun () ->
+      match !state with
+      | None -> ()
+      | Some s ->
+        Timeseries.clear s.ts;
+        s.last_tick_ns <- 0L;
+        s.last_ev <- 0)
+
+(* Turn the current registry contents into one timeline row.  Columns
+   are created on first sight, so metrics registered mid-run simply
+   appear as new columns (older rows read [nan] for them). *)
+let record s ~now ~label ~events =
+  let snap = Metric.snapshot () in
+  let cols = ref [] in
+  let put name kind v =
+    let i = Timeseries.add_column s.ts ~name kind in
+    cols := (i, name, v) :: !cols
+  in
+  List.iter (fun (name, v) -> put name Timeseries.Cum (float_of_int v)) snap.Metric.counters;
+  List.iter (fun (name, v) -> put name Timeseries.Inst v) snap.Metric.gauges;
+  List.iter
+    (fun (name, (h : Metric.hist_view)) ->
+      put (name ^ ".count") Timeseries.Cum (float_of_int h.h_total);
+      List.iter
+        (fun (q, est) ->
+          put (Printf.sprintf "%s.p%g" name (100. *. q)) Timeseries.Inst est)
+        h.h_quantiles)
+    snap.Metric.histograms;
+  let width = Array.length (Timeseries.columns s.ts) in
+  let values = Array.make width nan in
+  List.iter (fun (i, _, v) -> values.(i) <- v) !cols;
+  Timeseries.append s.ts ~ts_ns:now ~ev:events ~label values;
+  s.last_tick_ns <- now;
+  s.last_ev <- events;
+  match s.on_sample with
+  | None -> None
+  | Some f ->
+    Some
+      ( f,
+        { s_ts_ns = now;
+          s_ev = events;
+          s_label = label;
+          s_values = List.rev_map (fun (_, name, v) -> (name, v)) !cols } )
+
+let run_callback = function None -> () | Some (f, sample) -> f sample
+
+let tick ?(label = "") ?events () =
+  if Atomic.get enabled_flag then
+    run_callback
+      (locked (fun () ->
+           match !state with
+           | None -> None
+           | Some s ->
+             let now = Clock.now_ns () in
+             let events = match events with Some e -> e | None -> s.last_ev in
+             record s ~now ~label ~events))
+
+let poll ?(label = "") ?events () =
+  if Atomic.get enabled_flag then
+    run_callback
+      (locked (fun () ->
+           match !state with
+           | None -> None
+           | Some s ->
+             let now = Clock.now_ns () in
+             if Int64.compare (Int64.sub now s.last_tick_ns) s.wall_ns >= 0 then begin
+               let events = match events with Some e -> e | None -> s.last_ev in
+               record s ~now ~label ~events
+             end
+             else None))

@@ -1,0 +1,67 @@
+(** Continuous-telemetry flight recorder.
+
+    One process-wide recorder periodically snapshots the metrics
+    registry ({!Metric}) into a bounded {!Timeseries}: every counter
+    becomes a cumulative column, every gauge an instantaneous column,
+    and every histogram contributes [name.p50]/[name.p95]/[name.p99]
+    (from its quantile {!Sketch}) plus [name.count].  Memory is fixed:
+    the ring coarsens on overflow, so an arbitrarily long replay keeps
+    a full-span timeline in O(capacity) space.
+
+    Sampling cadence is driven by the instrumented code, not a thread:
+    the replay executor calls {!tick} every [interval_events] events
+    (aligned with global event indices, so streamed and materialized
+    runs record identical event-derived values), and coarse-grained
+    call sites (segment boundaries, pool tasks, campaign runs) call
+    {!poll}, which samples only when the wall-clock fallback interval
+    has elapsed — so telemetry keeps flowing even when no replay is
+    making event progress.
+
+    When the recorder is disabled (the default), every entry point is
+    one atomic load; instrumented hot loops pay nothing. *)
+
+type sample = {
+  s_ts_ns : int64;
+  s_ev : int;  (** global event index of the tick (0 outside replays) *)
+  s_label : string;
+  s_values : (string * float) list;  (** column name -> value; [nan] = absent *)
+}
+
+val configure :
+  ?capacity:int ->
+  ?interval_events:int ->
+  ?wall_interval_ns:int64 ->
+  ?on_sample:(sample -> unit) ->
+  unit ->
+  unit
+(** Start (or restart) recording with a fresh, empty timeline.
+    Defaults: capacity 512 rows, [interval_events] 65536,
+    [wall_interval_ns] 1s.  [on_sample] is invoked after each recorded
+    sample (outside the recorder lock — it may read {!timeseries} but
+    must not call {!tick}/{!poll} reentrantly); it drives the
+    [prefix top] live dashboard.  Raises [Invalid_argument] when
+    [interval_events <= 0] or [wall_interval_ns <= 0L]. *)
+
+val enabled : unit -> bool
+val disable : unit -> unit
+(** Stop sampling.  The recorded timeline stays readable (exporters
+    run after the instrumented command finishes). *)
+
+val interval_events : unit -> int
+(** Configured event cadence (65536 when never configured). *)
+
+val tick : ?label:string -> ?events:int -> unit -> unit
+(** Record one sample now (no-op when disabled).  [events] defaults to
+    the previous sample's event index. *)
+
+val poll : ?label:string -> ?events:int -> unit -> unit
+(** Record a sample only if the wall-clock fallback interval has
+    elapsed since the last one (no-op when disabled). *)
+
+val timeseries : unit -> Timeseries.t option
+(** The live backing store — [None] before the first {!configure}.
+    Not synchronized: read it only when no instrumented code is
+    running (i.e. after the command finished or from [on_sample]). *)
+
+val clear : unit -> unit
+(** Drop recorded rows, keeping configuration and schema. *)

@@ -1,0 +1,213 @@
+(* Uniform-weight merging digest.
+
+   Invariants (outside of [compress], under the mutex):
+   - centroids [0 .. n_centroids) are sorted by mean;
+   - every centroid's weight is at most [weight_limit total] of the
+     total weight at the time it was formed — re-established against
+     the current total on every compression, which only tightens as
+     the count grows;
+   - the buffer holds at most [capacity] raw samples.
+
+   Rank-error argument: a raw sample always sits inside the centroid
+   it was merged into, and centroid means are ordered, so the true
+   rank of any value interpolated between two adjacent centroid
+   midpoints differs from the estimated rank by less than the larger
+   of the two centroid weights <= 2n/capacity + 1. *)
+
+type t = {
+  mu : Mutex.t;
+  cap : int;
+  (* compressed summary, sorted by mean *)
+  mutable means : float array;
+  mutable weights : int array;
+  mutable n_centroids : int;
+  (* raw-sample staging buffer *)
+  buf : float array;
+  mutable n_buf : int;
+  mutable total : int;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Sketch.create: capacity < 1";
+  let cap = max 8 capacity in
+  { mu = Mutex.create ();
+    cap;
+    means = Array.make (2 * cap) 0.;
+    weights = Array.make (2 * cap) 0;
+    n_centroids = 0;
+    buf = Array.make cap 0.;
+    n_buf = 0;
+    total = 0;
+    lo = nan;
+    hi = nan }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Maximum centroid weight for [total] samples: ceil(2 total / cap),
+   at least 1. *)
+let weight_limit t total = max 1 ((2 * total + t.cap - 1) / t.cap)
+
+(* Merge the sorted centroids with the (sorted) staged samples, then
+   greedily coalesce adjacent entries while staying under the weight
+   limit.  Writes the result back into [t].  Called with the lock
+   held. *)
+let compress t =
+  if t.n_buf > 0 || t.n_centroids > t.cap then begin
+    let staged = Array.sub t.buf 0 t.n_buf in
+    Array.sort compare staged;
+    let n_in = t.n_centroids + Array.length staged in
+    let ms = Array.make (max 1 n_in) 0. and ws = Array.make (max 1 n_in) 0 in
+    (* two-way merge by mean *)
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < t.n_centroids || !j < Array.length staged do
+      let take_centroid =
+        !j >= Array.length staged
+        || (!i < t.n_centroids && t.means.(!i) <= staged.(!j))
+      in
+      if take_centroid then begin
+        ms.(!k) <- t.means.(!i);
+        ws.(!k) <- t.weights.(!i);
+        incr i
+      end
+      else begin
+        ms.(!k) <- staged.(!j);
+        ws.(!k) <- 1;
+        incr j
+      end;
+      incr k
+    done;
+    (* greedy coalesce under the weight limit *)
+    let limit = weight_limit t t.total in
+    let out = ref (-1) in
+    for x = 0 to n_in - 1 do
+      if !out >= 0 && t.weights.(!out) + ws.(x) <= limit then begin
+        let w = t.weights.(!out) + ws.(x) in
+        t.means.(!out) <-
+          ((t.means.(!out) *. float_of_int t.weights.(!out))
+           +. (ms.(x) *. float_of_int ws.(x)))
+          /. float_of_int w;
+        t.weights.(!out) <- w
+      end
+      else begin
+        incr out;
+        t.means.(!out) <- ms.(x);
+        t.weights.(!out) <- ws.(x)
+      end
+    done;
+    t.n_centroids <- !out + 1;
+    t.n_buf <- 0
+  end
+
+let add t x =
+  if not (Float.is_nan x) then
+    locked t (fun () ->
+        t.total <- t.total + 1;
+        if t.total = 1 then begin
+          t.lo <- x;
+          t.hi <- x
+        end
+        else begin
+          if x < t.lo then t.lo <- x;
+          if x > t.hi then t.hi <- x
+        end;
+        t.buf.(t.n_buf) <- x;
+        t.n_buf <- t.n_buf + 1;
+        if t.n_buf >= Array.length t.buf then compress t)
+
+let count t = locked t (fun () -> t.total)
+let min_value t = locked t (fun () -> t.lo)
+let max_value t = locked t (fun () -> t.hi)
+let rank_error_bound t = locked t (fun () -> (2 * t.total / t.cap) + 1)
+
+(* Value at target rank [r] (0-based, in [0, total-1]): walk cumulative
+   weights, interpolating between adjacent centroid midpoints.  Called
+   with the lock held and the buffer flushed. *)
+let quantile_locked t q =
+  if Float.is_nan q || q < 0. || q > 1. then
+    invalid_arg "Sketch.quantile: q outside [0, 1]";
+  if t.total = 0 then nan
+  else if q = 0. then t.lo
+  else if q = 1. then t.hi
+  else begin
+    compress t;
+    let r = q *. float_of_int (t.total - 1) in
+    (* midpoint rank of centroid i = cum_before + (w - 1) / 2 *)
+    let rec find i cum prev_mid prev_mean =
+      if i >= t.n_centroids then prev_mean
+      else
+        let w = float_of_int t.weights.(i) in
+        let mid = float_of_int cum +. ((w -. 1.) /. 2.) in
+        if r <= mid then
+          if i = 0 || mid = prev_mid then t.means.(i)
+          else
+            let frac = (r -. prev_mid) /. (mid -. prev_mid) in
+            prev_mean +. (frac *. (t.means.(i) -. prev_mean))
+        else find (i + 1) (cum + t.weights.(i)) mid t.means.(i)
+    in
+    let v = find 0 0 neg_infinity nan in
+    let v = if Float.is_nan v then t.hi else v in
+    Float.max t.lo (Float.min t.hi v)
+  end
+
+let quantile t q = locked t (fun () -> quantile_locked t q)
+let quantiles t qs = locked t (fun () -> List.map (fun q -> (q, quantile_locked t q)) qs)
+
+let merge a b =
+  (* O(capacity): splice both compressed summaries together (a sorted
+     two-way merge of weighted centroids) and re-compress against the
+     combined total.  Exact extrema survive even though centroid means
+     are interior points. *)
+  let snap s =
+    locked s (fun () ->
+        compress s;
+        ( Array.sub s.means 0 s.n_centroids,
+          Array.sub s.weights 0 s.n_centroids,
+          s.total,
+          s.lo,
+          s.hi ))
+  in
+  let ma, wa, ta, lo_a, hi_a = snap a in
+  let mb, wb, tb, lo_b, hi_b = snap b in
+  let dst = create ~capacity:(max a.cap b.cap) () in
+  let na = Array.length ma and nb = Array.length mb in
+  if na + nb > Array.length dst.means then begin
+    dst.means <- Array.make (na + nb) 0.;
+    dst.weights <- Array.make (na + nb) 0
+  end;
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na || !j < nb do
+    let take_a = !j >= nb || (!i < na && ma.(!i) <= mb.(!j)) in
+    if take_a then begin
+      dst.means.(!k) <- ma.(!i);
+      dst.weights.(!k) <- wa.(!i);
+      incr i
+    end
+    else begin
+      dst.means.(!k) <- mb.(!j);
+      dst.weights.(!k) <- wb.(!j);
+      incr j
+    end;
+    incr k
+  done;
+  dst.n_centroids <- !k;
+  dst.total <- ta + tb;
+  let nan_min x y = if Float.is_nan x then y else if Float.is_nan y then x else Float.min x y in
+  let nan_max x y = if Float.is_nan x then y else if Float.is_nan y then x else Float.max x y in
+  dst.lo <- nan_min lo_a lo_b;
+  dst.hi <- nan_max hi_a hi_b;
+  compress dst;
+  dst
+
+let reset t =
+  locked t (fun () ->
+      t.n_centroids <- 0;
+      t.n_buf <- 0;
+      t.total <- 0;
+      t.lo <- nan;
+      t.hi <- nan)

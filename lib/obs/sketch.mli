@@ -1,0 +1,59 @@
+(** Mergeable fixed-size quantile sketch.
+
+    A uniform-weight merging digest: incoming samples accumulate in a
+    small buffer and are periodically compressed into at most
+    [capacity] weighted centroids, kept sorted by mean.  Memory is
+    O([capacity]) regardless of how many samples are added, so every
+    histogram can carry one without ever storing samples — the
+    substrate for p50/p95/p99 in the telemetry exporters.
+
+    Accuracy: a query answered from the compressed centroids is off by
+    at most one centroid's weight in {e rank}.  Compression caps each
+    centroid at [2n / capacity] samples, so the worst-case rank error
+    after [add]ing [n] samples is [2n / capacity + 1] — about 3% of
+    the population at the default capacity.  {!rank_error_bound}
+    exposes the current bound; property tests assert it.
+
+    All operations are domain-safe (each sketch carries its own
+    mutex), matching the metrics registry's concurrency contract. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is the maximum number of retained centroids (default
+    64, minimum 8).  Raises [Invalid_argument] on [capacity < 1]. *)
+
+val capacity : t -> int
+
+val add : t -> float -> unit
+(** O(1) amortized; NaN samples are dropped (counted nowhere), so a
+    poisoned input cannot destroy the digest's ordering. *)
+
+val count : t -> int
+(** Number of (non-NaN) samples added since creation/reset. *)
+
+val min_value : t -> float
+(** Smallest sample seen; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest sample seen; [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [0, 1]: estimated value at rank
+    [q * (count - 1)], linear interpolation between centroid midpoints,
+    clamped to the exact [min]/[max].  [nan] when the sketch is empty;
+    raises [Invalid_argument] when [q] is outside [0, 1] or NaN. *)
+
+val quantiles : t -> float list -> (float * float) list
+(** [(q, quantile t q)] for each requested [q], in one lock. *)
+
+val rank_error_bound : t -> int
+(** Worst-case rank error of {!quantile} right now:
+    [2 * count / capacity + 1]. *)
+
+val merge : t -> t -> t
+(** A fresh sketch summarizing the union of both inputs (inputs are
+    unchanged).  The result has the larger of the two capacities; the
+    error bound then holds for the combined count. *)
+
+val reset : t -> unit

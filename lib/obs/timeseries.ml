@@ -1,0 +1,158 @@
+type kind = Cum | Inst
+
+type row = {
+  r_ts_ns : int64;
+  r_ev : int;
+  r_label : string;
+  r_values : float array;
+}
+
+type t = {
+  cap : int;
+  mutable names : string array;  (* column i -> name *)
+  mutable kinds : kind array;
+  mutable n_cols : int;
+  index : (string, int) Hashtbl.t;
+  rows : row option array;  (* slots [0, n_rows) are Some, oldest first *)
+  fills : int array;  (* raw samples accumulated in each slot *)
+  mutable n_rows : int;
+  (* raw samples a full slot represents; doubles on every coarsening
+     so new samples keep accumulating at the coarsened resolution
+     instead of re-coarsening the whole ring each refill *)
+  mutable gran : int;
+  mutable n_coarsenings : int;
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Timeseries.create: capacity < 1";
+  let cap = max 8 capacity in
+  { cap;
+    names = Array.make 16 "";
+    kinds = Array.make 16 Inst;
+    n_cols = 0;
+    index = Hashtbl.create 16;
+    rows = Array.make cap None;
+    fills = Array.make cap 0;
+    n_rows = 0;
+    gran = 1;
+    n_coarsenings = 0 }
+
+let capacity t = t.cap
+let length t = t.n_rows
+let coarsenings t = t.n_coarsenings
+
+let add_column t ~name kind =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None ->
+    if t.n_cols >= Array.length t.names then begin
+      let ncap = 2 * Array.length t.names in
+      let grow a fill =
+        let b = Array.make ncap fill in
+        Array.blit a 0 b 0 t.n_cols;
+        b
+      in
+      t.names <- grow t.names "";
+      t.kinds <- grow t.kinds Inst
+    end;
+    let i = t.n_cols in
+    t.names.(i) <- name;
+    t.kinds.(i) <- kind;
+    t.n_cols <- i + 1;
+    Hashtbl.replace t.index name i;
+    i
+
+let find_column t name = Hashtbl.find_opt t.index name
+
+let columns t = Array.init t.n_cols (fun i -> (t.names.(i), t.kinds.(i)))
+
+(* Merge [a] (earlier, weight [wa] raw samples) and [b] (later, weight
+   [wb]) into one row at the later row's position in time.  Widths may
+   differ when the schema grew between the two samples. *)
+let merge_rows t ~wa ~wb a b =
+  let width = max (Array.length a.r_values) (Array.length b.r_values) in
+  let get r i = if i < Array.length r.r_values then r.r_values.(i) else nan in
+  let fa = float_of_int wa and fb = float_of_int wb in
+  let values =
+    Array.init width (fun i ->
+        let x = get a i and y = get b i in
+        if Float.is_nan x then y
+        else if Float.is_nan y then x
+        else
+          match t.kinds.(i) with
+          | Cum -> y  (* later cumulative value subsumes the earlier *)
+          | Inst -> ((x *. fa) +. (y *. fb)) /. (fa +. fb))
+  in
+  { r_ts_ns = b.r_ts_ns; r_ev = b.r_ev; r_label = b.r_label; r_values = values }
+
+(* Halve the resolution in place: pairwise-merge rows oldest-first (an
+   odd trailing row is kept as is) and double the granularity so
+   subsequent samples accumulate into the tail slot instead of forcing
+   another full coarsening as soon as the ring refills. *)
+let coarsen t =
+  let n = t.n_rows in
+  let out = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    (match (t.rows.(!i), if !i + 1 < n then t.rows.(!i + 1) else None) with
+    | Some a, Some b ->
+      let wa = t.fills.(!i) and wb = t.fills.(!i + 1) in
+      t.rows.(!out) <- Some (merge_rows t ~wa ~wb a b);
+      t.fills.(!out) <- wa + wb
+    | Some a, None ->
+      t.rows.(!out) <- Some a;
+      t.fills.(!out) <- t.fills.(!i)
+    | None, _ -> assert false);
+    i := !i + 2;
+    incr out
+  done;
+  for k = !out to n - 1 do
+    t.rows.(k) <- None;
+    t.fills.(k) <- 0
+  done;
+  t.n_rows <- !out;
+  t.gran <- 2 * t.gran;
+  t.n_coarsenings <- t.n_coarsenings + 1
+
+let append t ~ts_ns ~ev ~label values =
+  if Array.length values <> t.n_cols then
+    invalid_arg
+      (Printf.sprintf "Timeseries.append: %d values for %d columns"
+         (Array.length values) t.n_cols);
+  let fresh = { r_ts_ns = ts_ns; r_ev = ev; r_label = label; r_values = values } in
+  let tail = t.n_rows - 1 in
+  if t.n_rows > 0 && t.fills.(tail) < t.gran then begin
+    (* tail slot still has room at the current granularity *)
+    match t.rows.(tail) with
+    | Some a ->
+      t.rows.(tail) <- Some (merge_rows t ~wa:t.fills.(tail) ~wb:1 a fresh);
+      t.fills.(tail) <- t.fills.(tail) + 1
+    | None -> assert false
+  end
+  else begin
+    if t.n_rows >= t.cap then coarsen t;
+    t.rows.(t.n_rows) <- Some fresh;
+    t.fills.(t.n_rows) <- 1;
+    t.n_rows <- t.n_rows + 1
+  end
+
+let pad t r =
+  if Array.length r.r_values = t.n_cols then r
+  else begin
+    let values = Array.make t.n_cols nan in
+    Array.blit r.r_values 0 values 0 (Array.length r.r_values);
+    { r with r_values = values }
+  end
+
+let rows t =
+  List.init t.n_rows (fun i ->
+      match t.rows.(i) with Some r -> pad t r | None -> assert false)
+
+let last t = if t.n_rows = 0 then None else Option.map (pad t) t.rows.(t.n_rows - 1)
+
+let clear t =
+  Array.fill t.rows 0 t.cap None;
+  Array.fill t.fills 0 t.cap 0;
+  t.n_rows <- 0;
+  t.gran <- 1;
+  t.n_coarsenings <- 0

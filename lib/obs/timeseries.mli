@@ -1,0 +1,66 @@
+(** Bounded time-series store (the flight recorder's backing ring).
+
+    Holds at most [capacity] slots ("rows").  Appending to a full
+    store {e coarsens} instead of dropping: adjacent row pairs are
+    merged in place, halving the resolution and doubling the
+    granularity (raw samples per slot), after which new samples keep
+    accumulating into the tail slot at the coarsened rate — so memory
+    stays fixed however long a replay runs, every slot covers an equal
+    span of samples, and the timeline always spans the whole run.
+
+    Columns are typed by how they coarsen:
+    - {!Cum} — cumulative counters; merging two rows keeps the later
+      value (the later row already includes the earlier one).
+    - {!Inst} — instantaneous gauges; merging takes the sample-count
+      weighted average.
+
+    The schema may grow while samples exist (a late-registered metric
+    becomes a new column); earlier rows read back [nan] for columns
+    that did not exist when they were recorded.
+
+    Not internally synchronized — the {!Recorder} serializes access. *)
+
+type kind = Cum | Inst
+
+type row = {
+  r_ts_ns : int64;  (** monotonic timestamp of the (latest merged) sample *)
+  r_ev : int;  (** event index the sample was taken at (0 outside replays) *)
+  r_label : string;  (** free-form context, e.g. the replaying policy *)
+  r_values : float array;  (** one slot per column; [nan] = not recorded *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 512 rows; minimum 8.  Raises [Invalid_argument]
+    when [capacity < 1]. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val add_column : t -> name:string -> kind -> int
+(** Index of the (existing or newly created) column named [name].
+    An existing column's kind wins over the argument. *)
+
+val find_column : t -> string -> int option
+val columns : t -> (string * kind) array
+(** In registration order; a column's index is stable for the life of
+    the store. *)
+
+val append : t -> ts_ns:int64 -> ev:int -> label:string -> float array -> unit
+(** [values] must be exactly [Array.length (columns t)] wide (pad
+    missing slots with [nan]); raises [Invalid_argument] otherwise.
+    Merges into the tail slot while it has room at the current
+    granularity; coarsens first when a new slot is needed and the
+    store is full. *)
+
+val rows : t -> row list
+(** Oldest first; [r_values] padded to the current schema width. *)
+
+val last : t -> row option
+
+val coarsenings : t -> int
+(** How many times the history has been halved (0 = full rate). *)
+
+val clear : t -> unit
+(** Drop all rows; the schema is kept. *)

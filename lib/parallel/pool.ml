@@ -16,6 +16,10 @@ type t = {
 let tasks_counter () = Metric.counter "parallel.tasks"
 let steals_counter () = Metric.counter "parallel.steals"
 let idle_counter () = Metric.counter "parallel.idle_ns"
+let depth_gauge () = Metric.gauge "parallel.queue_depth"
+
+(* Call with [t.mutex] held. *)
+let note_depth t = Metric.set (depth_gauge ()) (float_of_int (Queue.length t.queue))
 
 let default_jobs () = max 1 (min 64 (Domain.recommended_domain_count ()))
 
@@ -33,6 +37,7 @@ let next_task t =
     idle := Int64.add !idle (Int64.sub (Clock.now_ns ()) t0)
   done;
   let task = Queue.take_opt t.queue in
+  note_depth t;
   Mutex.unlock t.mutex;
   if !idle <> 0L then Metric.add (idle_counter ()) (Int64.to_int !idle);
   task
@@ -53,6 +58,7 @@ let create ~jobs =
   ignore (tasks_counter ());
   ignore (steals_counter ());
   ignore (idle_counter ());
+  ignore (depth_gauge ());
   let t =
     { jobs;
       mutex = Mutex.create ();
@@ -108,12 +114,14 @@ let map t f xs =
       for i = 0 to n - 1 do
         Queue.add (fun () -> run i) t.queue
       done;
+      note_depth t;
       Condition.broadcast t.work;
       Mutex.unlock t.mutex;
       (* The submitting domain works the queue too instead of idling. *)
       let rec steal () =
         Mutex.lock t.mutex;
         let task = Queue.take_opt t.queue in
+        note_depth t;
         Mutex.unlock t.mutex;
         match task with
         | Some task ->

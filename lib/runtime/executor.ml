@@ -10,6 +10,7 @@ module Heatmap = Prefix_cachesim.Heatmap
 module Obs = Prefix_obs.Control
 module Span = Prefix_obs.Span
 module Metric = Prefix_obs.Metric
+module Recorder = Prefix_obs.Recorder
 module Log = (val Logs.src_log Prefix_obs.Log.executor)
 
 type config = {
@@ -117,21 +118,6 @@ let mem_counters m : Hierarchy.counters =
     l2_tlb_misses = sum Cache.misses m.l2_tlbs;
     writebacks = Cache.writebacks m.llc }
 
-(* Chrome-trace "C" events sampled every [snap_interval] trace events
-   while observability is on: live heap state and cumulative miss
-   counters, so a Perfetto timeline shows cache/heap pressure evolving
-   under the replay span rather than only end-of-run totals. *)
-let snap_interval = 1 lsl 16
-
-let snapshot_counters ~name heap mem ~mem_refs =
-  let c = mem_counters mem in
-  Span.counter ("replay:" ^ name)
-    [ ("heap_live_bytes", float_of_int (Allocator.live_bytes heap));
-      ("mem_refs", float_of_int mem_refs);
-      ("l1_misses", float_of_int c.l1_misses);
-      ("llc_misses", float_of_int c.llc_misses);
-      ("l1_tlb_misses", float_of_int c.l1_tlb_misses) ]
-
 let record_metrics ~(p : Policy.t) heap ~events counters ~mem_refs ~elapsed_ns =
   Metric.add (Metric.counter "executor.events_replayed") events;
   Metric.add (Metric.counter "executor.mem_refs") mem_refs;
@@ -163,7 +149,6 @@ let finish_run ~config ~(p : Policy.t) ~lenient ~obs_on ~start_ns ~heap ~mem ~ev
   p.Policy.finish ();
   let counters = mem_counters mem in
   if obs_on then begin
-    snapshot_counters ~name:p.Policy.name heap mem ~mem_refs;
     record_metrics ~p heap ~events counters ~mem_refs
       ~elapsed_ns:(Int64.sub (Prefix_obs.Clock.now_ns ()) start_ns);
     Metric.add (Metric.counter "executor.recovered.double_alloc") recovery.double_allocs;
@@ -340,10 +325,20 @@ type session = {
      [thread_slot] Hashtbl probe only runs when the thread changes. *)
   mutable ss_last_thread : int;
   mutable ss_last_slot : int;
+  (* Flight-recorder cadence.  [ss_next_tick] is the next *global*
+     event index at which to record a telemetry sample; [max_int] when
+     the recorder is off, so the hot loop pays one integer compare per
+     event either way.  Gating on the global index means streamed and
+     materialized replays (whatever the segment size) tick at identical
+     event boundaries and record identical event-derived values. *)
+  ss_tick_every : int;
+  mutable ss_next_tick : int;
+  mutable ss_live : int; (* live object count, for the live_objects gauge *)
 }
 
 let session_create ~config ~mode ~heatmap_objs ~attribute ~heap ~p =
   let obs_on = Obs.is_on () in
+  let rec_on = Recorder.enabled () in
   let observe_alloc =
     if obs_on then begin
       let h = Metric.histogram ~lo:0. ~hi:4096. ~buckets:32 "executor.alloc_bytes" in
@@ -356,7 +351,7 @@ let session_create ~config ~mode ~heatmap_objs ~attribute ~heap ~p =
     ss_heap = heap;
     ss_lenient = mode = Policy.Lenient;
     ss_obs_on = obs_on;
-    ss_start_ns = (if obs_on then Prefix_obs.Clock.now_ns () else 0L);
+    ss_start_ns = (if obs_on || rec_on then Prefix_obs.Clock.now_ns () else 0L);
     ss_observe_alloc = observe_alloc;
     ss_mem = mem_create config.hierarchy;
     ss_heatmap =
@@ -377,16 +372,44 @@ let session_create ~config ~mode ~heatmap_objs ~attribute ~heap ~p =
     ss_size = 0;
     ss_policy_fail = 0;
     ss_last_thread = min_int;
-    ss_last_slot = 0 }
+    ss_last_slot = 0;
+    ss_tick_every = (if rec_on then Recorder.interval_events () else max_int);
+    ss_next_tick = (if rec_on then 0 else max_int);
+    ss_live = 0 }
+
+(* One telemetry sample: publish the replay-derived gauges, then let
+   the {!Recorder} snapshot the whole registry into its timeline.
+   Replaces the PR 1 periodic [Span.counter] snapshots — the recorder
+   is now the single sampling mechanism (bounded memory, exportable as
+   OpenMetrics / CSV / JSON / Chrome counter tracks). *)
+let session_tick st ~gindex =
+  let c = mem_counters st.ss_mem in
+  let hit_rate =
+    if c.Hierarchy.refs = 0 then 1.
+    else 1. -. (float_of_int c.l1_misses /. float_of_int c.refs)
+  in
+  let recoveries =
+    st.ss_double + st.ss_access + st.ss_free + st.ss_realloc + st.ss_size
+    + st.ss_policy_fail
+  in
+  Metric.set (Metric.gauge "executor.live_objects") (float_of_int st.ss_live);
+  Metric.set (Metric.gauge "executor.heap_live_bytes")
+    (float_of_int (Allocator.live_bytes st.ss_heap));
+  Metric.set (Metric.gauge "executor.cache_hit_rate") hit_rate;
+  Metric.set (Metric.gauge "executor.region_peak_bytes")
+    (float_of_int st.ss_p.Policy.stats.region_peak_bytes);
+  Metric.set (Metric.gauge "executor.recoveries") (float_of_int recoveries);
+  Recorder.tick ~label:("replay:" ^ st.ss_p.Policy.name) ~events:gindex ();
+  st.ss_next_tick <- gindex + st.ss_tick_every
 
 let replay_segment st ~base packed =
   let seg_events = Packed.length packed in
+  let seg_start_ns = if Recorder.enabled () then Prefix_obs.Clock.now_ns () else 0L in
   let p = st.ss_p in
   let heap = st.ss_heap in
   let mem = st.ss_mem in
   let ot = st.ss_ot in
   let lenient = st.ss_lenient in
-  let obs_on = st.ss_obs_on in
   let attribution = st.ss_attribution in
   (* A policy whose internal state was corrupted by a malformed event
      stream may itself raise; in lenient mode that becomes a counted
@@ -415,11 +438,10 @@ let replay_segment st ~base packed =
   let fcs = packed.Packed.fc in
   let threads = packed.Packed.thread in
   for index = 0 to seg_events - 1 do
-    (* Snapshot gating and heatmap time use the global index, so
+    (* Telemetry gating and heatmap time use the global index, so
        segment boundaries leave no trace in any output. *)
     let gindex = base + index in
-    if obs_on && gindex land (snap_interval - 1) = 0 then
-      snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:st.ss_mem_refs;
+    if gindex >= st.ss_next_tick then session_tick st ~gindex;
     match Array.unsafe_get tags index with
     | 1 (* Access *) ->
       let obj = Array.unsafe_get objs index in
@@ -477,7 +499,8 @@ let replay_segment st ~base packed =
           ~fallback:(fun () ->
             if Allocator.is_allocated heap oaddr then Allocator.free heap oaddr)
           (fun () -> p.Policy.dealloc ~obj ~addr:oaddr ~size:osize);
-        ot_remove ot obj
+        ot_remove ot obj;
+        st.ss_live <- st.ss_live - 1
       end;
       let addr =
         if lenient then
@@ -488,7 +511,8 @@ let replay_segment st ~base packed =
       in
       st.ss_observe_alloc size;
       if st.ss_attribute then ot_set_site ot obj site;
-      ot_set ot obj ~addr ~size
+      ot_set ot obj ~addr ~size;
+      st.ss_live <- st.ss_live + 1
     | 2 (* Free *) ->
       let obj = Array.unsafe_get objs index in
       let addr = ot_addr ot obj in
@@ -504,7 +528,8 @@ let replay_segment st ~base packed =
               if Allocator.is_allocated heap addr then Allocator.free heap addr)
             (fun () -> p.Policy.dealloc ~obj ~addr ~size)
         else p.Policy.dealloc ~obj ~addr ~size;
-        ot_remove ot obj
+        ot_remove ot obj;
+        st.ss_live <- st.ss_live - 1
       end
     | _ (* Realloc *) ->
       let obj = Array.unsafe_get objs index in
@@ -532,9 +557,27 @@ let replay_segment st ~base packed =
       end
   done;
   st.ss_events <- st.ss_events + seg_events;
-  st.ss_instrs <- st.ss_instrs + Packed.total_instructions packed
+  st.ss_instrs <- st.ss_instrs + Packed.total_instructions packed;
+  (* Segment boundary: publish the segment's throughput and give the
+     recorder its wall-clock fallback chance (rows recorded here carry
+     wall-dependent values, so they ride on [poll], never [tick] — the
+     event-cadence samples above stay path-independent). *)
+  if Recorder.enabled () then begin
+    let secs =
+      Int64.to_float (Int64.sub (Prefix_obs.Clock.now_ns ()) seg_start_ns) /. 1e9
+    in
+    if secs > 0. then
+      Metric.set
+        (Metric.gauge "executor.segment_events_per_sec")
+        (float_of_int seg_events /. secs);
+    Recorder.poll ~label:("replay:" ^ p.Policy.name) ~events:(base + seg_events) ()
+  end
 
 let session_finish st =
+  (* Closing sample at the final event index, so the timeline always
+     ends with the run's end state even when the event count is not a
+     multiple of the cadence. *)
+  if st.ss_next_tick <> max_int then session_tick st ~gindex:st.ss_events;
   let recovery =
     { double_allocs = st.ss_double;
       unknown_accesses = st.ss_access;
@@ -613,10 +656,13 @@ let run_boxed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
     if not lenient then f ()
     else try f () with Invalid_argument _ | Failure _ | Not_found -> incr r_policy; fallback ()
   in
+  (* No flight-recorder wiring here: the boxed loop is a frozen
+     differential oracle, and telemetry must not perturb the replay it
+     is compared against.  (The PR 1 periodic [Span.counter] snapshots
+     that used to live in both loops were removed when the {!Recorder}
+     became the single sampling mechanism.) *)
   Trace.iteri
     (fun index e ->
-      if obs_on && index land (snap_interval - 1) = 0 then
-        snapshot_counters ~name:p.Policy.name heap mem ~mem_refs:!mem_refs;
       match (e : Event.t) with
       | Compute _ -> ()
       | Alloc { obj; site; ctx; size; _ } ->

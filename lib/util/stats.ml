@@ -63,6 +63,7 @@ type histogram = {
   mutable total : int;
   mutable underflow : int;
   mutable overflow : int;
+  mutable sum : float;
 }
 
 let histogram ~lo ~hi ~buckets =
@@ -73,7 +74,8 @@ let histogram ~lo ~hi ~buckets =
     counts = Array.make buckets 0;
     total = 0;
     underflow = 0;
-    overflow = 0 }
+    overflow = 0;
+    sum = 0. }
 
 let hist_add h x =
   let n = Array.length h.counts in
@@ -88,9 +90,11 @@ let hist_add h x =
     let idx = min (n - 1) (int_of_float (Float.floor ((x -. h.lo) /. h.width))) in
     h.counts.(idx) <- h.counts.(idx) + 1
   end;
-  h.total <- h.total + 1
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. x
 
 let hist_counts h = Array.copy h.counts
+let hist_sum h = h.sum
 let hist_total h = h.total
 let hist_underflow h = h.underflow
 let hist_overflow h = h.overflow

@@ -50,6 +50,10 @@ val hist_counts : histogram -> int array
 val hist_total : histogram -> int
 (** Every sample ever added, in range or not. *)
 
+val hist_sum : histogram -> float
+(** Sum of every sample ever added (in range or not), for mean and
+    OpenMetrics [_sum] exposition. *)
+
 val hist_underflow : histogram -> int
 (** Samples below [lo]. *)
 

@@ -1,0 +1,19 @@
+(* Regenerates the OpenMetrics golden file used by
+   test_telemetry.ml's "openmetrics golden file" test.  The registry
+   contents here must stay in sync with that test:
+
+     dune exec test/gen_golden.exe > test/golden_openmetrics.expected *)
+
+module Metric = Prefix_obs.Metric
+
+let () =
+  Prefix_obs.Control.set true;
+  Metric.reset ();
+  Metric.add (Metric.counter "golden.events") 42;
+  Metric.incr (Metric.counter "golden.errors!total");
+  Metric.set (Metric.gauge "golden.queue-depth") 3.5;
+  let h = Metric.histogram ~lo:0. ~hi:100. ~buckets:10 "golden.latency_ms" in
+  for i = 1 to 100 do
+    Metric.observe h (float_of_int i)
+  done;
+  print_string (Prefix_obs.Export.openmetrics ())

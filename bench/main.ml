@@ -29,6 +29,14 @@
    BENCH_telemetry.json; exits non-zero if the geomean overhead exceeds
    the 3% budget.
 
+   And `checkpoint [--benches a,b] [--out FILE]`: replay each
+   benchmark's Long-scale trace through the segment-session path with
+   checkpointing off and on (full session snapshots at segment cadence,
+   wall-clock throttled as in the durable runner, measured over chains
+   of back-to-back replays), print the throughput cost of crash safety,
+   and write BENCH_checkpoint.json; exits non-zero if the geomean
+   overhead exceeds the 3% budget.
+
    `--jobs N` (anywhere on the command line) sizes the domain pool used
    by the paper-reproduction harness and the `reps` repetition sweep;
    the default is the runtime's recommended domain count.  Reports are
@@ -245,9 +253,7 @@ let run_throughput ~benches ~out =
   Buffer.add_string buf
     (Printf.sprintf " ],\n  \"geomean_speedup\": %.3f,\n  \"all_equal\": %b\n}\n"
        geomean !all_equal);
-  let oc = open_out out in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  Prefix_util.Fsio.atomic_write_string out (Buffer.contents buf);
   Printf.printf "geomean speedup %.2fx over %d (bench, policy) pairs; wrote %s\n"
     geomean (List.length !speedups) out;
   if not !all_equal then begin
@@ -339,9 +345,7 @@ let run_stream_bench ~benches ~scale ~out =
     benches;
   Buffer.add_string buf
     (Printf.sprintf " ],\n  \"all_equal\": %b\n}\n" !all_equal);
-  let oc = open_out out in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  Prefix_util.Fsio.atomic_write_string out (Buffer.contents buf);
   Printf.printf "wrote %s\n" out;
   if not !all_equal then begin
     prerr_endline "bench: streamed and materialized replay outcomes differ";
@@ -433,14 +437,158 @@ let run_telemetry ~benches ~out =
   Buffer.add_string buf
     (Printf.sprintf " ],\n  \"geomean_overhead_pct\": %.2f,\n  \"budget_pct\": %.1f\n}\n"
        geomean_pct budget_pct);
-  let oc = open_out out in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  Prefix_util.Fsio.atomic_write_string out (Buffer.contents buf);
   Printf.printf "geomean recorder overhead %.2f%% (budget %.1f%%); wrote %s\n" geomean_pct
     budget_pct out;
   if geomean_pct > budget_pct then begin
     Printf.eprintf "bench: recorder overhead %.2f%% exceeds %.1f%% budget\n" geomean_pct
       budget_pct;
+    exit 1
+  end
+
+(* Checkpointing overhead: replay each benchmark's Long-scale trace
+   under the baseline policy through the segment-session path, first
+   without checkpoints and then with the durable runner's save policy —
+   a full session snapshot (atomic write + fsync) at segment cadence,
+   wall-clock throttled to one save per [default_throttle_ms].  Each
+   timed sample chains several back-to-back replays with the throttle
+   clock carried across them, so it measures the steady state of a
+   long-running job rather than a single short replay's worth of save
+   alignment.  The JSON reports the observed save count per sample so
+   a passing gate is demonstrably non-vacuous.  Same paired-median
+   methodology as the telemetry gate, same 3% budget. *)
+let run_checkpoint_bench ~benches ~out =
+  let module Packed = Prefix_trace.Packed in
+  let module Stream = Prefix_trace.Stream in
+  let module Executor = Prefix_runtime.Executor in
+  let module Policy = Prefix_runtime.Policy in
+  let module Checkpoint = Prefix_runtime.Checkpoint in
+  let costs = Executor.default_config.costs in
+  let reps = 5 in
+  (* Several replays per timed sample, so each on-leg sample spans
+     multiple throttle windows (a Long replay alone can finish inside
+     one). *)
+  let chain = 10 in
+  (* Small segments: dense save *opportunities*, as a real long run
+     with --checkpoint-every would have.  The throttle, not the
+     cadence, must be what bounds the cost. *)
+  let segment_events = 8192 in
+  let every = 4 in
+  let throttle_ms = Checkpoint.default_throttle_ms in
+  let dir = Filename.temp_file "bench-ckpt" "" in
+  Sys.remove dir;
+  Prefix_util.Fsio.mkdir_p dir;
+  let now_ms () = Int64.to_float (Prefix_obs.Clock.now_ns ()) /. 1e6 in
+  let time1 f =
+    let t0 = Prefix_obs.Clock.now_ns () in
+    ignore (f ());
+    Int64.sub (Prefix_obs.Clock.now_ns ()) t0
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benches\": [";
+  let ratios = ref [] in
+  Printf.printf
+    "=== checkpointing overhead (Long scale, baseline policy, %d-replay \
+     chains, save cadence %d x %d events, throttle %.0fms) ===\n"
+    chain every segment_events throttle_ms;
+  Printf.printf "%-10s %14s %14s %9s %7s\n" "bench" "off ev/s" "on ev/s"
+    "overhead" "saves";
+  List.iteri
+    (fun bi name ->
+      let wl = Prefix_workloads.Registry.find name in
+      let packed = Packed.of_trace (wl.generate ~scale:Long ~seed:8 ()) in
+      let events = Packed.length packed in
+      let ckpt_path = Filename.concat dir (name ^ ".ckpt") in
+      let saves_last = ref 0 in
+      let run ~save () =
+        let saved = ref 0 in
+        let last_save = ref (now_ms ()) in
+        for _ = 1 to chain do
+          let heap = Prefix_heap.Allocator.create () in
+          let p = Policy.baseline costs heap in
+          let st =
+            Executor.session_create ~config:Executor.default_config
+              ~mode:Policy.Strict ~heatmap_objs:None ~attribute:false ~heap ~p
+          in
+          let segs = ref 0 in
+          Stream.iter_segments (Stream.of_packed ~segment_events packed)
+            (fun ~base seg ->
+              Executor.replay_segment st ~base seg;
+              incr segs;
+              if
+                save && !segs mod every = 0
+                && now_ms () -. !last_save >= throttle_ms
+              then begin
+                Checkpoint.save ~path:ckpt_path
+                  { Checkpoint.kind = "session";
+                    meta = [ ("bench", name) ];
+                    event_index = Executor.session_events st }
+                  ~payload:(Executor.session_serialize st);
+                incr saved;
+                last_save := now_ms ()
+              end);
+          ignore (Executor.session_finish st)
+        done;
+        saves_last := !saved
+      in
+      run ~save:false ();
+      let best_off = ref Int64.max_int and best_on = ref Int64.max_int in
+      let total_saves = ref 0 in
+      let pair_ratios =
+        Array.init reps (fun _ ->
+            let d_off = time1 (run ~save:false) in
+            if d_off < !best_off then best_off := d_off;
+            let d_on = time1 (run ~save:true) in
+            total_saves := !total_saves + !saves_last;
+            if d_on < !best_on then best_on := d_on;
+            Int64.to_float d_on /. Int64.to_float d_off)
+      in
+      Array.sort compare pair_ratios;
+      let median =
+        let n = Array.length pair_ratios in
+        if n land 1 = 1 then pair_ratios.(n / 2)
+        else (pair_ratios.((n / 2) - 1) +. pair_ratios.(n / 2)) /. 2.
+      in
+      let chain_events = events * chain in
+      let t_off = Int64.to_float !best_off /. 1e9 in
+      let t_on = Int64.to_float !best_on /. 1e9 in
+      let rate t = if t > 0. then float_of_int chain_events /. t else 0. in
+      let overhead = median -. 1. in
+      ratios := (1. +. max 0. overhead) :: !ratios;
+      Printf.printf "%-10s %14.0f %14.0f %8.2f%% %7d\n" name (rate t_off)
+        (rate t_on)
+        (100. *. overhead)
+        !total_saves;
+      if bi > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"bench\": %S, \"events\": %d, \"off_events_per_sec\": %.0f, \
+            \"on_events_per_sec\": %.0f, \"overhead_pct\": %.2f, \"saves\": %d }"
+           name chain_events (rate t_off) (rate t_on)
+           (100. *. overhead)
+           !total_saves))
+    benches;
+  let geomean =
+    match !ratios with
+    | [] -> 1.
+    | rs ->
+      exp (List.fold_left (fun a r -> a +. log r) 0. rs /. float_of_int (List.length rs))
+  in
+  let geomean_pct = 100. *. (geomean -. 1.) in
+  let budget_pct = 3.0 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       " ],\n  \"checkpoint_every_segments\": %d,\n  \
+        \"segment_events\": %d,\n  \"throttle_ms\": %.0f,\n  \
+        \"replays_per_sample\": %d,\n  \
+        \"geomean_overhead_pct\": %.2f,\n  \"budget_pct\": %.1f\n}\n"
+       every segment_events throttle_ms chain geomean_pct budget_pct);
+  Prefix_util.Fsio.atomic_write_string out (Buffer.contents buf);
+  Printf.printf "geomean checkpoint overhead %.2f%% (budget %.1f%%); wrote %s\n"
+    geomean_pct budget_pct out;
+  if geomean_pct > budget_pct then begin
+    Printf.eprintf "bench: checkpoint overhead %.2f%% exceeds %.1f%% budget\n"
+      geomean_pct budget_pct;
     exit 1
   end
 
@@ -524,6 +672,20 @@ let () =
       parse ~benches:Prefix_workloads.Registry.names ~out:"BENCH_telemetry.json" rest
     in
     run_telemetry ~benches ~out
+  | "checkpoint" :: rest ->
+    let rec parse ~benches ~out = function
+      | "--benches" :: bs :: rest ->
+        parse ~benches:(String.split_on_char ',' bs) ~out rest
+      | "--out" :: f :: rest -> parse ~benches ~out:f rest
+      | [] -> (benches, out)
+      | a :: _ ->
+        Printf.eprintf "bench: checkpoint: unknown argument %S\n" a;
+        exit 2
+    in
+    let benches, out =
+      parse ~benches:Prefix_workloads.Registry.names ~out:"BENCH_checkpoint.json" rest
+    in
+    run_checkpoint_bench ~benches ~out
   | [] ->
     print_endline "=== PreFix paper reproduction: all tables and figures ===";
     (* Replay the 13 benchmarks across the pool once; every experiment

@@ -153,30 +153,41 @@ let setup_logs log_level verbose =
   | None, true -> Prefix_obs.Log.setup ~level:(Some Logs.Info) ()
   | None, false -> ()
 
+(* Probe an output path up front (create parent directories, check it
+   opens) so a bad path fails before the expensive run, not after it.
+   The actual content is written at the end via an atomic
+   temp+fsync+rename, so a crash mid-run never leaves a partial file
+   where the report should be. *)
+let probe_out_path ~flag file =
+  match open_out_path ~flag file with
+  | Error _ as e -> e
+  | Ok oc ->
+    close_out oc;
+    Ok ()
+
+let atomic_out ~what file data =
+  Prefix_util.Fsio.atomic_write_string file data;
+  Printf.eprintf "%s written to %s\n%!" what file
+
 (* Run [k] with span/metric collection on when a trace file was
-   requested, and write the trace afterwards.  The output path is
-   opened up front so a bad path fails before the (expensive) run, not
-   after it. *)
+   requested, and write the trace afterwards. *)
 let with_obs obs_out k =
   match obs_out with
   | None -> k ()
   | Some file -> (
-    match open_out_path ~flag:"--obs-out" file with
+    match probe_out_path ~flag:"--obs-out" file with
     | Error msg ->
       Printf.eprintf "prefix: error: %s\n" msg;
       2
-    | Ok oc ->
+    | Ok () ->
       Prefix_obs.Control.set true;
       let rc = k () in
-      output_string oc (Prefix_obs.Export.chrome_trace ());
-      close_out oc;
-      Printf.eprintf "chrome trace written to %s\n%!" file;
+      atomic_out ~what:"chrome trace" file (Prefix_obs.Export.chrome_trace ());
       rc)
 
 (* Same shape for --telemetry: configure the flight recorder around the
    command and dump the timeline (or an OpenMetrics exposition) on the
-   way out.  The file is opened up front so a bad path fails before the
-   expensive run. *)
+   way out. *)
 let with_telemetry ?on_sample telemetry interval k =
   match telemetry with
   | None -> k ()
@@ -184,11 +195,11 @@ let with_telemetry ?on_sample telemetry interval k =
     Printf.eprintf "prefix: error: --telemetry-interval must be positive\n";
     2
   | Some file -> (
-    match open_out_path ~flag:"--telemetry" file with
+    match probe_out_path ~flag:"--telemetry" file with
     | Error msg ->
       Printf.eprintf "prefix: error: %s\n" msg;
       2
-    | Ok oc ->
+    | Ok () ->
       Prefix_obs.Control.set true;
       Prefix_obs.Recorder.configure ~interval_events:interval ?on_sample ();
       let rc = k () in
@@ -199,9 +210,7 @@ let with_telemetry ?on_sample telemetry interval k =
           Prefix_obs.Export.timeline_json ()
         else Prefix_obs.Export.openmetrics ()
       in
-      output_string oc data;
-      close_out oc;
-      Printf.eprintf "telemetry written to %s\n%!" file;
+      atomic_out ~what:"telemetry" file data;
       rc)
 
 (* Replay and parse failures surface as clean one-line errors with exit
@@ -213,6 +222,21 @@ let guard k =
   | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
     Printf.eprintf "prefix: error: %s\n" msg;
     2
+
+(* A resource-guardrail breach is not an error: the run flushed a final
+   checkpoint and can be finished with `prefix resume`.  It gets its own
+   exit code (3) so scripts can tell it from success (0), failed
+   validation (1) and hard errors (2).  Placed inside with_obs /
+   with_telemetry so those outputs — including the guardrail.* metrics —
+   are still written. *)
+let catch_breach k =
+  match k () with
+  | rc -> rc
+  | exception Prefix_runtime.Checkpoint.Breach msg ->
+    Printf.eprintf
+      "prefix: guardrail: %s (checkpoint flushed; finish with `prefix resume`)\n"
+      msg;
+    3
 
 let get_workload name =
   match List.find_opt (fun (w : Workload.t) -> w.name = name) Registry.all with
@@ -296,9 +320,41 @@ let plan_cmd =
 
 (* --- run *)
 
+module Durable = Prefix_experiments.Durable
+module Checkpoint = Prefix_runtime.Checkpoint
+
+let checkpoint_arg =
+  let doc =
+    "Write self-validating checkpoints under $(docv) at stream segment \
+     boundaries.  A killed (or guardrail-stopped) run is finished by `prefix \
+     resume $(docv)` with a byte-identical report."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Checkpoint every $(docv)-th stream segment (default 8)." in
+  Arg.(value & opt int 8 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Stop the run after $(docv) seconds of wall clock (checked at segment \
+     boundaries): flush a final checkpoint and exit with code 3.  Requires \
+     --checkpoint."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-s" ] ~docv:"SECONDS" ~doc)
+
+let max_rss_arg =
+  let doc =
+    "Stop the run when resident memory exceeds $(docv) megabytes (checked at \
+     segment boundaries): flush a final checkpoint and exit with code 3.  \
+     Requires --checkpoint."
+  in
+  Arg.(value & opt (some int) None & info [ "max-rss-mb" ] ~docv:"MB" ~doc)
+
 let run_cmd =
   let run name scale stream segment_events jobs verbose log_level obs_out
-      telemetry telemetry_interval =
+      telemetry telemetry_interval checkpoint checkpoint_every deadline_s
+      max_rss_mb =
     setup_logs log_level verbose;
     Harness.set_jobs jobs;
     set_streaming stream segment_events;
@@ -306,25 +362,39 @@ let run_cmd =
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
-      guard @@ fun () ->
-      with_obs obs_out @@ fun () ->
-      with_telemetry telemetry telemetry_interval @@ fun () ->
-      let r = Harness.find w.name in
-      let line label (pr : Harness.policy_run) =
-        Printf.printf "%-14s %12.0f cycles  %+7.2f%%  L1 %5.2f%%  LLC %7.4f%%  peak %s B\n"
-          label pr.metrics.M.cycles.total_cycles
-          (Harness.time_delta r pr)
-          (100. *. pr.metrics.M.l1_miss_rate)
-          (100. *. pr.metrics.M.llc_miss_rate)
-          (Prefix_util.Tablefmt.fmt_int pr.metrics.M.peak_bytes)
-      in
-      line "baseline" r.baseline;
-      line "HDS [8]" r.hds;
-      line "HALO" r.halo;
-      line "PreFix:Hot" r.prefix_hot;
-      line "PreFix:HDS" r.prefix_hds;
-      line "PreFix:HDS+Hot" r.prefix_hdshot;
-      0
+      if checkpoint = None && (deadline_s <> None || max_rss_mb <> None) then begin
+        Printf.eprintf
+          "prefix: error: --deadline-s / --max-rss-mb require --checkpoint (a \
+           guardrail stop must leave something to resume)\n";
+        2
+      end
+      else if checkpoint_every <= 0 then begin
+        Printf.eprintf "prefix: error: --checkpoint-every must be positive\n";
+        2
+      end
+      else
+        guard @@ fun () ->
+        with_obs obs_out @@ fun () ->
+        with_telemetry telemetry telemetry_interval @@ fun () ->
+        catch_breach @@ fun () ->
+        let r =
+          match checkpoint with
+          | None -> Harness.find w.name
+          | Some dir ->
+            let cfg =
+              { Durable.dir;
+                every = checkpoint_every;
+                throttle_ms = Checkpoint.default_throttle_ms;
+                guardrails = { Checkpoint.deadline_s; max_rss_mb };
+                jobs;
+                scale;
+                streaming = stream;
+                segment_events }
+            in
+            Durable.run_benchmark cfg w
+        in
+        print_string (Durable.render r);
+        0
   in
   let eval_scale_arg =
     let doc = "Evaluation-run scale: 'long' (default) or 'huge' (~10x)." in
@@ -333,7 +403,59 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
     Term.(const run $ bench_arg $ eval_scale_arg $ stream_arg
           $ segment_events_arg $ jobs_arg $ verbose_arg $ log_level_arg
-          $ obs_out_arg $ telemetry_arg $ telemetry_interval_arg)
+          $ obs_out_arg $ telemetry_arg $ telemetry_interval_arg
+          $ checkpoint_arg $ checkpoint_every_arg $ deadline_arg $ max_rss_arg)
+
+(* --- resume *)
+
+let resume_cmd =
+  let run dir check checkpoint_every deadline_s max_rss_mb verbose log_level =
+    setup_logs log_level verbose;
+    if check then
+      match Durable.check ~dir with
+      | Ok report ->
+        print_string report;
+        print_endline "all checkpoints valid";
+        0
+      | Error report ->
+        print_string report;
+        prerr_endline "prefix: error: invalid checkpoints found";
+        1
+    else
+      guard @@ fun () ->
+      catch_breach @@ fun () ->
+      let names, results =
+        Durable.resume ~dir ~every:checkpoint_every
+          ~guardrails:{ Checkpoint.deadline_s; max_rss_mb }
+      in
+      (match (names, results) with
+      | [ _ ], [ r ] -> print_string (Durable.render r)
+      | _ ->
+        List.iter2
+          (fun n r ->
+            Printf.printf "== %s ==\n" n;
+            print_string (Durable.render r))
+          names results);
+      0
+  in
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Checkpoint directory of an earlier run.")
+  in
+  let check_arg =
+    let doc =
+      "Only validate the checkpoints (magic, CRCs, run identity) and exit; \
+       nothing is replayed."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Finish an interrupted checkpointed run.  The report is \
+          byte-identical to the uninterrupted run's")
+    Term.(const run $ dir_arg $ check_arg $ checkpoint_every_arg $ deadline_arg
+          $ max_rss_arg $ verbose_arg $ log_level_arg)
 
 (* --- stats *)
 
@@ -417,8 +539,34 @@ let fuzz_cmd =
                "Cap each HDS/HALO region at $(docv) during the lenient replay \
                 so exhaustion degrades to malloc fallback.")
   in
+  let crash_arg =
+    let doc =
+      "Run the crash-recovery leg instead: SIGKILL checkpointed runs at \
+       randomized segment boundaries (plus torn-checkpoint injection), resume \
+       them, and require byte-identical reports."
+    in
+    Arg.(value & flag & info [ "crash" ] ~doc)
+  in
+  let crash_kills_arg =
+    Arg.(value & opt int 20
+         & info [ "crash-kills" ] ~docv:"N"
+             ~doc:"Keep killing until $(docv) kill points were exercised.")
+  in
+  let crash_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "crash-dir" ] ~docv:"DIR"
+             ~doc:
+               "Campaign working directory (default: a fresh directory under \
+                the system temp dir; kept on failure for inspection).")
+  in
+  let crash_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "crash-seed" ] ~docv:"SEED"
+             ~doc:"Seed for kill points and torn-write injection.")
+  in
   let run seeds rate benches kinds policies region_cap stream jobs verbose
-      log_level obs_out telemetry telemetry_interval =
+      log_level obs_out telemetry telemetry_interval crash crash_kills crash_dir
+      crash_seed =
     setup_logs log_level verbose;
     match
       List.filter_map
@@ -430,15 +578,42 @@ let fuzz_cmd =
       guard @@ fun () ->
       with_obs obs_out @@ fun () ->
       with_telemetry telemetry telemetry_interval @@ fun () ->
-      let cfg =
-        { Campaign.benches; policies; kinds; seeds; rate; region_cap; stream }
-      in
       let progress m =
         if verbose || log_level <> None then Printf.eprintf "%s\n%!" m
       in
-      let s = Campaign.run ~jobs ~progress cfg in
-      print_string (Campaign.report s);
-      if Campaign.ok s then 0 else 1
+      if crash then begin
+        let module Crash = Prefix_faults.Crash in
+        let dir =
+          match crash_dir with
+          | Some d -> d
+          | None ->
+            let d =
+              Filename.temp_file "prefix-crash" ""
+            in
+            Sys.remove d;
+            d
+        in
+        let cfg =
+          { (Crash.default_config ~dir) with
+            benches =
+              (* Keep the default pair unless the user narrowed the sweep. *)
+              (if benches = Registry.names then (Crash.default_config ~dir).benches
+               else benches);
+            seed = crash_seed;
+            target_kills = crash_kills }
+        in
+        let s = Crash.run ~progress cfg in
+        print_string (Crash.report s);
+        if Crash.ok s then 0 else 1
+      end
+      else begin
+        let cfg =
+          { Campaign.benches; policies; kinds; seeds; rate; region_cap; stream }
+        in
+        let s = Campaign.run ~jobs ~progress cfg in
+        print_string (Campaign.report s);
+        if Campaign.ok s then 0 else 1
+      end
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -449,7 +624,8 @@ let fuzz_cmd =
     Term.(const run $ seeds_arg $ rate_arg $ benches_arg $ kinds_arg
           $ policies_arg $ region_cap_arg $ stream_arg $ jobs_arg $ verbose_arg
           $ log_level_arg $ obs_out_arg $ telemetry_arg
-          $ telemetry_interval_arg)
+          $ telemetry_interval_arg $ crash_arg $ crash_kills_arg
+          $ crash_dir_arg $ crash_seed_arg)
 
 (* --- experiment *)
 
@@ -692,4 +868,4 @@ let () =
     Cmd.info "prefix" ~version:"1.0.0"
       ~doc:"PreFix (CGO 2025) reproduction: profile-guided heap layout optimization"
   in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; stats_cmd; fuzz_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; top_cmd; all_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; trace_cmd; plan_cmd; run_cmd; resume_cmd; stats_cmd; fuzz_cmd; hotspots_cmd; lifetimes_cmd; experiment_cmd; validate_cmd; top_cmd; all_cmd ]))

@@ -336,16 +336,22 @@ type session = {
   mutable ss_live : int; (* live object count, for the live_objects gauge *)
 }
 
+(* Top-level (not locally closed-over) so a serialized session can swap
+   it in for the histogram-capturing observer below: Marshal refuses
+   the histogram's internal mutex. *)
+let ignore_alloc_size (_ : int) = ()
+
+let mk_observe_alloc obs_on =
+  if obs_on then begin
+    let h = Metric.histogram ~lo:0. ~hi:4096. ~buckets:32 "executor.alloc_bytes" in
+    fun size -> Metric.observe h (float_of_int size)
+  end
+  else ignore_alloc_size
+
 let session_create ~config ~mode ~heatmap_objs ~attribute ~heap ~p =
   let obs_on = Obs.is_on () in
   let rec_on = Recorder.enabled () in
-  let observe_alloc =
-    if obs_on then begin
-      let h = Metric.histogram ~lo:0. ~hi:4096. ~buckets:32 "executor.alloc_bytes" in
-      fun size -> Metric.observe h (float_of_int size)
-    end
-    else fun (_ : int) -> ()
-  in
+  let observe_alloc = mk_observe_alloc obs_on in
   { ss_config = config;
     ss_p = p;
     ss_heap = heap;
@@ -590,6 +596,34 @@ let session_finish st =
     ~start_ns:st.ss_start_ns ~heap:st.ss_heap ~mem:st.ss_mem ~events:st.ss_events
     ~instructions_base:st.ss_instrs ~mem_refs:st.ss_mem_refs ~heatmap:st.ss_heatmap
     ~attribution:st.ss_attribution ~recovery
+
+let session_events st = st.ss_events
+
+(* ---- session serialization -------------------------------------------
+
+   The whole cross-segment state — heap, policy closures (and through
+   them regions, arenas, plan tables and recycle slots), cache arrays,
+   dense object table, recovery counters, heatmap/attribution — is one
+   strongly-connected heap structure rooted at the session record, so a
+   single [Marshal] call with [Closures] snapshots it with all internal
+   sharing preserved.  Two deliberate consequences:
+
+   - [Closures] embeds MD5 digests of the closures' code, so a snapshot
+     written by a different binary fails to deserialize cleanly instead
+     of resuming with mismatched code — exactly the staleness backstop
+     a checkpoint header cannot provide on its own.
+   - [ss_observe_alloc] may capture a {!Metric.histogram} whose mutex
+     Marshal rejects; it is swapped for a top-level no-op before
+     serializing and rebuilt from [ss_obs_on] on restore. *)
+
+let session_serialize st =
+  Marshal.to_string { st with ss_observe_alloc = ignore_alloc_size } [ Marshal.Closures ]
+
+let session_deserialize s =
+  match (Marshal.from_string s 0 : session) with
+  | st -> Ok { st with ss_observe_alloc = mk_observe_alloc st.ss_obs_on }
+  | exception (Failure msg | Invalid_argument msg) ->
+    Error ("session snapshot does not match this binary: " ^ msg)
 
 let run_packed ?(config = default_config) ?(mode = Policy.Strict) ?heatmap_objs
     ?(attribute = false) ~policy packed =

@@ -117,3 +117,46 @@ val run_boxed :
 val run_baseline :
   ?config:config -> ?mode:Policy.mode -> Prefix_trace.Trace.t -> outcome
 (** Shorthand for running the {!Policy.baseline}. *)
+
+(** {2 Sessions}
+
+    All state that crosses a segment boundary in a streamed replay —
+    simulated heap, policy state (regions, arenas, recycle slots),
+    cache/TLB arrays, dense object table, recovery counters,
+    heatmap/attribution, telemetry cursor — lives in a [session].
+    {!run_packed} is a session over one segment; {!run_stream} folds
+    one over every segment.  Exposing the session lets callers pause a
+    replay at a segment boundary, serialize it, and resume later (the
+    checkpoint machinery of {!Checkpoint}). *)
+
+type session
+
+val session_create :
+  config:config ->
+  mode:Policy.mode ->
+  heatmap_objs:(int -> bool) option ->
+  attribute:bool ->
+  heap:Prefix_heap.Allocator.t ->
+  p:Policy.t ->
+  session
+(** [p] must have been instantiated on [heap]. *)
+
+val replay_segment : session -> base:int -> Prefix_trace.Packed.t -> unit
+(** Advance the session by one packed segment whose first event has
+    global index [base].  Segments must arrive in stream order. *)
+
+val session_events : session -> int
+(** Events replayed so far (the resume cursor). *)
+
+val session_finish : session -> outcome
+(** Produce the outcome.  Call once, after the last segment. *)
+
+val session_serialize : session -> string
+(** Snapshot the complete session state (one [Marshal] with closures,
+    preserving all internal sharing).  The encoding embeds code
+    digests: a snapshot only deserializes in the binary that wrote
+    it — a deliberate staleness guard for checkpoints. *)
+
+val session_deserialize : string -> (session, string) result
+(** Inverse of {!session_serialize}; [Error] (never an exception) when
+    the snapshot is corrupt or was written by a different binary. *)

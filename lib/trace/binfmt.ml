@@ -1,5 +1,11 @@
+module Crc32 = Prefix_util.Crc32
+
 let magic = "PFXT"
 let version = 1
+let version_framed = 2
+let frame_marker = "FRME"
+let footer_marker = "FEND"
+let default_frame_events = 1 lsl 16
 
 (* --- varints --- *)
 
@@ -22,6 +28,12 @@ let unzigzag n = (n lsr 1) lxor (-(n land 1))
 
 let put_varint buf n = put_uvarint buf (zigzag n)
 
+let put_u32le buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
 type cursor = { data : bytes; mutable pos : int }
 
 let get_uvarint c =
@@ -43,68 +55,173 @@ let get_uvarint c =
 
 let get_varint c = Result.map unzigzag (get_uvarint c)
 
+let get_u32le c =
+  if c.pos + 4 > Bytes.length c.data then Error "truncated checksum"
+  else begin
+    let b i = Char.code (Bytes.get c.data (c.pos + i)) in
+    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    c.pos <- c.pos + 4;
+    Ok v
+  end
+
 (* --- encoding --- *)
 
 type state = { mutable obj : int; mutable site : int; mutable ctx : int }
+
+let fresh_state () = { obj = 0; site = 0; ctx = 0 }
+
+let reset_state st =
+  st.obj <- 0;
+  st.site <- 0;
+  st.ctx <- 0
+
+let encode_event buf st (e : Event.t) =
+  match e with
+  | Alloc { obj; site; ctx; size; thread } ->
+    Buffer.add_char buf '\000';
+    put_varint buf (obj - st.obj);
+    put_varint buf (site - st.site);
+    put_varint buf (ctx - st.ctx);
+    put_uvarint buf size;
+    put_uvarint buf thread;
+    st.obj <- obj;
+    st.site <- site;
+    st.ctx <- ctx
+  | Access { obj; offset; write; thread } ->
+    Buffer.add_char buf (if write then '\002' else '\001');
+    put_varint buf (obj - st.obj);
+    put_uvarint buf offset;
+    put_uvarint buf thread;
+    st.obj <- obj
+  | Free { obj; thread } ->
+    Buffer.add_char buf '\003';
+    put_varint buf (obj - st.obj);
+    put_uvarint buf thread;
+    st.obj <- obj
+  | Realloc { obj; new_size; thread } ->
+    Buffer.add_char buf '\004';
+    put_varint buf (obj - st.obj);
+    put_uvarint buf new_size;
+    put_uvarint buf thread;
+    st.obj <- obj
+  | Compute { instrs; thread } ->
+    Buffer.add_char buf '\005';
+    put_uvarint buf instrs;
+    put_uvarint buf thread
 
 let write buf trace =
   Buffer.add_string buf magic;
   put_uvarint buf version;
   put_uvarint buf (Trace.length trace);
-  let st = { obj = 0; site = 0; ctx = 0 } in
-  Trace.iter
-    (fun e ->
-      match (e : Event.t) with
-      | Alloc { obj; site; ctx; size; thread } ->
-        Buffer.add_char buf '\000';
-        put_varint buf (obj - st.obj);
-        put_varint buf (site - st.site);
-        put_varint buf (ctx - st.ctx);
-        put_uvarint buf size;
-        put_uvarint buf thread;
-        st.obj <- obj;
-        st.site <- site;
-        st.ctx <- ctx
-      | Access { obj; offset; write; thread } ->
-        Buffer.add_char buf (if write then '\002' else '\001');
-        put_varint buf (obj - st.obj);
-        put_uvarint buf offset;
-        put_uvarint buf thread;
-        st.obj <- obj
-      | Free { obj; thread } ->
-        Buffer.add_char buf '\003';
-        put_varint buf (obj - st.obj);
-        put_uvarint buf thread;
-        st.obj <- obj
-      | Realloc { obj; new_size; thread } ->
-        Buffer.add_char buf '\004';
-        put_varint buf (obj - st.obj);
-        put_uvarint buf new_size;
-        put_uvarint buf thread;
-        st.obj <- obj
-      | Compute { instrs; thread } ->
-        Buffer.add_char buf '\005';
-        put_uvarint buf instrs;
-        put_uvarint buf thread)
-    trace
+  let st = fresh_state () in
+  Trace.iter (fun e -> encode_event buf st e) trace
 
 let to_bytes trace =
   let buf = Buffer.create (Trace.length trace * 5) in
   write buf trace;
   Buffer.to_bytes buf
 
-let read data =
-  let ( let* ) = Result.bind in
-  let c = { data; pos = 0 } in
-  let* () =
-    if Bytes.length data < 4 || Bytes.sub_string data 0 4 <> magic then Error "bad magic"
-    else begin
-      c.pos <- 4;
-      Ok ()
+(* --- framed encoding (format v2) --------------------------------------
+
+   The event stream is chunked into frames of [frame_events] events.
+   Each frame carries its own event count, the cumulative event count
+   before it, the payload length and a CRC32 of the payload; the delta
+   state resets at every frame boundary so frames decode independently
+   (which is what lets the lenient reader resynchronize past a corrupt
+   frame without poisoning the rest of the stream).  A footer with
+   frame/event totals (itself checksummed) makes truncation
+   detectable. *)
+
+let write_framed ?(frame_events = default_frame_events) buf trace =
+  if frame_events <= 0 then
+    invalid_arg "Binfmt.write_framed: frame_events must be positive";
+  Buffer.add_string buf magic;
+  put_uvarint buf version_framed;
+  let payload = Buffer.create (min (Trace.length trace) frame_events * 5) in
+  let st = fresh_state () in
+  let in_frame = ref 0 in
+  let cum = ref 0 in
+  let frames = ref 0 in
+  let flush () =
+    if !in_frame > 0 then begin
+      Buffer.add_string buf frame_marker;
+      put_uvarint buf !in_frame;
+      put_uvarint buf !cum;
+      put_uvarint buf (Buffer.length payload);
+      put_u32le buf (Crc32.string (Buffer.contents payload));
+      Buffer.add_buffer buf payload;
+      cum := !cum + !in_frame;
+      incr frames;
+      in_frame := 0;
+      Buffer.clear payload;
+      reset_state st
     end
   in
-  let* v = get_uvarint c in
-  let* () = if v <> version then Error (Printf.sprintf "unsupported version %d" v) else Ok () in
+  Trace.iter
+    (fun e ->
+      encode_event payload st e;
+      incr in_frame;
+      if !in_frame = frame_events then flush ())
+    trace;
+  flush ();
+  let fb = Buffer.create 16 in
+  put_uvarint fb !frames;
+  put_uvarint fb !cum;
+  Buffer.add_string buf footer_marker;
+  Buffer.add_buffer buf fb;
+  put_u32le buf (Crc32.string (Buffer.contents fb))
+
+let to_bytes_framed ?frame_events trace =
+  let buf = Buffer.create (Trace.length trace * 5) in
+  write_framed ?frame_events buf trace;
+  Buffer.to_bytes buf
+
+(* --- decoding --- *)
+
+let decode_event c st =
+  let ( let* ) = Result.bind in
+  if c.pos >= Bytes.length c.data then Error "truncated stream"
+  else begin
+    let tag = Char.code (Bytes.get c.data c.pos) in
+    c.pos <- c.pos + 1;
+    match tag with
+    | 0 ->
+      let* dobj = get_varint c in
+      let* dsite = get_varint c in
+      let* dctx = get_varint c in
+      let* size = get_uvarint c in
+      let* thread = get_uvarint c in
+      st.obj <- st.obj + dobj;
+      st.site <- st.site + dsite;
+      st.ctx <- st.ctx + dctx;
+      Ok (Event.Alloc { obj = st.obj; site = st.site; ctx = st.ctx; size; thread })
+    | 1 | 2 ->
+      let* dobj = get_varint c in
+      let* offset = get_uvarint c in
+      let* thread = get_uvarint c in
+      st.obj <- st.obj + dobj;
+      Ok (Event.Access { obj = st.obj; offset; write = tag = 2; thread })
+    | 3 ->
+      let* dobj = get_varint c in
+      let* thread = get_uvarint c in
+      st.obj <- st.obj + dobj;
+      Ok (Event.Free { obj = st.obj; thread })
+    | 4 ->
+      let* dobj = get_varint c in
+      let* new_size = get_uvarint c in
+      let* thread = get_uvarint c in
+      st.obj <- st.obj + dobj;
+      Ok (Event.Realloc { obj = st.obj; new_size; thread })
+    | 5 ->
+      let* instrs = get_uvarint c in
+      let* thread = get_uvarint c in
+      Ok (Event.Compute { instrs; thread })
+    | t -> Error (Printf.sprintf "unknown tag %d at offset %d" t (c.pos - 1))
+  end
+
+let read_v1 c =
+  let ( let* ) = Result.bind in
+  let data = c.data in
   let* count = get_uvarint c in
   (* Every encoded event occupies at least 3 bytes (tag + two varint
      fields); a count beyond that bound is a corrupted header and must
@@ -116,60 +233,260 @@ let read data =
     else Ok ()
   in
   let trace = Trace.create ~capacity:(min count (1 lsl 20)) () in
-  let st = { obj = 0; site = 0; ctx = 0 } in
+  let st = fresh_state () in
   let rec events remaining =
     if remaining = 0 then Ok trace
-    else if c.pos >= Bytes.length data then Error "truncated stream"
-    else begin
-      let tag = Char.code (Bytes.get c.data c.pos) in
-      c.pos <- c.pos + 1;
-      let* e =
-        match tag with
-        | 0 ->
-          let* dobj = get_varint c in
-          let* dsite = get_varint c in
-          let* dctx = get_varint c in
-          let* size = get_uvarint c in
-          let* thread = get_uvarint c in
-          st.obj <- st.obj + dobj;
-          st.site <- st.site + dsite;
-          st.ctx <- st.ctx + dctx;
-          Ok (Event.Alloc { obj = st.obj; site = st.site; ctx = st.ctx; size; thread })
-        | 1 | 2 ->
-          let* dobj = get_varint c in
-          let* offset = get_uvarint c in
-          let* thread = get_uvarint c in
-          st.obj <- st.obj + dobj;
-          Ok (Event.Access { obj = st.obj; offset; write = tag = 2; thread })
-        | 3 ->
-          let* dobj = get_varint c in
-          let* thread = get_uvarint c in
-          st.obj <- st.obj + dobj;
-          Ok (Event.Free { obj = st.obj; thread })
-        | 4 ->
-          let* dobj = get_varint c in
-          let* new_size = get_uvarint c in
-          let* thread = get_uvarint c in
-          st.obj <- st.obj + dobj;
-          Ok (Event.Realloc { obj = st.obj; new_size; thread })
-        | 5 ->
-          let* instrs = get_uvarint c in
-          let* thread = get_uvarint c in
-          Ok (Event.Compute { instrs; thread })
-        | t -> Error (Printf.sprintf "unknown tag %d at offset %d" t (c.pos - 1))
-      in
+    else
+      let* e = decode_event c st in
       Trace.add trace e;
       events (remaining - 1)
-    end
   in
   events count
+
+(* Strict v2 decode: any CRC mismatch, marker corruption, cumulative
+   count discrepancy or missing/invalid footer is an error. *)
+let read_v2 c =
+  let ( let* ) = Result.bind in
+  let data = c.data in
+  let len = Bytes.length data in
+  let trace = Trace.create () in
+  let decoded = ref 0 in
+  let frames = ref 0 in
+  let rec loop () =
+    if c.pos + 4 > len then
+      Error (Printf.sprintf "truncated file (missing footer) at offset %d" c.pos)
+    else begin
+      let marker = Bytes.sub_string data c.pos 4 in
+      c.pos <- c.pos + 4;
+      if marker = frame_marker then begin
+        let frame_off = c.pos - 4 in
+        let* events = get_uvarint c in
+        let* cum = get_uvarint c in
+        let* plen = get_uvarint c in
+        let* crc = get_u32le c in
+        let* () =
+          if c.pos + plen > len then
+            Error (Printf.sprintf "truncated frame payload at offset %d" c.pos)
+          else Ok ()
+        in
+        let* () =
+          if events > plen then
+            Error
+              (Printf.sprintf "implausible event count %d for %d payload bytes" events
+                 plen)
+          else Ok ()
+        in
+        let* () =
+          if cum <> !decoded then
+            Error
+              (Printf.sprintf
+                 "frame at offset %d claims cumulative count %d but %d events decoded"
+                 frame_off cum !decoded)
+          else Ok ()
+        in
+        let* () =
+          if Crc32.sub_bytes data ~pos:c.pos ~len:plen <> crc then
+            Error (Printf.sprintf "frame CRC mismatch at offset %d" frame_off)
+          else Ok ()
+        in
+        let limit = c.pos + plen in
+        let st = fresh_state () in
+        let rec events_loop remaining =
+          if remaining = 0 then
+            if c.pos = limit then Ok ()
+            else Error (Printf.sprintf "frame payload length mismatch at offset %d" frame_off)
+          else
+            let* e = decode_event c st in
+            Trace.add trace e;
+            incr decoded;
+            events_loop (remaining - 1)
+        in
+        let* () = events_loop events in
+        incr frames;
+        loop ()
+      end
+      else if marker = footer_marker then begin
+        let fstart = c.pos in
+        let* nframes = get_uvarint c in
+        let* nevents = get_uvarint c in
+        let fend = c.pos in
+        let* crc = get_u32le c in
+        let* () =
+          if Crc32.sub_bytes data ~pos:fstart ~len:(fend - fstart) <> crc then
+            Error "footer CRC mismatch"
+          else Ok ()
+        in
+        let* () =
+          if nframes <> !frames || nevents <> !decoded then
+            Error
+              (Printf.sprintf
+                 "footer totals (%d frames, %d events) disagree with stream (%d frames, \
+                  %d events)"
+                 nframes nevents !frames !decoded)
+          else Ok ()
+        in
+        if c.pos <> len then
+          Error (Printf.sprintf "trailing bytes after footer at offset %d" c.pos)
+        else Ok trace
+      end
+      else Error (Printf.sprintf "bad frame marker at offset %d" (c.pos - 4))
+    end
+  in
+  loop ()
+
+let check_header c =
+  let data = c.data in
+  let ( let* ) = Result.bind in
+  let* () =
+    if Bytes.length data < 4 then
+      Error
+        (Printf.sprintf "empty or truncated file (offset %d)" (Bytes.length data))
+    else if Bytes.sub_string data 0 4 <> magic then Error "bad magic"
+    else begin
+      c.pos <- 4;
+      Ok ()
+    end
+  in
+  get_uvarint c
+
+let read data =
+  let ( let* ) = Result.bind in
+  let c = { data; pos = 0 } in
+  let* v = check_header c in
+  if v = version then read_v1 c
+  else if v = version_framed then read_v2 c
+  else Error (Printf.sprintf "unsupported version %d" v)
+
+(* --- lenient framed decode --------------------------------------------
+
+   Best-effort recovery over a (possibly corrupted) v2 file: corrupt
+   frames are skipped by resynchronizing on the next frame/footer
+   marker, and because every good frame carries its cumulative event
+   count, the exact ranges of lost events are reported.  The surviving
+   trace is what callers hand to {!Sanitizer.sanitize} — dangling
+   frees/accesses from the lost ranges are then repaired there. *)
+
+type lost_range = { lost_from : int; lost_to : int }
+
+type lenient = {
+  lr_trace : Trace.t;
+  lr_lost : lost_range list;
+  lr_frames_ok : int;
+  lr_frames_skipped : int;
+  lr_total_events : int option;
+}
+
+let lenient_events_lost l =
+  List.fold_left (fun acc r -> acc + (r.lost_to - r.lost_from)) 0 l.lr_lost
+
+let pp_lost_range ppf r =
+  Format.fprintf ppf "events [%d, %d)" r.lost_from r.lost_to
+
+let read_lenient data =
+  let ( let* ) = Result.bind in
+  let c = { data; pos = 0 } in
+  let* v = check_header c in
+  let* () =
+    if v = version_framed then Ok ()
+    else if v = version then Error "lenient decode requires a framed (v2) file"
+    else Error (Printf.sprintf "unsupported version %d" v)
+  in
+  let len = Bytes.length data in
+  let trace = Trace.create () in
+  let lost = ref [] in
+  let orig = ref 0 in (* original-stream event index accounted for so far *)
+  let ok_frames = ref 0 in
+  let skipped = ref 0 in
+  let total = ref None in
+  let add_lost a b = if b > a then lost := { lost_from = a; lost_to = b } :: !lost in
+  let marker_at p = p + 4 <= len && (let m = Bytes.sub_string data p 4 in m = frame_marker || m = footer_marker) in
+  (* Resync: scan byte-by-byte for the next plausible marker. *)
+  let rec scan p = if p + 4 > len then len else if marker_at p then p else scan (p + 1) in
+  let try_frame p =
+    let c = { data; pos = p + 4 } in
+    let parse =
+      let* events = get_uvarint c in
+      let* cum = get_uvarint c in
+      let* plen = get_uvarint c in
+      let* crc = get_u32le c in
+      if c.pos + plen > len || events > plen then Error "bounds"
+      else if Crc32.sub_bytes data ~pos:c.pos ~len:plen <> crc then Error "crc"
+      else begin
+        let limit = c.pos + plen in
+        let st = fresh_state () in
+        let rec events_loop remaining acc =
+          if remaining = 0 then
+            if c.pos = limit then Ok (List.rev acc) else Error "length"
+          else
+            let* e = decode_event c st in
+            events_loop (remaining - 1) (e :: acc)
+        in
+        let* es = events_loop events [] in
+        Ok (es, cum, c.pos)
+      end
+    in
+    Result.to_option parse
+  in
+  let try_footer p =
+    let c = { data; pos = p + 4 } in
+    let parse =
+      let* _nframes = get_uvarint c in
+      let* nevents = get_uvarint c in
+      let fend = c.pos in
+      let* crc = get_u32le c in
+      if Crc32.sub_bytes data ~pos:(p + 4) ~len:(fend - (p + 4)) <> crc then Error "crc"
+      else Ok nevents
+    in
+    Result.to_option parse
+  in
+  let rec loop p =
+    if p + 4 > len then ()
+    else
+      let m = Bytes.sub_string data p 4 in
+      if m = frame_marker then
+        match try_frame p with
+        | Some (es, cum, next) when cum >= !orig ->
+          add_lost !orig cum;
+          List.iter (Trace.add trace) es;
+          orig := cum + List.length es;
+          incr ok_frames;
+          loop next
+        | _ ->
+          incr skipped;
+          loop (scan (p + 1))
+      else if m = footer_marker then begin
+        match try_footer p with
+        | Some nevents when nevents >= !orig ->
+          add_lost !orig nevents;
+          orig := nevents;
+          total := Some nevents
+          (* Anything after a valid footer is ignored. *)
+        | _ ->
+          incr skipped;
+          loop (scan (p + 1))
+      end
+      else begin
+        incr skipped;
+        loop (scan (p + 1))
+      end
+  in
+  loop c.pos;
+  Ok
+    { lr_trace = trace;
+      lr_lost = List.rev !lost;
+      lr_frames_ok = !ok_frames;
+      lr_frames_skipped = !skipped;
+      lr_total_events = !total }
 
 (* --- streaming decode -------------------------------------------------
 
    Mirrors [read] but pulls bytes from a (stdlib-buffered) channel, so
    decoding holds O(1) memory regardless of file size: no [bytes] copy
    of the whole file, no materialized trace — each event is pushed to
-   the caller as soon as it is decoded. *)
+   the caller as soon as it is decoded.  For framed (v2) files the
+   optional [on_frame] callback fires after each frame's events; the
+   streaming engine uses it to align segment boundaries with frame
+   boundaries. *)
 
 let get_uvarint_ch ic =
   let rec go shift acc =
@@ -186,15 +503,8 @@ let get_uvarint_ch ic =
 
 let get_varint_ch ic = Result.map unzigzag (get_uvarint_ch ic)
 
-let iter_channel ic ~f =
+let iter_channel_v1 ic ~f =
   let ( let* ) = Result.bind in
-  let* () =
-    match really_input_string ic 4 with
-    | exception End_of_file -> Error "bad magic"
-    | m -> if m <> magic then Error "bad magic" else Ok ()
-  in
-  let* v = get_uvarint_ch ic in
-  let* () = if v <> version then Error (Printf.sprintf "unsupported version %d" v) else Ok () in
   let* count = get_uvarint_ch ic in
   let* () =
     (* Same header-plausibility bound as [read]: at least one payload
@@ -206,7 +516,7 @@ let iter_channel ic ~f =
         Error (Printf.sprintf "implausible event count %d for %d payload bytes" count remaining)
       else Ok ()
   in
-  let st = { obj = 0; site = 0; ctx = 0 } in
+  let st = fresh_state () in
   let rec events remaining =
     if remaining = 0 then Ok ()
     else
@@ -254,9 +564,149 @@ let iter_channel ic ~f =
   in
   events count
 
-let iter_file path ~f =
+(* Channel-based strict v2 decode: each frame is read whole (bounded by
+   its declared payload length), CRC-checked, then decoded with the
+   bytes cursor — O(frame) memory. *)
+let iter_channel_v2 ?(on_frame = fun () -> ()) ic ~f =
+  let ( let* ) = Result.bind in
+  let decoded = ref 0 in
+  let frames = ref 0 in
+  let remaining () =
+    match in_channel_length ic - pos_in ic with
+    | exception Sys_error _ -> max_int
+    | r -> r
+  in
+  let rec loop () =
+    match really_input_string ic 4 with
+    | exception End_of_file ->
+      Error (Printf.sprintf "truncated file (missing footer) at offset %d" (pos_in ic))
+    | marker when marker = frame_marker ->
+      let frame_off = pos_in ic - 4 in
+      let* events = get_uvarint_ch ic in
+      let* cum = get_uvarint_ch ic in
+      let* plen = get_uvarint_ch ic in
+      let* () =
+        if plen > remaining () then
+          Error
+            (Printf.sprintf "implausible frame payload length %d at offset %d" plen
+               frame_off)
+        else Ok ()
+      in
+      let* () =
+        if events > plen then
+          Error
+            (Printf.sprintf "implausible event count %d for %d payload bytes" events plen)
+        else Ok ()
+      in
+      let* () =
+        if cum <> !decoded then
+          Error
+            (Printf.sprintf
+               "frame at offset %d claims cumulative count %d but %d events decoded"
+               frame_off cum !decoded)
+        else Ok ()
+      in
+      let crc_bytes = Bytes.create 4 in
+      let* () =
+        match really_input ic crc_bytes 0 4 with
+        | exception End_of_file -> Error "truncated checksum"
+        | () -> Ok ()
+      in
+      let b i = Char.code (Bytes.get crc_bytes i) in
+      let crc = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+      let payload = Bytes.create plen in
+      let* () =
+        match really_input ic payload 0 plen with
+        | exception End_of_file ->
+          Error (Printf.sprintf "truncated frame payload at offset %d" frame_off)
+        | () -> Ok ()
+      in
+      let* () =
+        if Crc32.bytes payload <> crc then
+          Error (Printf.sprintf "frame CRC mismatch at offset %d" frame_off)
+        else Ok ()
+      in
+      let c = { data = payload; pos = 0 } in
+      let st = fresh_state () in
+      let rec events_loop n =
+        if n = 0 then
+          if c.pos = plen then Ok ()
+          else Error (Printf.sprintf "frame payload length mismatch at offset %d" frame_off)
+        else
+          let* e = decode_event c st in
+          f e;
+          incr decoded;
+          events_loop (n - 1)
+      in
+      let* () = events_loop events in
+      incr frames;
+      on_frame ();
+      loop ()
+    | marker when marker = footer_marker ->
+      let fb = Buffer.create 16 in
+      let get_uvarint_copy () =
+        (* The footer CRC covers the totals' encoded bytes, so they are
+           re-captured as they are read. *)
+        let rec go shift acc =
+          match input_char ic with
+          | exception End_of_file -> Error "truncated varint"
+          | ch ->
+            Buffer.add_char fb ch;
+            let b = Char.code ch in
+            let acc = acc lor ((b land 0x7f) lsl shift) in
+            if b land 0x80 = 0 then
+              if acc < 0 then Error "varint overflows" else Ok acc
+            else if shift > 56 then Error "varint too long"
+            else go (shift + 7) acc
+        in
+        go 0 0
+      in
+      let* nframes = get_uvarint_copy () in
+      let* nevents = get_uvarint_copy () in
+      let crc_bytes = Bytes.create 4 in
+      let* () =
+        match really_input ic crc_bytes 0 4 with
+        | exception End_of_file -> Error "truncated checksum"
+        | () -> Ok ()
+      in
+      let b i = Char.code (Bytes.get crc_bytes i) in
+      let crc = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+      let* () =
+        if Crc32.string (Buffer.contents fb) <> crc then Error "footer CRC mismatch"
+        else Ok ()
+      in
+      let* () =
+        if nframes <> !frames || nevents <> !decoded then
+          Error
+            (Printf.sprintf
+               "footer totals (%d frames, %d events) disagree with stream (%d frames, \
+                %d events)"
+               nframes nevents !frames !decoded)
+        else Ok ()
+      in
+      (match input_char ic with
+      | exception End_of_file -> Ok ()
+      | _ -> Error (Printf.sprintf "trailing bytes after footer at offset %d" (pos_in ic - 1)))
+    | _ -> Error (Printf.sprintf "bad frame marker at offset %d" (pos_in ic - 4))
+  in
+  loop ()
+
+let iter_channel ?on_frame ic ~f =
+  let ( let* ) = Result.bind in
+  let* () =
+    match really_input_string ic 4 with
+    | exception End_of_file ->
+      Error (Printf.sprintf "empty or truncated file (offset %d)" (pos_in ic))
+    | m -> if m <> magic then Error "bad magic" else Ok ()
+  in
+  let* v = get_uvarint_ch ic in
+  if v = version then iter_channel_v1 ic ~f
+  else if v = version_framed then iter_channel_v2 ?on_frame ic ~f
+  else Error (Printf.sprintf "unsupported version %d" v)
+
+let iter_file ?on_frame path ~f =
   let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> iter_channel ic ~f)
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> iter_channel ?on_frame ic ~f)
 
 let write_file path trace =
   let oc = open_out_bin path in
@@ -267,7 +717,12 @@ let write_file path trace =
       write buf trace;
       Buffer.output_buffer oc buf)
 
-let read_file path =
+(* New trace files are framed; written atomically so a crash mid-write
+   never leaves a half-encoded file behind. *)
+let write_file_framed ?frame_events path trace =
+  Prefix_util.Fsio.atomic_write path (fun buf -> write_framed ?frame_events buf trace)
+
+let with_file_data path k =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -275,4 +730,8 @@ let read_file path =
       let len = in_channel_length ic in
       let data = Bytes.create len in
       really_input ic data 0 len;
-      read data)
+      k data)
+
+let read_file path = with_file_data path read
+
+let read_file_lenient path = with_file_data path read_lenient

@@ -13,30 +13,108 @@
     - tag 2: store  (Δobj, offset, thread)
     - tag 3: Free   (Δobj, thread)
     - tag 4: Realloc (Δobj, new_size, thread)
-    - tag 5: Compute (instrs, thread) *)
+    - tag 5: Compute (instrs, thread)
+
+    {b Format v1} is the legacy layout: header, total event count, then
+    one undelimited event stream — a single flipped byte makes
+    everything after it undecodable.
+
+    {b Format v2} (framed) chunks the stream into length-prefixed
+    frames, each carrying its own event count, the cumulative event
+    count before it, and a CRC32 of its payload; the delta state resets
+    at each frame so frames decode independently.  A checksummed footer
+    records the frame/event totals, making truncation detectable.  The
+    strict readers reject any corruption; {!read_lenient} skips corrupt
+    frames (resynchronizing on the frame marker) and reports exactly
+    which event ranges were lost.  Both versions are readable by
+    {!read} / {!iter_channel}. *)
 
 val magic : string
 (** ["PFXT"]. *)
 
 val version : int
+(** 1 — the legacy unframed format, still written by {!write} and
+    always readable. *)
+
+val version_framed : int
+(** 2 — the framed, checksummed format of {!write_framed}. *)
+
+val default_frame_events : int
+(** Events per frame when unspecified (65536, matching
+    {!Stream.default_segment_events} so frame boundaries and stream
+    segment boundaries coincide). *)
 
 val write : Buffer.t -> Trace.t -> unit
-(** Append the encoded trace to a buffer. *)
+(** Append the v1 encoding of the trace to a buffer. *)
 
 val to_bytes : Trace.t -> bytes
 
+val write_framed : ?frame_events:int -> Buffer.t -> Trace.t -> unit
+(** Append the framed (v2) encoding.  Raises [Invalid_argument] when
+    [frame_events <= 0]. *)
+
+val to_bytes_framed : ?frame_events:int -> Trace.t -> bytes
+
 val read : bytes -> (Trace.t, string) result
-(** Decode; [Error] on bad magic, version, truncation, or a malformed
-    varint. *)
+(** Decode either format version; [Error] on bad magic, version,
+    truncation, malformed varints, or (v2) any CRC/footer mismatch.
+    An input shorter than the magic reports
+    ["empty or truncated file (offset N)"]. *)
 
 val write_file : string -> Trace.t -> unit
+(** v1 file writer (kept for compatibility). *)
+
+val write_file_framed : ?frame_events:int -> string -> Trace.t -> unit
+(** Framed (v2) file writer; the file is written via temp + atomic
+    rename so a crash never leaves a truncated trace behind. *)
+
 val read_file : string -> (Trace.t, string) result
 
-val iter_channel : in_channel -> f:(Event.t -> unit) -> (unit, string) result
-(** Streaming decode straight off a (buffered) channel: [f] is called
-    once per event, no trace and no whole-file copy is materialized.
-    Stops at the first corruption with the same errors as {!read}. *)
+(** {2 Lenient framed decode} *)
 
-val iter_file : string -> f:(Event.t -> unit) -> (unit, string) result
+type lost_range = { lost_from : int; lost_to : int }
+(** Half-open range [\[lost_from, lost_to)] of original-stream event
+    indices that could not be recovered. *)
+
+type lenient = {
+  lr_trace : Trace.t;  (** surviving events, in stream order *)
+  lr_lost : lost_range list;  (** ascending, non-overlapping *)
+  lr_frames_ok : int;
+  lr_frames_skipped : int;  (** resynchronization count *)
+  lr_total_events : int option;
+      (** footer total when a valid footer was found; [None] means the
+          file is truncated and the tail loss is unknowable *)
+}
+
+val read_lenient : bytes -> (lenient, string) result
+(** Best-effort decode of a framed (v2) file: corrupt frames are
+    skipped by scanning for the next frame marker, and each good
+    frame's cumulative event count pins exactly which event ranges were
+    lost.  [Error] only when the header itself is unusable (missing
+    magic, not v2).  Callers typically hand [lr_trace] to
+    {!Sanitizer.sanitize} to repair the dangling frees/accesses the
+    lost ranges leave behind. *)
+
+val read_file_lenient : string -> (lenient, string) result
+
+val lenient_events_lost : lenient -> int
+(** Total events in [lr_lost]. *)
+
+val pp_lost_range : Format.formatter -> lost_range -> unit
+
+(** {2 Streaming decode} *)
+
+val iter_channel :
+  ?on_frame:(unit -> unit) -> in_channel -> f:(Event.t -> unit) -> (unit, string) result
+(** Streaming decode straight off a (buffered) channel: [f] is called
+    once per event, no trace and no whole-file copy is materialized
+    (v2 holds one frame at a time).  Stops at the first corruption with
+    the same errors as {!read}; an empty channel reports
+    ["empty or truncated file (offset N)"].  For v2 input [on_frame]
+    fires after each frame's events (never for v1) — the streaming
+    engine uses it to cut segments exactly at frame boundaries. *)
+
+val iter_file :
+  ?on_frame:(unit -> unit) -> string -> f:(Event.t -> unit) -> (unit, string) result
 (** {!iter_channel} over a freshly opened binary file (always closed).
     Raises [Sys_error] if the file cannot be opened. *)

@@ -90,11 +90,30 @@ let of_text_file ?segment_events path =
       | Ok () -> ()
       | Error msg -> failwith (path ^ ": " ^ msg))
 
-let of_binary_file ?segment_events path =
-  create ?segment_events (fun push ->
-      match Binfmt.iter_file path ~f:push with
-      | Ok () -> ()
-      | Error msg -> failwith (path ^ ": " ^ msg))
+(* Binary files are decoded frame-aware: for framed (v2) input the
+   segment is flushed at every frame boundary, so checkpoint boundaries
+   (= segment boundaries) coincide with the file's integrity-check
+   units.  A frame larger than [segment_events] still flushes whenever
+   the buffer fills, so segments never exceed their declared size. *)
+let of_binary_file ?(segment_events = default_segment_events) path =
+  check_segment_events ~who:"Stream.of_binary_file" segment_events;
+  let feed emit =
+    let buf = Packed.Buf.create segment_events in
+    let flush () =
+      if Packed.Buf.length buf > 0 then begin
+        emit (Packed.Buf.view buf);
+        Packed.Buf.clear buf
+      end
+    in
+    match
+      Binfmt.iter_file path ~on_frame:flush ~f:(fun e ->
+          Packed.Buf.add buf e;
+          if Packed.Buf.is_full buf then flush ())
+    with
+    | Ok () -> flush ()
+    | Error msg -> failwith (path ^ ": " ^ msg)
+  in
+  { segment_events; feed }
 
 (* ---- sinks ----------------------------------------------------------- *)
 

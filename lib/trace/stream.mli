@@ -53,8 +53,11 @@ val of_text_file : ?segment_events:int -> string -> t
 
 val of_binary_file : ?segment_events:int -> string -> t
 (** Streams the binary format ({!Binfmt}) through a fixed refill
-    buffer.  Iterating raises [Failure] on corruption, [Sys_error] on
-    open failure. *)
+    buffer.  For framed (v2) files a segment is cut at every frame
+    boundary (and whenever the buffer fills), so stream segment
+    boundaries — and therefore checkpoint boundaries — coincide with
+    the file's integrity-check units.  Iterating raises [Failure] on
+    corruption, [Sys_error] on open failure. *)
 
 (** {1 Sinks (materialize — for tests and small traces)} *)
 

@@ -140,6 +140,8 @@ let finish c =
     reused = c.c_reused;
     trace_len = c.c_len }
 
+let events_fed c = c.c_len
+
 let analyze_packed packed =
   let c = collector () in
   feed c ~base:0 packed;

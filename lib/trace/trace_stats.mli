@@ -88,3 +88,25 @@ val heap_access_share : t -> int list -> float
 
 val lifetimes_overlap : t -> int -> int -> bool
 (** Whether two objects' [alloc,free) trace intervals intersect. *)
+
+(** {2 Online collector}
+
+    The analysis is a single left-to-right fold, exposed so long
+    streamed analyses can be checkpointed mid-pass: [feed] segments in
+    order, [finish] once at the end.  [analyze_stream] is exactly
+    [collector () |> feed over every segment |> finish].  The collector
+    is plain data (hashtables, lists, counters) — serializable with
+    [Marshal] for crash-safe resume. *)
+
+type collector
+
+val collector : unit -> collector
+
+val feed : collector -> base:int -> Packed.t -> unit
+(** Consume one packed segment whose first event has global index
+    [base].  Segments must be fed in stream order. *)
+
+val events_fed : collector -> int
+(** Events consumed so far (the resume cursor). *)
+
+val finish : collector -> t

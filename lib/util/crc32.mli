@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3 polynomial, as used by zlib and PNG).
+
+    Integrity check for the framed trace format and checkpoint files:
+    detects torn writes, truncation and bit flips without any external
+    dependency.  All results are in [0, 2^32). *)
+
+val bytes : bytes -> int
+
+val string : string -> int
+
+val sub_bytes : bytes -> pos:int -> len:int -> int
+(** Raises [Invalid_argument] when the slice is out of bounds. *)
+
+val sub_string : string -> pos:int -> len:int -> int
+
+val update : int -> int -> int
+(** [update crc byte] advances a raw (pre-finalization) accumulator —
+    exposed for incremental hashing; most callers want the whole-buffer
+    functions above. *)

@@ -1,0 +1,78 @@
+(* Crash-safe file output.
+
+   Every artifact this project writes (reports, telemetry, benchmark
+   JSON, checkpoints) goes through [atomic_write_string]: the content is
+   written to a temporary file in the destination directory, fsynced,
+   and renamed over the target.  A crash at any point leaves either the
+   old file or the new one — never a truncated hybrid.  [with_retry]
+   adds bounded retry-with-backoff for transient I/O errors (ENOSPC
+   races, NFS hiccups), used by the checkpoint and telemetry writers. *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let default_attempts = 3
+let default_backoff_ms = 20
+
+let with_retry ?(attempts = default_attempts) ?(backoff_ms = default_backoff_ms) f =
+  if attempts <= 0 then invalid_arg "Fsio.with_retry: attempts must be positive";
+  let rec go n backoff =
+    match f () with
+    | v -> v
+    | exception ((Sys_error _ | Unix.Unix_error _) as e) ->
+      if n >= attempts then raise e
+      else begin
+        (* Exponential backoff, capped implicitly by the attempt bound. *)
+        Unix.sleepf (float_of_int backoff /. 1000.);
+        go (n + 1) (backoff * 2)
+      end
+  in
+  go 1 backoff_ms
+
+(* The temp file lives in the destination directory so the final rename
+   never crosses a filesystem boundary (rename is only atomic within
+   one). *)
+let atomic_write_string ?(fsync = true) ?attempts ?backoff_ms path content =
+  let write () =
+    mkdir_p (Filename.dirname path);
+    let tmp =
+      Filename.temp_file ~temp_dir:(Filename.dirname path)
+        ("." ^ Filename.basename path ^ ".") ".tmp"
+    in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let b = Bytes.unsafe_of_string content in
+            let len = Bytes.length b in
+            let pos = ref 0 in
+            while !pos < len do
+              pos := !pos + Unix.write fd b !pos (len - !pos)
+            done;
+            if fsync then Unix.fsync fd);
+        Sys.rename tmp path)
+  in
+  with_retry ?attempts ?backoff_ms write
+
+let atomic_write ?fsync ?attempts ?backoff_ms path f =
+  let buf = Buffer.create 4096 in
+  f buf;
+  atomic_write_string ?fsync ?attempts ?backoff_ms path (Buffer.contents buf)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Ok s
+        | exception End_of_file -> Error (path ^ ": truncated while reading"))

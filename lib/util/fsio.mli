@@ -1,0 +1,32 @@
+(** Crash-safe file output: write-temp + fsync + atomic rename, with
+    bounded retry-with-backoff for transient I/O errors.
+
+    A crash (or SIGKILL) at any point during a write leaves either the
+    previous file contents or the new ones on disk — never a truncated
+    artifact.  Used by every report/JSON emitter and by the checkpoint
+    writer. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its missing parents (0o755).  Raises
+    [Unix.Unix_error] when a component cannot be created. *)
+
+val with_retry : ?attempts:int -> ?backoff_ms:int -> (unit -> 'a) -> 'a
+(** Run [f], retrying on [Sys_error] / [Unix.Unix_error] up to
+    [attempts] times total (default 3) with exponentially growing
+    sleeps starting at [backoff_ms] (default 20).  The last failure is
+    re-raised. *)
+
+val atomic_write_string :
+  ?fsync:bool -> ?attempts:int -> ?backoff_ms:int -> string -> string -> unit
+(** [atomic_write_string path content] writes [content] to a temp file
+    in [path]'s directory, fsyncs it (unless [~fsync:false]), and
+    renames it over [path].  Missing parent directories are created.
+    Retries transient failures per {!with_retry}. *)
+
+val atomic_write :
+  ?fsync:bool -> ?attempts:int -> ?backoff_ms:int -> string -> (Buffer.t -> unit) -> unit
+(** Buffer-building convenience over {!atomic_write_string}. *)
+
+val read_file : string -> (string, string) result
+(** Whole-file read (binary); [Error msg] when the file cannot be
+    opened or read. *)

@@ -260,6 +260,46 @@ let test_strict_unchanged_recovery_zero () =
   Alcotest.(check int) "no recoveries" 0
     (Executor.recovery_total outcome.Executor.recovery)
 
+(* ---- sanitizer idempotence ---- *)
+
+(* Sanitizing is a repair fixpoint: whatever an injector (any kind, any
+   seed, any rate) did to a well-formed trace, one sanitize pass must
+   produce a trace a second pass finds nothing wrong with — no
+   anomalies, no drops, no synthesis, no rewrites — and leaves
+   byte-identical. *)
+let prop_sanitize_idempotent =
+  let base =
+    lazy
+      (let b = B.create ~seed:99 () in
+       let objs = Array.init 12 (fun i -> B.alloc b ~site:(1 + (i mod 4)) (24 * (i + 1))) in
+       for k = 0 to 399 do
+         B.access b objs.(k mod 12) ~write:(k mod 3 = 0) (k mod 24);
+         if k mod 17 = 0 then B.compute b (k * 10)
+       done;
+       Array.iteri (fun i o -> if i mod 3 <> 0 then B.free b o) objs;
+       B.trace b)
+  in
+  let gen =
+    QCheck.Gen.(
+      triple (oneofl Injector.all_kinds) (int_range 0 9999)
+        (oneofl [ 0.01; 0.05; 0.2; 0.5 ]))
+  in
+  let print (k, seed, rate) =
+    Printf.sprintf "%s seed=%d rate=%.2f" (Injector.kind_name k) seed rate
+  in
+  QCheck.Test.make ~name:"sanitize is idempotent over every injector kind"
+    ~count:200
+    (QCheck.make ~print gen)
+    (fun (kind, seed, rate) ->
+      let corrupted = Injector.inject kind ~seed ~rate (Lazy.force base) in
+      let repaired, _ = Sanitizer.sanitize corrupted in
+      let again, r2 = Sanitizer.sanitize repaired in
+      Trace.to_list again = Trace.to_list repaired
+      && r2.Sanitizer.dropped = 0
+      && r2.Sanitizer.synthesized = 0
+      && r2.Sanitizer.rewritten = 0
+      && List.for_all (fun (_, c) -> c = 0) r2.Sanitizer.counts)
+
 (* ---- campaign smoke ---- *)
 
 let test_campaign_smoke () =
@@ -301,7 +341,8 @@ let suite =
         Alcotest.test_case "repairs for strict replay" `Quick
           test_sanitize_repairs_for_strict_replay;
         Alcotest.test_case "check rejects" `Quick test_check_rejects_with_report;
-        Alcotest.test_case "metric export" `Quick test_export_metrics ] );
+        Alcotest.test_case "metric export" `Quick test_export_metrics;
+        QCheck_alcotest.to_alcotest prop_sanitize_idempotent ] );
     ( "injector",
       [ Alcotest.test_case "deterministic" `Quick test_injector_deterministic;
         Alcotest.test_case "seeds differ" `Quick test_injector_seeds_differ;

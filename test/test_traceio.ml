@@ -184,6 +184,154 @@ let prop_binfmt_decode_fuzz =
       | Ok _ | Error _ -> true
       | exception _ -> false)
 
+(* ---- framed (v2) format ---- *)
+
+let framed_input =
+  lazy
+    (let w = Prefix_workloads.Registry.find "libc" in
+     w.generate ~scale:Prefix_workloads.Workload.Profiling ~seed:7 ())
+
+let check_same_trace name a b =
+  Alcotest.(check int) (name ^ " length") (Trace.length a) (Trace.length b);
+  List.iter
+    (fun i ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s event %d" name i)
+        (Event.to_string (Trace.get a i))
+        (Event.to_string (Trace.get b i)))
+    [ 0; Trace.length a / 3; Trace.length a / 2; Trace.length a - 1 ]
+
+let test_framed_roundtrip_small_frames () =
+  let trace = Lazy.force framed_input in
+  List.iter
+    (fun frame_events ->
+      match Binfmt.read (Binfmt.to_bytes_framed ~frame_events trace) with
+      | Error e -> Alcotest.failf "frame_events %d: %s" frame_events e
+      | Ok t ->
+        check_same_trace (Printf.sprintf "frames of %d" frame_events) trace t)
+    [ 1; 7; 1000; 1_000_000 ]
+
+let test_framed_matches_v1_decode () =
+  let trace = Lazy.force framed_input in
+  match
+    (Binfmt.read (Binfmt.to_bytes trace),
+     Binfmt.read (Binfmt.to_bytes_framed ~frame_events:999 trace))
+  with
+  | Ok v1, Ok v2 -> check_same_trace "v1 vs v2" v1 v2
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_framed_strict_rejects_corruption () =
+  let trace = Lazy.force framed_input in
+  let data = Binfmt.to_bytes_framed ~frame_events:1000 trace in
+  let n = Bytes.length data in
+  List.iter
+    (fun pos ->
+      let d = Bytes.copy data in
+      Bytes.set d pos (Char.chr (Char.code (Bytes.get d pos) lxor 0x01));
+      match Binfmt.read d with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted a flipped byte at offset %d" pos)
+    [ n / 4; n / 2; (3 * n) / 4 ];
+  (* Losing the footer is also corruption for the strict reader. *)
+  match Binfmt.read (Bytes.sub data 0 (n - 8)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a truncated file"
+
+(* Byte offsets of every frame marker, so corruption can be aimed at
+   one specific frame. *)
+let frame_offsets data =
+  let n = Bytes.length data in
+  let acc = ref [] in
+  for p = n - 4 downto 0 do
+    if Bytes.sub_string data p 4 = "FRME" then acc := p :: !acc
+  done;
+  !acc
+
+let test_framed_lenient_exact_loss () =
+  let trace = Lazy.force framed_input in
+  let total = Trace.length trace in
+  let frame_events = 1000 in
+  let data = Binfmt.to_bytes_framed ~frame_events trace in
+  let offsets = frame_offsets data in
+  let frames = List.length offsets in
+  Alcotest.(check int) "frame count"
+    ((total + frame_events - 1) / frame_events)
+    frames;
+  (* Corrupt exactly the k-th frame (a byte past its marker + header)
+     and expect exactly its event range reported lost. *)
+  List.iter
+    (fun k ->
+      let d = Bytes.copy data in
+      let pos = List.nth offsets k + 24 in
+      Bytes.set d pos (Char.chr (Char.code (Bytes.get d pos) lxor 0x40));
+      match Binfmt.read_lenient d with
+      | Error e -> Alcotest.fail e
+      | Ok l ->
+        let lost_from = k * frame_events in
+        let lost_to = min total ((k + 1) * frame_events) in
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "lost range of frame %d" k)
+          [ (lost_from, lost_to) ]
+          (List.map
+             (fun r -> (r.Binfmt.lost_from, r.Binfmt.lost_to))
+             l.Binfmt.lr_lost);
+        Alcotest.(check int) "events lost" (lost_to - lost_from)
+          (Binfmt.lenient_events_lost l);
+        Alcotest.(check int) "events recovered"
+          (total - (lost_to - lost_from))
+          (Trace.length l.Binfmt.lr_trace);
+        Alcotest.(check int) "frames ok" (frames - 1) l.Binfmt.lr_frames_ok;
+        Alcotest.(check int) "frames skipped" 1 l.Binfmt.lr_frames_skipped;
+        Alcotest.(check (option int)) "footer total" (Some total)
+          l.Binfmt.lr_total_events)
+    [ 0; frames / 2; frames - 1 ]
+
+let test_framed_lenient_truncation () =
+  let trace = Lazy.force framed_input in
+  let data = Binfmt.to_bytes_framed ~frame_events:1000 trace in
+  (* Cut mid-way: the tail (and the footer) are gone, so the total is
+     unknowable and the surviving prefix is whole frames only. *)
+  match Binfmt.read_lenient (Bytes.sub data 0 (Bytes.length data / 2)) with
+  | Error e -> Alcotest.fail e
+  | Ok l ->
+    Alcotest.(check (option int)) "no footer" None l.Binfmt.lr_total_events;
+    Alcotest.(check int) "whole frames only" 0
+      (Trace.length l.Binfmt.lr_trace mod 1000);
+    Alcotest.(check bool) "something recovered" true
+      (Trace.length l.Binfmt.lr_trace > 0)
+
+let test_binfmt_empty_file_message () =
+  List.iter
+    (fun data ->
+      match Binfmt.read data with
+      | Ok _ -> Alcotest.fail "accepted an empty/truncated input"
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions truncation" e)
+          true
+          (let prefix = "empty or truncated file" in
+           String.length e >= String.length prefix
+           && String.sub e 0 (String.length prefix) = prefix))
+    [ Bytes.create 0; Bytes.of_string "PF" ]
+
+let test_stream_of_binary_file_frame_boundaries () =
+  let trace = Lazy.force framed_input in
+  let total = Trace.length trace in
+  let frame_events = 512 in
+  let path = Filename.temp_file "prefix_framed" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Binfmt.write_file_framed ~frame_events path trace;
+      let stream = Stream.of_binary_file ~segment_events:frame_events path in
+      let seen = ref 0 in
+      Stream.iter_segments stream (fun ~base seg ->
+          Alcotest.(check int) "segment starts on a frame boundary" 0
+            (base mod frame_events);
+          Alcotest.(check int) "segment base is the running total" !seen base;
+          seen := !seen + Packed.length seg);
+      Alcotest.(check int) "all events streamed" total !seen)
+
 let suite =
   [ ( "pruner",
       [ Alcotest.test_case "drops cold accesses" `Quick test_prune_drops_cold_accesses;
@@ -198,4 +346,19 @@ let suite =
         Alcotest.test_case "rejects garbage" `Quick test_binfmt_rejects_garbage;
         Alcotest.test_case "file io" `Quick test_binfmt_file_io;
         QCheck_alcotest.to_alcotest prop_binfmt_roundtrip;
-        QCheck_alcotest.to_alcotest prop_binfmt_decode_fuzz ] ) ]
+        QCheck_alcotest.to_alcotest prop_binfmt_decode_fuzz ] );
+    ( "binfmt-v2",
+      [ Alcotest.test_case "framed roundtrip, small frames" `Quick
+          test_framed_roundtrip_small_frames;
+        Alcotest.test_case "v2 decodes identically to v1" `Quick
+          test_framed_matches_v1_decode;
+        Alcotest.test_case "strict read rejects corruption" `Quick
+          test_framed_strict_rejects_corruption;
+        Alcotest.test_case "lenient read pins the exact lost range" `Quick
+          test_framed_lenient_exact_loss;
+        Alcotest.test_case "lenient read of a truncated file" `Quick
+          test_framed_lenient_truncation;
+        Alcotest.test_case "empty file error message" `Quick
+          test_binfmt_empty_file_message;
+        Alcotest.test_case "of_binary_file cuts segments at frame boundaries"
+          `Quick test_stream_of_binary_file_frame_boundaries ] ) ]

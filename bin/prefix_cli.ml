@@ -266,26 +266,62 @@ let list_cmd =
 (* --- trace *)
 
 let trace_cmd =
-  let run name scale seed limit =
+  let run name scale seed limit format out =
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
       guard @@ fun () ->
       let trace = w.generate ~scale ~seed () in
       let n = Prefix_trace.Trace.length trace in
-      let shown = match limit with Some l -> min l n | None -> n in
-      for i = 0 to shown - 1 do
-        print_endline
-          (Prefix_trace.Serialize.event_to_line (Prefix_trace.Trace.get trace i))
-      done;
-      if shown < n then Printf.eprintf "(%d of %d events shown)\n" shown n;
-      0
+      match format with
+      | `Text ->
+        let shown = match limit with Some l -> min l n | None -> n in
+        for i = 0 to shown - 1 do
+          print_endline
+            (Prefix_trace.Serialize.event_to_line (Prefix_trace.Trace.get trace i))
+        done;
+        if shown < n then Printf.eprintf "(%d of %d events shown)\n" shown n;
+        0
+      | (`Binary | `Columnar) as fmt -> (
+        match out with
+        | None ->
+          Printf.eprintf "prefix: error: --format %s requires --out FILE\n"
+            (match fmt with `Binary -> "binary" | `Columnar -> "columnar");
+          2
+        | Some path ->
+          (match fmt with
+          | `Binary -> Prefix_trace.Binfmt.write_file_framed path trace
+          | `Columnar ->
+            Prefix_trace.Columnar.write_file path (Prefix_trace.Packed.of_trace trace));
+          Printf.eprintf "%s: %d events, %d bytes\n" path n
+            (match Prefix_util.Fsio.read_file path with
+            | Ok s -> String.length s
+            | Error _ -> 0);
+          0)
   in
   let limit =
-    Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Print at most N events.")
+    Arg.(value
+         & opt (some int) None
+         & info [ "limit" ] ~doc:"Print at most N events (text format only).")
   in
-  Cmd.v (Cmd.info "trace" ~doc:"Generate and dump a workload trace")
-    Term.(const run $ bench_arg $ scale_arg $ seed_arg $ limit)
+  let format =
+    let doc =
+      "Output format: 'text' dumps one event per line to stdout; 'binary' \
+       writes a framed Binfmt v2 file to --out; 'columnar' writes the \
+       compressed columnar v3 container to --out.  Both binary containers \
+       replay through `--stream` (the reader auto-detects the container)."
+    in
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("binary", `Binary); ("columnar", `Columnar) ]) `Text
+         & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let out =
+    Arg.(value
+         & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output file for the binary formats.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Generate and dump or convert a workload trace")
+    Term.(const run $ bench_arg $ scale_arg $ seed_arg $ limit $ format $ out)
 
 (* --- plan *)
 
@@ -351,13 +387,26 @@ let max_rss_arg =
   in
   Arg.(value & opt (some int) None & info [ "max-rss-mb" ] ~docv:"MB" ~doc)
 
+let stream_container_arg =
+  let doc =
+    "Source backing the streamed evaluation (with --stream): 'generator' \
+     (default) re-runs the deterministic workload generator each pass; \
+     'columnar' spools the stream once into a compressed columnar (v3) \
+     container and replays from the file — same segments, byte-identical \
+     report, with the on-disk decode path exercised end to end."
+  in
+  Arg.(value
+       & opt (enum [ ("generator", `Generator); ("columnar", `Columnar) ]) `Generator
+       & info [ "stream-container" ] ~docv:"CONTAINER" ~doc)
+
 let run_cmd =
-  let run name scale stream segment_events jobs verbose log_level obs_out
-      telemetry telemetry_interval checkpoint checkpoint_every deadline_s
-      max_rss_mb =
+  let run name scale stream segment_events stream_container jobs verbose
+      log_level obs_out telemetry telemetry_interval checkpoint checkpoint_every
+      deadline_s max_rss_mb =
     setup_logs log_level verbose;
     Harness.set_jobs jobs;
     set_streaming stream segment_events;
+    Harness.set_stream_container stream_container;
     Harness.set_eval_scale scale;
     match get_workload name with
     | Error e -> prerr_endline e; 1
@@ -402,8 +451,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
     Term.(const run $ bench_arg $ eval_scale_arg $ stream_arg
-          $ segment_events_arg $ jobs_arg $ verbose_arg $ log_level_arg
-          $ obs_out_arg $ telemetry_arg $ telemetry_interval_arg
+          $ segment_events_arg $ stream_container_arg $ jobs_arg $ verbose_arg
+          $ log_level_arg $ obs_out_arg $ telemetry_arg $ telemetry_interval_arg
           $ checkpoint_arg $ checkpoint_every_arg $ deadline_arg $ max_rss_arg)
 
 (* --- resume *)

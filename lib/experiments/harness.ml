@@ -63,6 +63,27 @@ let segment_events : int option ref = ref None
 let set_segment_events n = segment_events := n
 let eval_scale = ref Workload.Long
 let set_eval_scale s = eval_scale := s
+let stream_container : [ `Generator | `Columnar ] ref = ref `Generator
+let set_stream_container c = stream_container := c
+
+(* Spooled stream containers are temp files; cleanup is registered once
+   from the main domain (at_exit is domain-local in OCaml 5, so worker
+   domains must not register their own). *)
+let spooled_files = ref []
+let spooled_mutex = Mutex.create ()
+
+let () =
+  at_exit (fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !spooled_files)
+
+let spool_columnar (wl : Workload.t) ~scale ~segment_events =
+  let s = Workload.generate_stream wl ~scale ~seed:(seed + 1) ?segment_events () in
+  let path = Filename.temp_file ("prefix-" ^ wl.name ^ "-") ".pfxt" in
+  Mutex.lock spooled_mutex;
+  spooled_files := path :: !spooled_files;
+  Mutex.unlock spooled_mutex;
+  Prefix_trace.Stream.to_columnar_file s path;
+  path
 
 let run_benchmark (wl : Workload.t) =
   (* Each benchmark derives all randomness from fixed per-benchmark
@@ -82,8 +103,24 @@ let run_benchmark (wl : Workload.t) =
             wl.generate ~scale:Profiling ~seed ())
       in
       let segment_events = !segment_events in
-      let mk () =
-        Workload.generate_stream wl ~scale:eval_scale ~seed:(seed + 1) ?segment_events ()
+      let mk =
+        match !stream_container with
+        | `Generator ->
+          fun () ->
+            Workload.generate_stream wl ~scale:eval_scale ~seed:(seed + 1)
+              ?segment_events ()
+        | `Columnar ->
+          (* Spool the deterministic stream once into a columnar (v3)
+             container, then every replay below streams from the file —
+             exercising the on-disk decode path end to end.  The
+             container carries the same segments, so reports stay
+             byte-identical to the generator-backed (and materialized)
+             paths. *)
+          let path =
+            Span.with_ ~cat:"harness" "spool-columnar" (fun () ->
+                spool_columnar wl ~scale:eval_scale ~segment_events)
+          in
+          fun () -> Prefix_trace.Stream.of_binary_file ?segment_events path
       in
       (profiling_trace, Streamed mk)
     end

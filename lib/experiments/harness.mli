@@ -65,6 +65,16 @@ val set_segment_events : int option -> unit
 (** Segment size (events) for streamed evaluation; [None] uses
     {!Prefix_trace.Stream.default_segment_events}. *)
 
+val set_stream_container : [ `Generator | `Columnar ] -> unit
+(** Source of the streamed evaluation (with {!set_streaming}):
+    [`Generator] (default) re-runs the deterministic workload generator
+    on every pass; [`Columnar] spools the stream once into a columnar
+    (v3) container in the temp directory and streams every replay from
+    the file — same segments, byte-identical reports, but the on-disk
+    decode path is exercised end to end.  Spooled files are removed at
+    process exit.  Configure before the first run (the CLI's
+    [--stream-container] flag). *)
+
 val set_eval_scale : Prefix_workloads.Workload.scale -> unit
 (** Scale of the evaluation run (default [Long]; [Huge] is the
     streaming engine's target, ~10x longer). *)

@@ -9,8 +9,11 @@ let default_frame_events = 1 lsl 16
 
 (* --- varints --- *)
 
-let put_uvarint buf n =
-  if n < 0 then invalid_arg "Binfmt: negative unsigned varint";
+(* Encode [n] as an unsigned LEB128 varint, treating the full 63-bit
+   pattern as unsigned: the logical shift makes the loop terminate even
+   when bit 62 (OCaml's sign bit) is set, which zigzag produces for
+   |n| >= 2^61.  At most 9 bytes (ceil 63/7). *)
+let put_uvarint63 buf n =
   let n = ref n in
   let continue = ref true in
   while !continue do
@@ -23,10 +26,14 @@ let put_uvarint buf n =
     else Buffer.add_char buf (Char.chr (b lor 0x80))
   done
 
+let put_uvarint buf n =
+  if n < 0 then invalid_arg "Binfmt: negative unsigned varint";
+  put_uvarint63 buf n
+
 let zigzag n = (n lsl 1) lxor (n asr 62)
 let unzigzag n = (n lsr 1) lxor (-(n land 1))
 
-let put_varint buf n = put_uvarint buf (zigzag n)
+let put_varint buf n = put_uvarint63 buf (zigzag n)
 
 let put_u32le buf n =
   Buffer.add_char buf (Char.chr (n land 0xff));
@@ -36,24 +43,32 @@ let put_u32le buf n =
 
 type cursor = { data : bytes; mutable pos : int }
 
-let get_uvarint c =
+(* Decode the full-63-bit companion of {!put_uvarint63}: the sign bit is
+   a legal payload bit here (zigzag of a min_int-scale delta), so only
+   length is bounded (9 bytes carry exactly 63 bits). *)
+let get_uvarint63 c =
   let rec go shift acc =
     if c.pos >= Bytes.length c.data then Error "truncated varint"
     else begin
       let b = Char.code (Bytes.get c.data c.pos) in
       c.pos <- c.pos + 1;
       let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 = 0 then
-        (* High continuation bytes can shift into the sign bit on
-           corrupted input; an unsigned varint is never negative. *)
-        if acc < 0 then Error "varint overflows" else Ok acc
+      if b land 0x80 = 0 then Ok acc
       else if shift > 56 then Error "varint too long"
       else go (shift + 7) acc
     end
   in
   go 0 0
 
-let get_varint c = Result.map unzigzag (get_uvarint c)
+let get_uvarint c =
+  match get_uvarint63 c with
+  | Ok acc when acc < 0 ->
+    (* High continuation bytes can shift into the sign bit on corrupted
+       input; an unsigned varint is never negative. *)
+    Error "varint overflows"
+  | r -> r
+
+let get_varint c = Result.map unzigzag (get_uvarint63 c)
 
 let get_u32le c =
   if c.pos + 4 > Bytes.length c.data then Error "truncated checksum"
@@ -488,20 +503,25 @@ let read_lenient data =
    streaming engine uses it to align segment boundaries with frame
    boundaries. *)
 
-let get_uvarint_ch ic =
+let get_uvarint63_ch ic =
   let rec go shift acc =
     match input_char ic with
     | exception End_of_file -> Error "truncated varint"
     | ch ->
       let b = Char.code ch in
       let acc = acc lor ((b land 0x7f) lsl shift) in
-      if b land 0x80 = 0 then if acc < 0 then Error "varint overflows" else Ok acc
+      if b land 0x80 = 0 then Ok acc
       else if shift > 56 then Error "varint too long"
       else go (shift + 7) acc
   in
   go 0 0
 
-let get_varint_ch ic = Result.map unzigzag (get_uvarint_ch ic)
+let get_uvarint_ch ic =
+  match get_uvarint63_ch ic with
+  | Ok acc when acc < 0 -> Error "varint overflows"
+  | r -> r
+
+let get_varint_ch ic = Result.map unzigzag (get_uvarint63_ch ic)
 
 let iter_channel_v1 ic ~f =
   let ( let* ) = Result.bind in
@@ -707,6 +727,19 @@ let iter_channel ?on_frame ic ~f =
 let iter_file ?on_frame path ~f =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> iter_channel ?on_frame ic ~f)
+
+(* Container sniff: magic + version varint only.  Lets callers dispatch
+   between the event-interleaved decoders here and the columnar (v3)
+   decoder of {!Columnar} without reading the body. *)
+let file_version path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match really_input_string ic 4 with
+      | exception End_of_file ->
+        Error (Printf.sprintf "empty or truncated file (offset %d)" (pos_in ic))
+      | m -> if m <> magic then Error "bad magic" else get_uvarint_ch ic)
 
 let write_file path trace =
   let oc = open_out_bin path in

@@ -44,6 +44,45 @@ val default_frame_events : int
     {!Stream.default_segment_events} so frame boundaries and stream
     segment boundaries coincide). *)
 
+val frame_marker : string
+(** ["FRME"] — starts every frame of a framed container (v2 and the
+    columnar v3 of {!Columnar}). *)
+
+val footer_marker : string
+(** ["FEND"] — starts the checksummed totals footer. *)
+
+(** {2 Wire primitives}
+
+    The LEB128/zig-zag vocabulary shared by every container version
+    (and by {!Columnar}'s per-column encodings).  Signed varints treat
+    the zig-zag image as a full 63-bit unsigned pattern — logical
+    shifts on both sides — so min_int/max_int-scale deltas round-trip;
+    the unsigned getters still reject a decoded sign bit as corruption
+    ("varint overflows"). *)
+
+val put_uvarint : Buffer.t -> int -> unit
+(** Append an unsigned LEB128 varint.  Raises [Invalid_argument] on a
+    negative argument. *)
+
+val put_varint : Buffer.t -> int -> unit
+(** Append a signed (zig-zag) varint; total for all of [int]. *)
+
+val put_u32le : Buffer.t -> int -> unit
+(** Append a 32-bit little-endian word (checksums). *)
+
+type cursor = { data : bytes; mutable pos : int }
+(** A decode position inside a byte buffer; getters advance [pos]. *)
+
+val get_uvarint : cursor -> (int, string) result
+(** Decode an unsigned varint; [Error] on truncation, a value beyond 9
+    bytes, or a set sign bit. *)
+
+val get_varint : cursor -> (int, string) result
+(** Decode a signed (zig-zag) varint; the sign bit is a legal payload
+    bit here, so the whole [int] range round-trips. *)
+
+val get_u32le : cursor -> (int, string) result
+
 val write : Buffer.t -> Trace.t -> unit
 (** Append the v1 encoding of the trace to a buffer. *)
 
@@ -118,3 +157,9 @@ val iter_file :
   ?on_frame:(unit -> unit) -> string -> f:(Event.t -> unit) -> (unit, string) result
 (** {!iter_channel} over a freshly opened binary file (always closed).
     Raises [Sys_error] if the file cannot be opened. *)
+
+val file_version : string -> (int, string) result
+(** Sniff a file's container version (magic + version varint only):
+    1/2 are the formats decoded here, {!Columnar.version_columnar} is
+    the columnar container.  [Error] on bad magic or truncation; raises
+    [Sys_error] if the file cannot be opened. *)

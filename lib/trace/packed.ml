@@ -56,6 +56,15 @@ let of_trace tr =
     tr;
   { len; tag; obj; fa; fb; fc; thread }
 
+let of_arrays ~len ~tag ~obj ~fa ~fb ~fc ~thread =
+  if len < 0 then invalid_arg "Packed.of_arrays: negative length";
+  if
+    Array.length tag < len || Array.length obj < len || Array.length fa < len
+    || Array.length fb < len || Array.length fc < len
+    || Array.length thread < len
+  then invalid_arg "Packed.of_arrays: column shorter than len";
+  { len; tag; obj; fa; fb; fc; thread }
+
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Packed.get: index out of bounds";
   let obj = t.obj.(i) and thread = t.thread.(i) in

@@ -44,6 +44,23 @@ val of_trace : Trace.t -> t
 val to_trace : t -> Trace.t
 (** Exact inverse of {!of_trace}. *)
 
+val of_arrays :
+  len:int ->
+  tag:int array ->
+  obj:int array ->
+  fa:int array ->
+  fb:int array ->
+  fc:int array ->
+  thread:int array ->
+  t
+(** Wrap caller-built column arrays as a packed trace {e without
+    copying} — the columnar decoder's zero-copy path ({!Columnar}).
+    The arrays are shared, so the result is only as immutable as the
+    caller's discipline; each must be at least [len] long (checked).
+    Tags must be valid [tag_*] codes and per-tag unused fields must be
+    0, exactly as {!of_trace} lays them out — the columnar decoder
+    guarantees this. *)
+
 val get : t -> int -> Event.t
 (** Reconstruct one boxed event (for debugging / cold paths); raises
     [Invalid_argument] out of bounds. *)

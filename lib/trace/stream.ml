@@ -90,32 +90,80 @@ let of_text_file ?segment_events path =
       | Ok () -> ()
       | Error msg -> failwith (path ^ ": " ^ msg))
 
-(* Binary files are decoded frame-aware: for framed (v2) input the
-   segment is flushed at every frame boundary, so checkpoint boundaries
-   (= segment boundaries) coincide with the file's integrity-check
-   units.  A frame larger than [segment_events] still flushes whenever
-   the buffer fills, so segments never exceed their declared size. *)
+(* Binary files are decoded frame-aware: for framed (v2 and columnar
+   v3) input the segment is flushed at every frame boundary, so
+   checkpoint boundaries (= segment boundaries) coincide with the
+   file's integrity-check units.  A frame larger than [segment_events]
+   still flushes whenever the buffer fills, so segments never exceed
+   their declared size.  The container is auto-detected from the
+   header: v1/v2 take the event-at-a-time {!Binfmt} decoder, v3 the
+   columnar one — whole decoded frames are blitted into the segment
+   buffer, never boxed per event. *)
 let of_binary_file ?(segment_events = default_segment_events) path =
   check_segment_events ~who:"Stream.of_binary_file" segment_events;
+  (* The segment buffer and frame-decode scratch are cached on the
+     stream value and shared by successive passes (they are fully
+     rewritten on each one), so re-iteration costs no re-allocation.
+     Like the buffer reuse itself, this assumes one iteration of a
+     given [t] at a time — iterate a fresh stream per domain. *)
+  let buf = lazy (Packed.Buf.create segment_events) in
+  let decoder = lazy (Columnar.decoder_create ()) in
   let feed emit =
-    let buf = Packed.Buf.create segment_events in
+    let buf = Lazy.force buf in
+    Packed.Buf.clear buf;
     let flush () =
       if Packed.Buf.length buf > 0 then begin
         emit (Packed.Buf.view buf);
         Packed.Buf.clear buf
       end
     in
-    match
-      Binfmt.iter_file path ~on_frame:flush ~f:(fun e ->
-          Packed.Buf.add buf e;
-          if Packed.Buf.is_full buf then flush ())
-    with
+    let columnar =
+      match Binfmt.file_version path with
+      | Ok v -> v = Columnar.version_columnar
+      | Error msg -> failwith (path ^ ": " ^ msg)
+    in
+    let result =
+      if columnar then
+        Columnar.iter_file ~decoder:(Lazy.force decoder) path ~f:(fun frame ->
+            let n = Packed.length frame in
+            if n <= segment_events && Packed.Buf.length buf = 0 then
+              (* Whole frame fits in one segment: hand the decoder's
+                 packed view straight through — no copy.  Like every
+                 emitted segment it is only valid for the duration of
+                 the callback. *)
+              emit frame
+            else begin
+              let pos = ref 0 in
+              while !pos < n do
+                let room = segment_events - Packed.Buf.length buf in
+                let len = min room (n - !pos) in
+                Packed.Buf.blit_packed buf frame ~pos:!pos ~len;
+                pos := !pos + len;
+                if Packed.Buf.is_full buf then flush ()
+              done;
+              flush ()
+            end)
+      else
+        Binfmt.iter_file path ~on_frame:flush ~f:(fun e ->
+            Packed.Buf.add buf e;
+            if Packed.Buf.is_full buf then flush ())
+    in
+    match result with
     | Ok () -> flush ()
     | Error msg -> failwith (path ^ ": " ^ msg)
   in
   { segment_events; feed }
 
 (* ---- sinks ----------------------------------------------------------- *)
+
+(* One frame per stream segment (sliced when a segment exceeds
+   [frame_events]), so segment boundaries survive a spool-to-file
+   round trip. *)
+let to_columnar_file ?frame_events t path =
+  Prefix_util.Fsio.atomic_write path (fun buf ->
+      let w = Columnar.Writer.create ?frame_events buf in
+      iter_segments t (fun ~base:_ seg -> Columnar.Writer.add_segment w seg);
+      Columnar.Writer.finish w)
 
 let to_trace t =
   let trace = Trace.create () in

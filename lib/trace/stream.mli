@@ -52,12 +52,21 @@ val of_text_file : ?segment_events:int -> string -> t
     if the file cannot be opened (checked on each pass). *)
 
 val of_binary_file : ?segment_events:int -> string -> t
-(** Streams the binary format ({!Binfmt}) through a fixed refill
-    buffer.  For framed (v2) files a segment is cut at every frame
-    boundary (and whenever the buffer fills), so stream segment
-    boundaries — and therefore checkpoint boundaries — coincide with
-    the file's integrity-check units.  Iterating raises [Failure] on
-    corruption, [Sys_error] on open failure. *)
+(** Streams a binary trace file through a fixed refill buffer,
+    auto-detecting the container from the header: Binfmt v1/v2 decode
+    event-at-a-time ({!Binfmt.iter_file}), the columnar v3 container
+    decodes whole frames into flat columns and blits them in — no
+    per-event boxing ({!Columnar}).  For framed input (v2 and v3) a
+    segment is cut at every frame boundary (and whenever the buffer
+    fills), so stream segment boundaries — and therefore checkpoint
+    boundaries — coincide with the file's integrity-check units.
+    Iterating raises [Failure] on corruption, [Sys_error] on open
+    failure. *)
+
+val to_columnar_file : ?frame_events:int -> t -> string -> unit
+(** Spool the stream into a columnar (v3) container, one frame per
+    segment (atomic write).  [of_binary_file] on the result replays
+    the same segments. *)
 
 (** {1 Sinks (materialize — for tests and small traces)} *)
 

@@ -33,15 +33,34 @@ let with_retry ?(attempts = default_attempts) ?(backoff_ms = default_backoff_ms)
   in
   go 1 backoff_ms
 
+(* Read the process umask without changing it (there is no query-only
+   call). *)
+let current_umask () =
+  let u = Unix.umask 0 in
+  ignore (Unix.umask u);
+  u
+
+(* Flush the directory entry for a just-renamed file: without this the
+   rename itself can be lost on power failure even though the file data
+   was fsynced.  Some filesystems refuse fsync on a directory fd — that
+   is a durability downgrade, not an error. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 (* The temp file lives in the destination directory so the final rename
    never crosses a filesystem boundary (rename is only atomic within
    one). *)
 let atomic_write_string ?(fsync = true) ?attempts ?backoff_ms path content =
   let write () =
-    mkdir_p (Filename.dirname path);
+    let dir = Filename.dirname path in
+    mkdir_p dir;
     let tmp =
-      Filename.temp_file ~temp_dir:(Filename.dirname path)
-        ("." ^ Filename.basename path ^ ".") ".tmp"
+      Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path ^ ".") ".tmp"
     in
     Fun.protect
       ~finally:(fun () -> if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
@@ -50,6 +69,10 @@ let atomic_write_string ?(fsync = true) ?attempts ?backoff_ms path content =
         Fun.protect
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
           (fun () ->
+            (* [Filename.temp_file] creates the file 0o600; published
+               artifacts get the regular-file default instead, still
+               honoring the caller's umask. *)
+            Unix.fchmod fd (0o644 land lnot (current_umask ()));
             let b = Bytes.unsafe_of_string content in
             let len = Bytes.length b in
             let pos = ref 0 in
@@ -57,7 +80,8 @@ let atomic_write_string ?(fsync = true) ?attempts ?backoff_ms path content =
               pos := !pos + Unix.write fd b !pos (len - !pos)
             done;
             if fsync then Unix.fsync fd);
-        Sys.rename tmp path)
+        Sys.rename tmp path;
+        if fsync then fsync_dir dir)
   in
   with_retry ?attempts ?backoff_ms write
 

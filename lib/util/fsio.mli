@@ -20,8 +20,11 @@ val atomic_write_string :
   ?fsync:bool -> ?attempts:int -> ?backoff_ms:int -> string -> string -> unit
 (** [atomic_write_string path content] writes [content] to a temp file
     in [path]'s directory, fsyncs it (unless [~fsync:false]), and
-    renames it over [path].  Missing parent directories are created.
-    Retries transient failures per {!with_retry}. *)
+    renames it over [path], then fsyncs the directory so the rename
+    itself is durable.  The result carries the regular-file mode
+    ([0o644] filtered by the process umask), not the temp file's
+    private [0o600].  Missing parent directories are created.  Retries
+    transient failures per {!with_retry}. *)
 
 val atomic_write :
   ?fsync:bool -> ?attempts:int -> ?backoff_ms:int -> string -> (Buffer.t -> unit) -> unit

@@ -184,6 +184,58 @@ let prop_binfmt_decode_fuzz =
       | Ok _ | Error _ -> true
       | exception _ -> false)
 
+(* ---- varint extremes ---- *)
+
+(* The signed (zig-zag) varint must round-trip the full 63-bit [int]
+   range: [zigzag min_int] has bit 62 set, so the unsigned encoder
+   must not reject it as "negative" (it only looks negative after the
+   shift) and the decoder must accept an accumulator whose top bit is
+   set.  This was broken before [put_uvarint63]/[get_uvarint63]. *)
+let varint_roundtrip n =
+  let buf = Buffer.create 10 in
+  Binfmt.put_varint buf n;
+  let c = { Binfmt.data = Buffer.to_bytes buf; pos = 0 } in
+  match Binfmt.get_varint c with
+  | Error e -> Alcotest.failf "varint %d: %s" n e
+  | Ok n' ->
+    Alcotest.(check int) (Printf.sprintf "varint %d" n) n n';
+    Alcotest.(check int) "all bytes consumed" (Bytes.length c.Binfmt.data) c.Binfmt.pos
+
+let test_varint_extremes () =
+  List.iter varint_roundtrip
+    [ 0; 1; -1; 63; 64; -64; -65; max_int; min_int; max_int - 1; min_int + 1;
+      1 lsl 62; -(1 lsl 62); 0x7fffffff; -0x80000000 ]
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"signed varint roundtrips the full int range" ~count:1000
+    QCheck.(set_gen QCheck.Gen.int int)
+    (fun n ->
+      let buf = Buffer.create 10 in
+      Binfmt.put_varint buf n;
+      let c = { Binfmt.data = Buffer.to_bytes buf; pos = 0 } in
+      Binfmt.get_varint c = Ok n && c.Binfmt.pos = Bytes.length c.Binfmt.data)
+
+let test_event_int_extremes () =
+  (* Whole events at the integer extremes, through v1 and v2.  The
+     signed (delta-coded) fields — obj, site, ctx — span the full
+     [int] range; sizes, offsets, threads and instruction counts are
+     unsigned on this wire, so their extreme is [max_int]. *)
+  let es : Event.t list =
+    [ Alloc { obj = max_int; site = max_int; ctx = max_int; size = max_int; thread = max_int };
+      Access { obj = min_int; offset = max_int; write = true; thread = 0 };
+      Alloc { obj = min_int; site = min_int; ctx = min_int; size = 0; thread = 0 };
+      Realloc { obj = min_int; new_size = max_int; thread = 0 };
+      Compute { instrs = max_int; thread = 1 };
+      Free { obj = max_int; thread = max_int } ]
+  in
+  let t = Trace.of_list es in
+  (match Binfmt.read (Binfmt.to_bytes t) with
+  | Error e -> Alcotest.failf "v1: %s" e
+  | Ok t' -> Alcotest.(check bool) "v1 roundtrip" true (Trace.to_list t' = es));
+  match Binfmt.read (Binfmt.to_bytes_framed ~frame_events:2 t) with
+  | Error e -> Alcotest.failf "v2: %s" e
+  | Ok t' -> Alcotest.(check bool) "v2 roundtrip" true (Trace.to_list t' = es)
+
 (* ---- framed (v2) format ---- *)
 
 let framed_input =
@@ -346,7 +398,10 @@ let suite =
         Alcotest.test_case "rejects garbage" `Quick test_binfmt_rejects_garbage;
         Alcotest.test_case "file io" `Quick test_binfmt_file_io;
         QCheck_alcotest.to_alcotest prop_binfmt_roundtrip;
-        QCheck_alcotest.to_alcotest prop_binfmt_decode_fuzz ] );
+        QCheck_alcotest.to_alcotest prop_binfmt_decode_fuzz;
+        Alcotest.test_case "varint extremes" `Quick test_varint_extremes;
+        QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+        Alcotest.test_case "events at int extremes" `Quick test_event_int_extremes ] );
     ( "binfmt-v2",
       [ Alcotest.test_case "framed roundtrip, small frames" `Quick
           test_framed_roundtrip_small_frames;

@@ -218,6 +218,37 @@ let test_fmt_pct () =
   check Alcotest.string "signed" "+3.90%" (Tablefmt.fmt_pct 3.9);
   check Alcotest.string "negative" "-21.70%" (Tablefmt.fmt_pct (-21.7))
 
+(* ---- Fsio ---- *)
+
+let test_atomic_write_perms () =
+  (* [atomic_write_string] must produce a normally-readable file: 0o644
+     filtered by the umask, not [Filename.temp_file]'s private 0o600. *)
+  let dir = Filename.temp_file "prefix_fsio" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "out.txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      Unix.rmdir dir)
+    (fun () ->
+      let umask = Unix.umask 0 in
+      ignore (Unix.umask umask);
+      Fsio.atomic_write_string path "hello";
+      let st = Unix.stat path in
+      check ci "permissions honor the umask" (0o644 land lnot umask)
+        (st.Unix.st_perm land 0o777);
+      check Alcotest.string "content" "hello"
+        (match Fsio.read_file path with Ok s -> s | Error e -> Alcotest.fail e);
+      (* Overwrite is atomic: the file always holds old or new content,
+         and permissions stay sane. *)
+      Fsio.atomic_write_string ~fsync:true path "world";
+      check Alcotest.string "overwritten" "world"
+        (match Fsio.read_file path with Ok s -> s | Error e -> Alcotest.fail e);
+      let st = Unix.stat path in
+      check ci "permissions after overwrite" (0o644 land lnot umask)
+        (st.Unix.st_perm land 0o777))
+
 let suite =
   [ ( "util",
       [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -245,4 +276,5 @@ let suite =
         Alcotest.test_case "table render" `Quick test_table_render;
         Alcotest.test_case "table arity" `Quick test_table_too_many_cells;
         Alcotest.test_case "fmt_int" `Quick test_fmt_int;
-        Alcotest.test_case "fmt_pct" `Quick test_fmt_pct ] ) ]
+        Alcotest.test_case "fmt_pct" `Quick test_fmt_pct;
+        Alcotest.test_case "atomic write perms" `Quick test_atomic_write_perms ] ) ]

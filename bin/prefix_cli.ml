@@ -399,14 +399,23 @@ let stream_container_arg =
        & opt (enum [ ("generator", `Generator); ("columnar", `Columnar) ]) `Generator
        & info [ "stream-container" ] ~docv:"CONTAINER" ~doc)
 
+let decode_once_arg =
+  let doc =
+    "With --stream: replay all six policies as consumers of a single decode \
+     pass over the evaluation stream (decode once, replay many) instead of \
+     re-decoding it per policy.  The report is byte-identical either way."
+  in
+  Arg.(value & flag & info [ "decode-once" ] ~doc)
+
 let run_cmd =
-  let run name scale stream segment_events stream_container jobs verbose
-      log_level obs_out telemetry telemetry_interval checkpoint checkpoint_every
-      deadline_s max_rss_mb =
+  let run name scale stream segment_events stream_container decode_once jobs
+      verbose log_level obs_out telemetry telemetry_interval checkpoint
+      checkpoint_every deadline_s max_rss_mb =
     setup_logs log_level verbose;
     Harness.set_jobs jobs;
     set_streaming stream segment_events;
     Harness.set_stream_container stream_container;
+    Harness.set_decode_once decode_once;
     Harness.set_eval_scale scale;
     match get_workload name with
     | Error e -> prerr_endline e; 1
@@ -451,9 +460,10 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
     Term.(const run $ bench_arg $ eval_scale_arg $ stream_arg
-          $ segment_events_arg $ stream_container_arg $ jobs_arg $ verbose_arg
-          $ log_level_arg $ obs_out_arg $ telemetry_arg $ telemetry_interval_arg
-          $ checkpoint_arg $ checkpoint_every_arg $ deadline_arg $ max_rss_arg)
+          $ segment_events_arg $ stream_container_arg $ decode_once_arg
+          $ jobs_arg $ verbose_arg $ log_level_arg $ obs_out_arg $ telemetry_arg
+          $ telemetry_interval_arg $ checkpoint_arg $ checkpoint_every_arg
+          $ deadline_arg $ max_rss_arg)
 
 (* --- resume *)
 

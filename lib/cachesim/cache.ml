@@ -111,6 +111,28 @@ let probe t ~write addr =
 
 let access ?(write = false) t addr = probe t ~write addr
 
+let line_bits t = t.line_bits
+
+(* [touch_run t ~write ~n addr] accounts [n] consecutive references to
+   [addr]'s line in one step.  Precondition: the line is resident and
+   is its set's MRU way (any {!probe} of [addr] — MRU hit, scan hit or
+   miss install — establishes exactly that).  Then each of the [n]
+   repeats would take the MRU fast path above: bump two counters, stamp
+   the MRU way, or the dirty bit.  Only the final stamp value and the
+   or-of-writes dirty state are observable afterwards, so one bulk
+   update is exactly equivalent to [n] probes — same counters, same
+   replacement state, all hits. *)
+let touch_run t ~write ~n addr =
+  let line = addr lsr t.line_bits in
+  let set = line land t.set_mask in
+  let i = (set * t.assoc) + Array.unsafe_get t.mru set in
+  if Array.unsafe_get t.tags i <> line then
+    invalid_arg "Cache.touch_run: line is not the set's MRU way";
+  t.accesses <- t.accesses + n;
+  t.clock <- t.clock + n;
+  Array.unsafe_set t.stamps i t.clock;
+  if write then Array.unsafe_set t.dirty i true
+
 let accesses t = t.accesses
 let misses t = t.misses
 

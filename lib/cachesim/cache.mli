@@ -36,6 +36,18 @@ val probe : t -> write:bool -> int -> bool
     the replay hot loop uses this to avoid boxing an option per
     memory reference. *)
 
+val line_bits : t -> int
+(** log2 of {!line_bytes} — the replay fast path uses it to detect
+    same-line access runs without a division. *)
+
+val touch_run : t -> write:bool -> n:int -> int -> unit
+(** [touch_run t ~write ~n addr] accounts [n] further references to a
+    line that the immediately preceding {!probe} of [addr] made its
+    set's MRU way, in one step: [n] accesses, [n] clock ticks, one
+    stamp, dirty |= [write] — bit-for-bit what [n] MRU-fast-path
+    probes (all hits) would do.  Raises [Invalid_argument] if the MRU
+    way does not hold [addr]'s line (precondition violated). *)
+
 val accesses : t -> int
 val misses : t -> int
 

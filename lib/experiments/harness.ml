@@ -66,6 +66,14 @@ let set_eval_scale s = eval_scale := s
 let stream_container : [ `Generator | `Columnar ] ref = ref `Generator
 let set_stream_container c = stream_container := c
 
+(* Decode-once fan-out: replay all six policies as consumers of a
+   single decode pass ({!Executor.run_stream_many}) instead of
+   re-decoding the evaluation stream per policy.  Off by default (the
+   per-policy path is the long-standing reference); reports are
+   byte-identical either way — CI diffs them. *)
+let decode_once = ref false
+let set_decode_once b = decode_once := b
+
 (* Spooled stream containers are temp files; cleanup is registered once
    from the main domain (at_exit is domain-local in OCaml 5, so worker
    domains must not register their own). *)
@@ -76,16 +84,64 @@ let () =
   at_exit (fun () ->
       List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !spooled_files)
 
+(* Deduped registration: a path already on the list (e.g. re-registered
+   across run_many invocations) is not added twice, so the at_exit
+   sweep never double-removes and the list cannot grow without bound. *)
+let add_spooled path =
+  Mutex.lock spooled_mutex;
+  if not (List.mem path !spooled_files) then spooled_files := path :: !spooled_files;
+  Mutex.unlock spooled_mutex
+
+(* Remove a spool file eagerly (replay exception / guardrail breach):
+   the benchmark that owned it will never produce a result, so nothing
+   can re-stream from the path, and waiting for at_exit would leak the
+   file for the whole process lifetime (a long fuzz campaign, say). *)
+let unspool path =
+  Mutex.lock spooled_mutex;
+  spooled_files := List.filter (fun p -> p <> path) !spooled_files;
+  Mutex.unlock spooled_mutex;
+  try Sys.remove path with Sys_error _ -> ()
+
 let spool_columnar (wl : Workload.t) ~scale ~segment_events =
   let s = Workload.generate_stream wl ~scale ~seed:(seed + 1) ?segment_events () in
   let path = Filename.temp_file ("prefix-" ^ wl.name ^ "-") ".pfxt" in
-  Mutex.lock spooled_mutex;
-  spooled_files := path :: !spooled_files;
-  Mutex.unlock spooled_mutex;
+  add_spooled path;
   Prefix_trace.Stream.to_columnar_file s path;
   path
 
-let run_benchmark (wl : Workload.t) =
+(* Degree of parallelism for [run_all]; 1 (the exact legacy sequential
+   path) unless the CLI's --jobs configured otherwise.  Doubles as the
+   prefetch-pipelining switch: at [jobs >= 2] streamed replays decode
+   segment N+1 on a prefetch worker while segment N replays. *)
+let jobs = ref 1
+let set_jobs n = jobs := max 1 n
+
+(* Dedicated pool for stream-prefetch producers ({!Stream.prefetched}),
+   sized so every concurrently-running benchmark (at most [!jobs], the
+   run_many fan-out) can have its one active producer on a worker.
+   Separate from run_many's own pool — a producer must truly run
+   concurrently with its consumer, never inline.  Created on first use,
+   under a mutex (worker domains may race here); never shut down —
+   parked workers cost nothing and die with the process. *)
+let prefetch_pool_mutex = Mutex.create ()
+let prefetch_pool_ref = ref None
+
+let prefetch_pool () =
+  Mutex.lock prefetch_pool_mutex;
+  let p =
+    match !prefetch_pool_ref with
+    | Some p -> p
+    | None ->
+      let p = Prefix_parallel.Pool.create ~jobs:(!jobs + 1) in
+      prefetch_pool_ref := Some p;
+      p
+  in
+  Mutex.unlock prefetch_pool_mutex;
+  p
+
+let prefetch_spawn f = Prefix_parallel.Pool.submit (prefetch_pool ()) f
+
+let run_benchmark_spooling (wl : Workload.t) ~spooled_path =
   (* Each benchmark derives all randomness from fixed per-benchmark
      seeds (no RNG state is shared across tasks), so a pooled run is
      bit-identical to a sequential one whatever the schedule. *)
@@ -120,6 +176,7 @@ let run_benchmark (wl : Workload.t) =
             Span.with_ ~cat:"harness" "spool-columnar" (fun () ->
                 spool_columnar wl ~scale:eval_scale ~segment_events)
           in
+          spooled_path := Some path;
           fun () -> Prefix_trace.Stream.of_binary_file ?segment_events path
       in
       (profiling_trace, Streamed mk)
@@ -143,7 +200,16 @@ let run_benchmark (wl : Workload.t) =
   let long_stream_of () =
     match long_source with
     | Materialized p -> Prefix_trace.Stream.of_packed p
-    | Streamed mk -> mk ()
+    | Streamed mk ->
+      let s = mk () in
+      (* Pipelined decode: with worker domains available, segment N+1
+         is decoded on a prefetch worker while segment N is consumed.
+         The wrapper forwards the exact segment sequence, so reports
+         stay byte-identical to the unwrapped stream (CI diffs the
+         --jobs 1 and --jobs 2 reports).  At --jobs 1 the pipeline is
+         off: same domain count and allocation behavior as before. *)
+      if !jobs >= 2 then Prefix_trace.Stream.prefetched ~spawn:prefetch_spawn s
+      else s
   in
   (* Pipeline.analyze rather than Trace_stats.analyze so both analysis
      passes appear as "trace-analysis" spans in obs reports. *)
@@ -183,30 +249,61 @@ let run_benchmark (wl : Workload.t) =
   let hds_plan = Hds_policy.plan_of_trace ~detector:pipeline_config.detector profiling_stats profiling_trace in
   let halo_plan = Prefix_halo.Halo.plan_of_trace profiling_stats profiling_trace in
   (* Long-run replays. *)
-  let replay name policy plan =
-    Log.info (fun m -> m "%s: replaying %s" wl.name name);
-    let outcome =
-      match long_source with
-      | Materialized p -> Executor.run_packed ~config:exec_config ~policy p
-      | Streamed _ -> Executor.run_stream ~config:exec_config ~policy (long_stream_of ())
-    in
-    (* Wall-clock fallback sample between policy replays, so a pooled
-       experiment's timeline keeps moving even while every event-cadence
-       tick belongs to some other domain's replay. *)
-    Prefix_obs.Recorder.poll ~label:("benchmark:" ^ wl.name) ();
-    { metrics = outcome.metrics; plan }
+  let baseline, hds, halo, prefix_hot, prefix_hds, prefix_hdshot =
+    match long_source with
+    | Streamed _ when !decode_once ->
+      (* Decode-once fan-out: one pass over the evaluation stream hands
+         each decoded segment to all six policy sessions before the next
+         segment is decoded.  Sessions are independent, so the six
+         outcomes — and hence the report — are byte-identical to the
+         sequential per-policy replays below. *)
+      Log.info (fun m -> m "%s: replaying all policies (decode-once)" wl.name);
+      let policies =
+        [ (fun heap -> Policy.baseline costs heap);
+          (fun heap -> Hds_policy.policy costs heap hds_plan cls);
+          (fun heap -> Halo_policy.policy costs heap halo_plan cls);
+          (fun heap -> Prefix_policy.policy costs heap plan_hot cls);
+          (fun heap -> Prefix_policy.policy costs heap plan_hds cls);
+          (fun heap -> Prefix_policy.policy costs heap plan_hdshot cls) ]
+      in
+      let outcomes =
+        Executor.run_stream_many ~config:exec_config ~policies (long_stream_of ())
+      in
+      Prefix_obs.Recorder.poll ~label:("benchmark:" ^ wl.name) ();
+      let run plan (o : Executor.outcome) = { metrics = o.metrics; plan } in
+      (match outcomes with
+      | [ b; h; hl; p_hot; p_hds; p_hdshot ] ->
+        ( run None b,
+          run None h,
+          run None hl,
+          run (Some plan_hot) p_hot,
+          run (Some plan_hds) p_hds,
+          run (Some plan_hdshot) p_hdshot )
+      | _ -> assert false)
+    | _ ->
+      let replay name policy plan =
+        Log.info (fun m -> m "%s: replaying %s" wl.name name);
+        let outcome =
+          match long_source with
+          | Materialized p -> Executor.run_packed ~config:exec_config ~policy p
+          | Streamed _ -> Executor.run_stream ~config:exec_config ~policy (long_stream_of ())
+        in
+        (* Wall-clock fallback sample between policy replays, so a pooled
+           experiment's timeline keeps moving even while every
+           event-cadence tick belongs to some other domain's replay. *)
+        Prefix_obs.Recorder.poll ~label:("benchmark:" ^ wl.name) ();
+        { metrics = outcome.metrics; plan }
+      in
+      let baseline = replay "baseline" (fun heap -> Policy.baseline costs heap) None in
+      let hds = replay "HDS" (fun heap -> Hds_policy.policy costs heap hds_plan cls) None in
+      let halo = replay "HALO" (fun heap -> Halo_policy.policy costs heap halo_plan cls) None in
+      let prefix_run plan =
+        replay (Plan.variant_name plan.Plan.variant)
+          (fun heap -> Prefix_policy.policy costs heap plan cls)
+          (Some plan)
+      in
+      (baseline, hds, halo, prefix_run plan_hot, prefix_run plan_hds, prefix_run plan_hdshot)
   in
-  let baseline = replay "baseline" (fun heap -> Policy.baseline costs heap) None in
-  let hds = replay "HDS" (fun heap -> Hds_policy.policy costs heap hds_plan cls) None in
-  let halo = replay "HALO" (fun heap -> Halo_policy.policy costs heap halo_plan cls) None in
-  let prefix_run plan =
-    replay (Plan.variant_name plan.Plan.variant)
-      (fun heap -> Prefix_policy.policy costs heap plan cls)
-      (Some plan)
-  in
-  let prefix_hot = prefix_run plan_hot in
-  let prefix_hds = prefix_run plan_hds in
-  let prefix_hdshot = prefix_run plan_hdshot in
   { wl;
     profiling_trace;
     long_source;
@@ -221,6 +318,20 @@ let run_benchmark (wl : Workload.t) =
     prefix_hdshot;
     long_hot_set;
     long_hds_set }
+
+(* A benchmark that dies mid-flight (strict-replay anomaly, guardrail
+   breach, I/O failure) can never hand its result — and therefore its
+   re-streamable spool file — to anyone, so the file is removed right
+   here rather than lingering until at_exit.  On success the spool file
+   must outlive this call: the result's [Streamed] closures re-stream
+   from it (reports, benches, checkpoints). *)
+let run_benchmark (wl : Workload.t) =
+  let spooled_path = ref None in
+  try run_benchmark_spooling wl ~spooled_path
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Option.iter unspool !spooled_path;
+    Printexc.raise_with_backtrace e bt
 
 (* The memo cache is shared by every experiment; pooled [run_all]s fill
    it from several domains at once, so all access goes through a mutex
@@ -257,11 +368,6 @@ let find name =
   match cached name with
   | Some r -> r
   | None -> store name (run_benchmark (Prefix_workloads.Registry.find name))
-
-(* Degree of parallelism for [run_all]; 1 (the exact legacy sequential
-   path) unless the CLI's --jobs configured otherwise. *)
-let jobs = ref 1
-let set_jobs n = jobs := max 1 n
 
 let run_many ?jobs:j names =
   let j = match j with Some j -> max 1 j | None -> !jobs in

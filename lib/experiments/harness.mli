@@ -79,6 +79,14 @@ val set_eval_scale : Prefix_workloads.Workload.scale -> unit
 (** Scale of the evaluation run (default [Long]; [Huge] is the
     streaming engine's target, ~10x longer). *)
 
+val set_decode_once : bool -> unit
+(** When true (and streaming), the six policy replays run as consumers
+    of a single decode pass ({!Prefix_runtime.Executor.run_stream_many})
+    instead of each re-decoding the evaluation stream — one decode for
+    six replays.  Reports are byte-identical to the per-policy path (CI
+    diffs them).  Off by default; the CLI's [--decode-once] flag.
+    Configure before the first run. *)
+
 val pipeline_config : Prefix_core.Pipeline.config
 (** The configuration used for every benchmark's plans. *)
 
@@ -99,7 +107,10 @@ val set_jobs : int -> unit
 (** Default degree of parallelism for {!run_all} / {!run_many} when no
     explicit [?jobs] is given.  Starts at 1 — the exact legacy
     sequential path; the CLI's [--jobs] flag lands here.  Values are
-    clamped to [>= 1]. *)
+    clamped to [>= 1].  At [jobs >= 2], streamed replays additionally
+    pipeline their decode ({!Prefix_trace.Stream.prefetched}): segment
+    N+1 is decoded on a prefetch worker while segment N replays.
+    Reports are unaffected — bit-identical whatever [jobs] is. *)
 
 val run_all : ?jobs:int -> unit -> result list
 (** All 13 benchmarks, memoized for the lifetime of the process.

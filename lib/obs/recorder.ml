@@ -66,6 +66,13 @@ let clear () =
    are created on first sight, so metrics registered mid-run simply
    appear as new columns (older rows read [nan] for them). *)
 let record s ~now ~label ~events =
+  (* Refresh the GC gauges first so every row carries the collector's
+     state as of this tick.  Handles are re-acquired per tick (not
+     cached at module load) so the gauges survive a Metric.reset. *)
+  let gc = Gc.quick_stat () in
+  Metric.set (Metric.gauge "gc.minor_collections") (float_of_int gc.Gc.minor_collections);
+  Metric.set (Metric.gauge "gc.major_collections") (float_of_int gc.Gc.major_collections);
+  Metric.set (Metric.gauge "gc.major_words") gc.Gc.major_words;
   let snap = Metric.snapshot () in
   let cols = ref [] in
   let put name kind v =

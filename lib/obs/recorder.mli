@@ -17,6 +17,12 @@
     has elapsed — so telemetry keeps flowing even when no replay is
     making event progress.
 
+    Each recorded sample first refreshes the OCaml-runtime gauges
+    [gc.minor_collections], [gc.major_collections] and [gc.major_words]
+    (from [Gc.quick_stat], so sampling never forces collector work) —
+    allocation-pressure context next to the replay's own counters, at
+    zero cost between ticks.
+
     When the recorder is disabled (the default), every entry point is
     one atomic load; instrumented hot loops pay nothing. *)
 

@@ -46,6 +46,17 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     and returns the results in the order of [xs].  Tasks must not
     depend on each other; [f] runs concurrently with itself. *)
 
+val submit : t -> (unit -> unit) -> unit -> unit
+(** [submit t task] enqueues [task] for a worker domain and returns a
+    join thunk: calling it blocks until the task has run and re-raises
+    (with its backtrace) anything the task raised.  Used to run a
+    stream-prefetch producer concurrently with its consumer
+    ({!Prefix_trace.Stream.prefetched}); unlike {!map} the submitting
+    domain does {e not} steal the task, so it really runs
+    concurrently.  Raises [Invalid_argument] on a 1-slot pool (no
+    worker to run on — executing inline would deadlock a
+    producer/consumer pair) or after {!shutdown}. *)
+
 val shutdown : t -> unit
 (** Drain and join the worker domains.  Idempotent.  Calling {!map}
     after [shutdown] raises [Invalid_argument]. *)

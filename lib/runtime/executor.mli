@@ -44,6 +44,15 @@ type outcome = {
       (** lenient-mode recovery actions taken during the replay *)
 }
 
+val probe_widening : bool ref
+(** Enables the widened batched-probe fast path inside access runs
+    (default [true]): a streak of same-object, same-thread, same-line
+    accesses after a probed head is accounted in one batched MRU touch
+    per cache instead of per-event probes.  Outcomes are identical
+    either way — this is a perf-only differential knob, used by the
+    pipeline benchmark to time the pre-widening replay as its baseline
+    leg and by tests to check the equivalence. *)
+
 val run :
   ?config:config ->
   ?mode:Policy.mode ->
@@ -100,6 +109,22 @@ val run_stream :
     metrics, recovery counters, heatmap, attribution, and strict-mode
     exceptions — is exactly what {!run_packed} produces on the
     materialized trace. *)
+
+val run_stream_many :
+  ?config:config ->
+  ?mode:Policy.mode ->
+  policies:(Prefix_heap.Allocator.t -> Policy.t) list ->
+  Prefix_trace.Stream.t ->
+  outcome list
+(** Decode-once fan-out: one pass over the stream hands each decoded
+    segment to every policy's session in turn before the next segment
+    is decoded, so N policies cost one decode instead of N.  Sessions
+    are fully independent, and each observes exactly the segment
+    sequence and global indices {!run_stream} would give it — every
+    outcome (metrics, recovery, strict-mode exceptions) is identical
+    to the corresponding per-policy {!run_stream}.  Outcomes are
+    returned in [policies] order.  Heatmaps and attribution are not
+    supported on this path (use {!run_stream} for diagnostics). *)
 
 val run_boxed :
   ?config:config ->

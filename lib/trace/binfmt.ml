@@ -1,4 +1,5 @@
 module Crc32 = Prefix_util.Crc32
+module Bigio = Prefix_util.Bigio
 
 let magic = "PFXT"
 let version = 1
@@ -740,6 +741,244 @@ let file_version path =
       | exception End_of_file ->
         Error (Printf.sprintf "empty or truncated file (offset %d)" (pos_in ic))
       | m -> if m <> magic then Error "bad magic" else get_uvarint_ch ic)
+
+(* --- mmap (bigstring) strict decode -----------------------------------
+
+   Twin of the channel decoders above over a {!Prefix_util.Bigio.t}
+   mapping: the whole container is addressable, so the frame walk, CRC
+   checks and event decode read straight from the mapped region — no
+   channel, no payload copy.  Deliberately duplicated rather than
+   functorized over the byte source: a functor would cost an indirect
+   call per byte fetch on this, the hottest decode loop in the repo.
+   Keep in sync with [decode_event] / [iter_channel_v1] /
+   [iter_channel_v2] above. *)
+
+type bigcursor = { big : Bigio.t; mutable bpos : int; blimit : int }
+
+let get_uvarint63_big c =
+  let rec go shift acc =
+    if c.bpos >= c.blimit then Error "truncated varint"
+    else begin
+      let b = Char.code (Bigio.unsafe_get c.big c.bpos) in
+      c.bpos <- c.bpos + 1;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Ok acc
+      else if shift > 56 then Error "varint too long"
+      else go (shift + 7) acc
+    end
+  in
+  go 0 0
+
+let get_uvarint_big c =
+  match get_uvarint63_big c with
+  | Ok acc when acc < 0 -> Error "varint overflows"
+  | r -> r
+
+let get_varint_big c = Result.map unzigzag (get_uvarint63_big c)
+
+let get_u32le_big c =
+  if c.bpos + 4 > c.blimit then Error "truncated checksum"
+  else begin
+    let b i = Char.code (Bigio.unsafe_get c.big (c.bpos + i)) in
+    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    c.bpos <- c.bpos + 4;
+    Ok v
+  end
+
+let big_sub_string big ~pos ~len = Bigio.sub_string big ~pos ~len
+
+(* [base] is subtracted from offsets in error strings so v2 payload
+   errors report payload-relative positions — exactly what the channel
+   decoder reports, since it hands each payload to a fresh bytes
+   cursor.  v1 passes [base = 0] (absolute offsets, like [pos_in]). *)
+let decode_event_big c ~base st =
+  let ( let* ) = Result.bind in
+  if c.bpos >= c.blimit then Error "truncated stream"
+  else begin
+    let tag = Char.code (Bigio.unsafe_get c.big c.bpos) in
+    c.bpos <- c.bpos + 1;
+    match tag with
+    | 0 ->
+      let* dobj = get_varint_big c in
+      let* dsite = get_varint_big c in
+      let* dctx = get_varint_big c in
+      let* size = get_uvarint_big c in
+      let* thread = get_uvarint_big c in
+      st.obj <- st.obj + dobj;
+      st.site <- st.site + dsite;
+      st.ctx <- st.ctx + dctx;
+      Ok (Event.Alloc { obj = st.obj; site = st.site; ctx = st.ctx; size; thread })
+    | 1 | 2 ->
+      let* dobj = get_varint_big c in
+      let* offset = get_uvarint_big c in
+      let* thread = get_uvarint_big c in
+      st.obj <- st.obj + dobj;
+      Ok (Event.Access { obj = st.obj; offset; write = tag = 2; thread })
+    | 3 ->
+      let* dobj = get_varint_big c in
+      let* thread = get_uvarint_big c in
+      st.obj <- st.obj + dobj;
+      Ok (Event.Free { obj = st.obj; thread })
+    | 4 ->
+      let* dobj = get_varint_big c in
+      let* new_size = get_uvarint_big c in
+      let* thread = get_uvarint_big c in
+      st.obj <- st.obj + dobj;
+      Ok (Event.Realloc { obj = st.obj; new_size; thread })
+    | 5 ->
+      let* instrs = get_uvarint_big c in
+      let* thread = get_uvarint_big c in
+      Ok (Event.Compute { instrs; thread })
+    | t -> Error (Printf.sprintf "unknown tag %d at offset %d" t (c.bpos - 1 - base))
+  end
+
+let iter_big_v1 c ~f =
+  let ( let* ) = Result.bind in
+  let* count = get_uvarint_big c in
+  let* () =
+    if count > c.blimit - c.bpos then
+      Error
+        (Printf.sprintf "implausible event count %d for %d payload bytes" count
+           (c.blimit - c.bpos))
+    else Ok ()
+  in
+  let st = fresh_state () in
+  let rec events remaining =
+    if remaining = 0 then Ok ()
+    else
+      let* e = decode_event_big c ~base:0 st in
+      f e;
+      events (remaining - 1)
+  in
+  events count
+
+let iter_big_v2 ?(on_frame = fun () -> ()) c ~f =
+  let ( let* ) = Result.bind in
+  let len = c.blimit in
+  let decoded = ref 0 in
+  let frames = ref 0 in
+  let rec loop () =
+    if c.bpos + 4 > len then
+      (* The channel twin consumes the (< 4) remaining bytes before
+         hitting [End_of_file], so it reports the file length. *)
+      Error (Printf.sprintf "truncated file (missing footer) at offset %d" len)
+    else begin
+      let marker = big_sub_string c.big ~pos:c.bpos ~len:4 in
+      c.bpos <- c.bpos + 4;
+      if marker = frame_marker then begin
+        let frame_off = c.bpos - 4 in
+        let* events = get_uvarint_big c in
+        let* cum = get_uvarint_big c in
+        let* plen = get_uvarint_big c in
+        let* () =
+          if plen > len - c.bpos then
+            Error
+              (Printf.sprintf "implausible frame payload length %d at offset %d" plen
+                 frame_off)
+          else Ok ()
+        in
+        let* () =
+          if events > plen then
+            Error
+              (Printf.sprintf "implausible event count %d for %d payload bytes" events
+                 plen)
+          else Ok ()
+        in
+        let* () =
+          if cum <> !decoded then
+            Error
+              (Printf.sprintf
+                 "frame at offset %d claims cumulative count %d but %d events decoded"
+                 frame_off cum !decoded)
+          else Ok ()
+        in
+        let* crc = get_u32le_big c in
+        let* () =
+          if c.bpos + plen > len then
+            Error (Printf.sprintf "truncated frame payload at offset %d" frame_off)
+          else Ok ()
+        in
+        let* () =
+          if Crc32.sub_big c.big ~pos:c.bpos ~len:plen <> crc then
+            Error (Printf.sprintf "frame CRC mismatch at offset %d" frame_off)
+          else Ok ()
+        in
+        let base = c.bpos in
+        let pc = { big = c.big; bpos = base; blimit = base + plen } in
+        let st = fresh_state () in
+        let rec events_loop n =
+          if n = 0 then
+            if pc.bpos = base + plen then Ok ()
+            else
+              Error
+                (Printf.sprintf "frame payload length mismatch at offset %d" frame_off)
+          else
+            let* e = decode_event_big pc ~base st in
+            f e;
+            incr decoded;
+            events_loop (n - 1)
+        in
+        let* () = events_loop events in
+        c.bpos <- base + plen;
+        incr frames;
+        on_frame ();
+        loop ()
+      end
+      else if marker = footer_marker then begin
+        let fstart = c.bpos in
+        let* nframes = get_uvarint_big c in
+        let* nevents = get_uvarint_big c in
+        let fend = c.bpos in
+        let* crc = get_u32le_big c in
+        let* () =
+          if Crc32.sub_big c.big ~pos:fstart ~len:(fend - fstart) <> crc then
+            Error "footer CRC mismatch"
+          else Ok ()
+        in
+        let* () =
+          if nframes <> !frames || nevents <> !decoded then
+            Error
+              (Printf.sprintf
+                 "footer totals (%d frames, %d events) disagree with stream (%d frames, \
+                  %d events)"
+                 nframes nevents !frames !decoded)
+          else Ok ()
+        in
+        if c.bpos <> len then
+          Error (Printf.sprintf "trailing bytes after footer at offset %d" c.bpos)
+        else Ok ()
+      end
+      else Error (Printf.sprintf "bad frame marker at offset %d" (c.bpos - 4))
+    end
+  in
+  loop ()
+
+let check_header_big c =
+  let ( let* ) = Result.bind in
+  let* () =
+    if c.blimit < 4 then
+      Error (Printf.sprintf "empty or truncated file (offset %d)" c.blimit)
+    else if big_sub_string c.big ~pos:0 ~len:4 <> magic then Error "bad magic"
+    else begin
+      c.bpos <- 4;
+      Ok ()
+    end
+  in
+  get_uvarint_big c
+
+let iter_big ?on_frame big ~f =
+  let ( let* ) = Result.bind in
+  let c = { big; bpos = 0; blimit = Bigio.length big } in
+  let* v = check_header_big c in
+  if v = version then iter_big_v1 c ~f
+  else if v = version_framed then iter_big_v2 ?on_frame c ~f
+  else Error (Printf.sprintf "unsupported version %d" v)
+
+(* Container sniff over an already-loaded mapping — same contract as
+   {!file_version} without reopening the file. *)
+let big_version big =
+  let c = { big; bpos = 0; blimit = Bigio.length big } in
+  check_header_big c
 
 let write_file path trace =
   let oc = open_out_bin path in

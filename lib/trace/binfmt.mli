@@ -163,3 +163,20 @@ val file_version : string -> (int, string) result
     1/2 are the formats decoded here, {!Columnar.version_columnar} is
     the columnar container.  [Error] on bad magic or truncation; raises
     [Sys_error] if the file cannot be opened. *)
+
+(** {2 Zero-copy (mmap) strict decode}
+
+    Twins of {!iter_channel} running over a {!Prefix_util.Bigio.t}
+    mapping of the whole container: the frame walk, CRC checks and
+    event decode read straight from the mapped region — no channel and
+    no payload copy.  Same events, same rejections as the channel
+    path (differentially tested). *)
+
+val iter_big :
+  ?on_frame:(unit -> unit) -> Prefix_util.Bigio.t -> f:(Event.t -> unit) ->
+  (unit, string) result
+(** Strict v1/v2 decode over a mapped container; [on_frame] fires after
+    each v2 frame's events, exactly like {!iter_channel}. *)
+
+val big_version : Prefix_util.Bigio.t -> (int, string) result
+(** {!file_version} over an already-loaded mapping. *)

@@ -906,6 +906,334 @@ let iter_file ?decoder path ~f =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> iter_channel ?decoder ic ~f)
 
+(* ---- mmap (bigstring) streaming decode -------------------------------- *)
+
+module Bigio = Prefix_util.Bigio
+
+(* Twin of [decode_payload] reading column bytes straight out of a
+   {!Bigio.t} mapping — the columnar hot path with zero payload copies.
+   Deliberately duplicated rather than functorized over the byte
+   source: the varint fast path runs two-to-three times per event and
+   an indirect call per byte would dominate.  Keep in sync with
+   [decode_payload] above. *)
+let decode_payload_big d (data : Bigio.t) ~pos:pos0 ~plen ~n_events =
+  try
+    let limit = pos0 + plen in
+    if limit > Bigio.length data then fail "truncated frame payload";
+    let pos = ref pos0 in
+    let u8 () =
+      if !pos >= limit then fail "truncated column";
+      let b = Char.code (Bigio.unsafe_get data !pos) in
+      incr pos;
+      b
+    in
+    let slow_tail first_byte =
+      let acc = ref (first_byte land 0x7f) in
+      let shift = ref 7 in
+      let p = ref (!pos + 1) in
+      let more = ref true in
+      while !more do
+        if !shift > 56 then fail "varint too long";
+        if !p >= limit then fail "truncated column";
+        let b = Char.code (Bigio.unsafe_get data !p) in
+        incr p;
+        acc := !acc lor ((b land 0x7f) lsl !shift);
+        shift := !shift + 7;
+        if b land 0x80 = 0 then more := false
+      done;
+      pos := !p;
+      !acc
+    in
+    let uv () =
+      let p = !pos in
+      if p >= limit then fail "truncated column";
+      let b = Char.code (Bigio.unsafe_get data p) in
+      if b < 0x80 then begin
+        pos := p + 1;
+        b
+      end
+      else begin
+        let acc = slow_tail b in
+        if acc < 0 then fail "varint overflows";
+        acc
+      end
+    in
+    let sv () =
+      let p = !pos in
+      if p >= limit then fail "truncated column";
+      let b = Char.code (Bigio.unsafe_get data p) in
+      let acc =
+        if b < 0x80 then begin
+          pos := p + 1;
+          b
+        end
+        else slow_tail b
+      in
+      (acc lsr 1) lxor (- (acc land 1))
+    in
+    ensure_cap d n_events;
+    let tag_a = d.d_tag
+    and obj_a = d.d_obj
+    and fa_a = d.d_fa
+    and fb_a = d.d_fb
+    and fc_a = d.d_fc
+    and thread_a = d.d_thread in
+    (* 1. tag runs *)
+    let n_runs = uv () in
+    if n_runs > n_events then fail "implausible run count";
+    ensure_runs d n_runs;
+    let runs_tag = d.runs_tag and runs_len = d.runs_len in
+    let filled = ref 0 in
+    let n_alloc = ref 0 and n_access = ref 0 in
+    Array.fill d.tr_n 0 5 0;
+    for r = 0 to n_runs - 1 do
+      let t = u8 () in
+      if t > Packed.tag_compute then fail "bad tag in run index";
+      let rl = uv () in
+      if rl <= 0 || !filled + rl > n_events then fail "tag runs overflow event count";
+      runs_tag.(r) <- t;
+      runs_len.(r) <- rl;
+      Array.fill tag_a !filled rl t;
+      let tn = Array.unsafe_get d.tr_n t in
+      Array.unsafe_set (Array.unsafe_get d.tr_off t) tn !filled;
+      Array.unsafe_set (Array.unsafe_get d.tr_len t) tn rl;
+      Array.unsafe_set d.tr_n t (tn + 1);
+      if t = Packed.tag_alloc then n_alloc := !n_alloc + rl
+      else if t = Packed.tag_access then n_access := !n_access + rl;
+      filled := !filled + rl
+    done;
+    if !filled <> n_events then fail "tag runs disagree with event count";
+    (* 2. site dictionary *)
+    let n_sites = uv () in
+    if n_sites > !n_alloc then fail "implausible dictionary size";
+    ensure_dict d n_sites;
+    let dict = d.dict in
+    let prev = ref 0 in
+    for s = 0 to n_sites - 1 do
+      prev := !prev + sv ();
+      dict.(s) <- !prev
+    done;
+    (* 3. obj column (Compute rows are implicitly 0) *)
+    let prev_obj = ref 0 in
+    let off = ref 0 in
+    for r = 0 to n_runs - 1 do
+      let rl = Array.unsafe_get runs_len r in
+      if Array.unsafe_get runs_tag r = Packed.tag_compute then
+        Array.fill obj_a !off rl 0
+      else
+        for k = !off to !off + rl - 1 do
+          prev_obj := !prev_obj + sv ();
+          Array.unsafe_set obj_a k !prev_obj
+        done;
+      off := !off + rl
+    done;
+    let iter_runs tag fill =
+      let offs = Array.unsafe_get d.tr_off tag
+      and lens = Array.unsafe_get d.tr_len tag in
+      for r = 0 to Array.unsafe_get d.tr_n tag - 1 do
+        fill (Array.unsafe_get offs r) (Array.unsafe_get lens r)
+      done
+    in
+    (* 4. alloc sites (dictionary indices) -> fa *)
+    iter_runs Packed.tag_alloc (fun off rl ->
+        for k = off to off + rl - 1 do
+          let ix = uv () in
+          if ix >= n_sites then fail "site index out of dictionary range";
+          Array.unsafe_set fa_a k (Array.unsafe_get dict ix)
+        done);
+    (* 5. alloc sizes -> fb *)
+    iter_runs Packed.tag_alloc (fun off rl ->
+        for k = off to off + rl - 1 do
+          Array.unsafe_set fb_a k (sv ())
+        done);
+    (* 6. alloc ctxs (delta-chained) -> fc *)
+    let prev_ctx = ref 0 in
+    iter_runs Packed.tag_alloc (fun off rl ->
+        for k = off to off + rl - 1 do
+          prev_ctx := !prev_ctx + sv ();
+          Array.unsafe_set fc_a k !prev_ctx
+        done);
+    (* 7. access offsets -> fa *)
+    iter_runs Packed.tag_access (fun off rl ->
+        for k = off to off + rl - 1 do
+          Array.unsafe_set fa_a k (sv ())
+        done);
+    (* 8. access write flags (bit-packed) -> fb *)
+    let bitn = ref 0 in
+    let wcur = ref 0 in
+    iter_runs Packed.tag_access (fun off rl ->
+        for k = off to off + rl - 1 do
+          if !bitn land 7 = 0 then wcur := u8 ();
+          Array.unsafe_set fb_a k ((!wcur lsr (!bitn land 7)) land 1);
+          incr bitn
+        done);
+    (* 9. realloc new sizes -> fa *)
+    iter_runs Packed.tag_realloc (fun off rl ->
+        for k = off to off + rl - 1 do
+          Array.unsafe_set fa_a k (sv ())
+        done);
+    (* 10. compute instrs -> fa *)
+    iter_runs Packed.tag_compute (fun off rl ->
+        for k = off to off + rl - 1 do
+          Array.unsafe_set fa_a k (sv ())
+        done);
+    iter_runs Packed.tag_access (fun off rl -> Array.fill fc_a off rl 0);
+    iter_runs Packed.tag_free (fun off rl ->
+        Array.fill fa_a off rl 0;
+        Array.fill fb_a off rl 0;
+        Array.fill fc_a off rl 0);
+    iter_runs Packed.tag_realloc (fun off rl ->
+        Array.fill fb_a off rl 0;
+        Array.fill fc_a off rl 0);
+    iter_runs Packed.tag_compute (fun off rl ->
+        Array.fill fb_a off rl 0;
+        Array.fill fc_a off rl 0);
+    (* 11. thread runs *)
+    let n_truns = uv () in
+    if n_truns > n_events then fail "implausible thread run count";
+    let toff = ref 0 in
+    for _ = 1 to n_truns do
+      let th = sv () in
+      let rl = uv () in
+      if rl <= 0 || !toff + rl > n_events then fail "thread runs overflow event count";
+      Array.fill thread_a !toff rl th;
+      toff := !toff + rl
+    done;
+    if !toff <> n_events then fail "thread runs disagree with event count";
+    if !pos <> limit then fail "frame payload length mismatch";
+    Ok
+      (Packed.of_arrays ~len:n_events ~tag:tag_a ~obj:obj_a ~fa:fa_a ~fb:fb_a
+         ~fc:fc_a ~thread:thread_a)
+  with Corrupt msg -> Error msg
+
+(* Strict frame-at-a-time walk over an mmapped container: markers, CRCs
+   and column bytes all read from the mapping, no payload copy at all.
+   Same validation and error reporting as [iter_channel]. *)
+let iter_big ?(decoder = decoder_create ()) (big : Bigio.t) ~f =
+  let ( let* ) = Result.bind in
+  let len = Bigio.length big in
+  let pos = ref 0 in
+  let get_uv () =
+    let rec go shift acc =
+      if !pos >= len then Error "truncated varint"
+      else begin
+        let b = Char.code (Bigio.unsafe_get big !pos) in
+        incr pos;
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then if acc < 0 then Error "varint overflows" else Ok acc
+        else if shift > 56 then Error "varint too long"
+        else go (shift + 7) acc
+      end
+    in
+    go 0 0
+  in
+  let get_u32 () =
+    if !pos + 4 > len then Error "truncated checksum"
+    else begin
+      let b i = Char.code (Bigio.unsafe_get big (!pos + i)) in
+      let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+      pos := !pos + 4;
+      Ok v
+    end
+  in
+  let* () =
+    if len < 4 then Error (Printf.sprintf "empty or truncated file (offset %d)" len)
+    else if Bigio.sub_string big ~pos:0 ~len:4 <> magic then Error "bad magic"
+    else begin
+      pos := 4;
+      Ok ()
+    end
+  in
+  let* v = get_uv () in
+  let* () =
+    if v <> version_columnar then
+      Error (Printf.sprintf "unsupported version %d (columnar is %d)" v version_columnar)
+    else Ok ()
+  in
+  let decoded = ref 0 in
+  let frames = ref 0 in
+  let rec loop () =
+    if !pos + 4 > len then
+      (* The channel twin consumes the (< 4) remaining bytes before
+         hitting [End_of_file], so it reports the file length. *)
+      Error (Printf.sprintf "truncated file (missing footer) at offset %d" len)
+    else begin
+      let marker = Bigio.sub_string big ~pos:!pos ~len:4 in
+      pos := !pos + 4;
+      if marker = frame_marker then begin
+        let frame_off = !pos - 4 in
+        let* events = get_uv () in
+        let* cum = get_uv () in
+        let* plen = get_uv () in
+        let* () =
+          if plen > len - !pos then
+            Error
+              (Printf.sprintf "implausible frame payload length %d at offset %d" plen
+                 frame_off)
+          else Ok ()
+        in
+        let* () =
+          if events > plen then
+            Error
+              (Printf.sprintf "implausible event count %d for %d payload bytes" events
+                 plen)
+          else Ok ()
+        in
+        let* () =
+          if cum <> !decoded then
+            Error
+              (Printf.sprintf
+                 "frame at offset %d claims cumulative count %d but %d events decoded"
+                 frame_off cum !decoded)
+          else Ok ()
+        in
+        let* crc = get_u32 () in
+        let* () =
+          if !pos + plen > len then
+            Error (Printf.sprintf "truncated frame payload at offset %d" frame_off)
+          else Ok ()
+        in
+        let* () =
+          if Crc32.sub_big big ~pos:!pos ~len:plen <> crc then
+            Error (Printf.sprintf "frame CRC mismatch at offset %d" frame_off)
+          else Ok ()
+        in
+        let* frame = decode_payload_big decoder big ~pos:!pos ~plen ~n_events:events in
+        f frame;
+        decoded := !decoded + events;
+        incr frames;
+        pos := !pos + plen;
+        loop ()
+      end
+      else if marker = footer_marker then begin
+        let fstart = !pos in
+        let* nframes = get_uv () in
+        let* nevents = get_uv () in
+        let fend = !pos in
+        let* crc = get_u32 () in
+        let* () =
+          if Crc32.sub_big big ~pos:fstart ~len:(fend - fstart) <> crc then
+            Error "footer CRC mismatch"
+          else Ok ()
+        in
+        let* () =
+          if nframes <> !frames || nevents <> !decoded then
+            Error
+              (Printf.sprintf
+                 "footer totals (%d frames, %d events) disagree with stream (%d frames, \
+                  %d events)"
+                 nframes nevents !frames !decoded)
+          else Ok ()
+        in
+        if !pos <> len then
+          Error (Printf.sprintf "trailing bytes after footer at offset %d" !pos)
+        else Ok ()
+      end
+      else Error (Printf.sprintf "bad frame marker at offset %d" (!pos - 4))
+    end
+  in
+  loop ()
+
 let with_file_data path k =
   let ic = open_in_bin path in
   Fun.protect

@@ -111,3 +111,11 @@ val iter_file :
   ?decoder:decoder -> string -> f:(Packed.t -> unit) -> (unit, string) result
 (** {!iter_channel} over a freshly opened file (always closed); raises
     [Sys_error] if the file cannot be opened. *)
+
+val iter_big :
+  ?decoder:decoder -> Prefix_util.Bigio.t -> f:(Packed.t -> unit) ->
+  (unit, string) result
+(** {!iter_channel} over an mmapped container ({!Prefix_util.Bigio}):
+    markers, CRCs and column bytes all read straight from the mapping —
+    no channel, no payload copy.  Same validation, same errors, and the
+    same scratch-sharing contract for the frames handed to [f]. *)

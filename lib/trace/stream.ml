@@ -99,15 +99,18 @@ let of_text_file ?segment_events path =
    header: v1/v2 take the event-at-a-time {!Binfmt} decoder, v3 the
    columnar one — whole decoded frames are blitted into the segment
    buffer, never boxed per event. *)
-let of_binary_file ?(segment_events = default_segment_events) path =
+let of_binary_file ?(segment_events = default_segment_events) ?(backend = `Mmap)
+    path =
   check_segment_events ~who:"Stream.of_binary_file" segment_events;
-  (* The segment buffer and frame-decode scratch are cached on the
-     stream value and shared by successive passes (they are fully
-     rewritten on each one), so re-iteration costs no re-allocation.
-     Like the buffer reuse itself, this assumes one iteration of a
-     given [t] at a time — iterate a fresh stream per domain. *)
+  (* The segment buffer, frame-decode scratch and (mmap backend) file
+     mapping are cached on the stream value and shared by successive
+     passes (scratch is fully rewritten on each one), so re-iteration
+     costs no re-allocation and no re-mapping.  Like the buffer reuse
+     itself, this assumes one iteration of a given [t] at a time —
+     iterate a fresh stream per domain. *)
   let buf = lazy (Packed.Buf.create segment_events) in
   let decoder = lazy (Columnar.decoder_create ()) in
+  let big = lazy (Prefix_util.Bigio.load path) in
   let feed emit =
     let buf = Lazy.force buf in
     Packed.Buf.clear buf;
@@ -117,40 +120,156 @@ let of_binary_file ?(segment_events = default_segment_events) path =
         Packed.Buf.clear buf
       end
     in
-    let columnar =
-      match Binfmt.file_version path with
-      | Ok v -> v = Columnar.version_columnar
-      | Error msg -> failwith (path ^ ": " ^ msg)
+    let on_columnar_frame frame =
+      let n = Packed.length frame in
+      if n <= segment_events && Packed.Buf.length buf = 0 then
+        (* Whole frame fits in one segment: hand the decoder's
+           packed view straight through — no copy.  Like every
+           emitted segment it is only valid for the duration of
+           the callback. *)
+        emit frame
+      else begin
+        let pos = ref 0 in
+        while !pos < n do
+          let room = segment_events - Packed.Buf.length buf in
+          let len = min room (n - !pos) in
+          Packed.Buf.blit_packed buf frame ~pos:!pos ~len;
+          pos := !pos + len;
+          if Packed.Buf.is_full buf then flush ()
+        done;
+        flush ()
+      end
+    in
+    let on_event e =
+      Packed.Buf.add buf e;
+      if Packed.Buf.is_full buf then flush ()
     in
     let result =
-      if columnar then
-        Columnar.iter_file ~decoder:(Lazy.force decoder) path ~f:(fun frame ->
-            let n = Packed.length frame in
-            if n <= segment_events && Packed.Buf.length buf = 0 then
-              (* Whole frame fits in one segment: hand the decoder's
-                 packed view straight through — no copy.  Like every
-                 emitted segment it is only valid for the duration of
-                 the callback. *)
-              emit frame
-            else begin
-              let pos = ref 0 in
-              while !pos < n do
-                let room = segment_events - Packed.Buf.length buf in
-                let len = min room (n - !pos) in
-                Packed.Buf.blit_packed buf frame ~pos:!pos ~len;
-                pos := !pos + len;
-                if Packed.Buf.is_full buf then flush ()
-              done;
-              flush ()
-            end)
-      else
-        Binfmt.iter_file path ~on_frame:flush ~f:(fun e ->
-            Packed.Buf.add buf e;
-            if Packed.Buf.is_full buf then flush ())
+      match backend with
+      | `Mmap ->
+        let big = Lazy.force big in
+        let columnar =
+          match Binfmt.big_version big with
+          | Ok v -> v = Columnar.version_columnar
+          | Error msg -> failwith (path ^ ": " ^ msg)
+        in
+        if columnar then
+          Columnar.iter_big ~decoder:(Lazy.force decoder) big ~f:on_columnar_frame
+        else Binfmt.iter_big big ~on_frame:flush ~f:on_event
+      | `Channel ->
+        let columnar =
+          match Binfmt.file_version path with
+          | Ok v -> v = Columnar.version_columnar
+          | Error msg -> failwith (path ^ ": " ^ msg)
+        in
+        if columnar then
+          Columnar.iter_file ~decoder:(Lazy.force decoder) path ~f:on_columnar_frame
+        else Binfmt.iter_file path ~on_frame:flush ~f:on_event
     in
     match result with
     | Ok () -> flush ()
     | Error msg -> failwith (path ^ ": " ^ msg)
+  in
+  { segment_events; feed }
+
+(* ---- prefetch pipelining --------------------------------------------- *)
+
+exception Consumer_abort
+
+(* Decode ahead of replay: a producer (spawned per pass) runs the
+   underlying stream and copies each segment into one of two hand-off
+   buffers — the double-buffered decoder scratch — while the consumer
+   replays the other.  Classic bounded buffer of depth 2: the producer
+   is at most one segment ahead, so memory stays O(2·segment_events)
+   and the emitted segment sequence is exactly the underlying one
+   (same order, same contents, same boundaries — byte-identical
+   reports downstream).  Segments obey the usual contract: valid only
+   for the duration of the callback. *)
+let prefetched ?spawn t =
+  let spawn =
+    match spawn with
+    | Some s -> s
+    | None -> fun f -> let d = Domain.spawn f in fun () -> Domain.join d
+  in
+  let segment_events = t.segment_events in
+  let feed emit =
+    let bufs =
+      [| Packed.Buf.create segment_events; Packed.Buf.create segment_events |]
+    in
+    let full = [| false; false |] in
+    let finished = ref false in
+    let aborted = ref false in
+    let perr = ref None in
+    let mu = Mutex.create () in
+    let cond = Condition.create () in
+    let producer () =
+      (try
+         let slot = ref 0 in
+         t.feed (fun seg ->
+             let s = !slot in
+             Mutex.lock mu;
+             while full.(s) && not !aborted do
+               Condition.wait cond mu
+             done;
+             let ab = !aborted in
+             Mutex.unlock mu;
+             if ab then raise Consumer_abort;
+             let b = bufs.(s) in
+             Packed.Buf.clear b;
+             Packed.Buf.blit_packed b seg ~pos:0 ~len:(Packed.length seg);
+             Mutex.lock mu;
+             full.(s) <- true;
+             Condition.broadcast cond;
+             Mutex.unlock mu;
+             slot := 1 - s)
+       with
+      | Consumer_abort -> ()
+      | e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock mu;
+        perr := Some (e, bt);
+        Mutex.unlock mu);
+      Mutex.lock mu;
+      finished := true;
+      Condition.broadcast cond;
+      Mutex.unlock mu
+    in
+    let join = spawn producer in
+    (* Consumer drains slots in the same alternating order the producer
+       fills them, so the next undelivered segment is always at [slot]. *)
+    (try
+       let slot = ref 0 in
+       let continue = ref true in
+       while !continue do
+         let s = !slot in
+         Mutex.lock mu;
+         while (not full.(s)) && not !finished do
+           Condition.wait cond mu
+         done;
+         let has = full.(s) in
+         Mutex.unlock mu;
+         if has then begin
+           emit (Packed.Buf.view bufs.(s));
+           Mutex.lock mu;
+           full.(s) <- false;
+           Condition.broadcast cond;
+           Mutex.unlock mu;
+           slot := 1 - s
+         end
+         else continue := false
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock mu;
+       aborted := true;
+       Condition.broadcast cond;
+       Mutex.unlock mu;
+       join ();
+       Printexc.raise_with_backtrace e bt);
+    join ();
+    match !perr with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   in
   { segment_events; feed }
 

@@ -51,17 +51,44 @@ val of_text_file : ?segment_events:int -> string -> t
     [Failure "<path>: line N: ..."] on a malformed line and [Sys_error]
     if the file cannot be opened (checked on each pass). *)
 
-val of_binary_file : ?segment_events:int -> string -> t
+val of_binary_file :
+  ?segment_events:int -> ?backend:[ `Mmap | `Channel ] -> string -> t
 (** Streams a binary trace file through a fixed refill buffer,
     auto-detecting the container from the header: Binfmt v1/v2 decode
-    event-at-a-time ({!Binfmt.iter_file}), the columnar v3 container
-    decodes whole frames into flat columns and blits them in — no
-    per-event boxing ({!Columnar}).  For framed input (v2 and v3) a
-    segment is cut at every frame boundary (and whenever the buffer
-    fills), so stream segment boundaries — and therefore checkpoint
-    boundaries — coincide with the file's integrity-check units.
+    event-at-a-time, the columnar v3 container decodes whole frames
+    into flat columns and blits them in — no per-event boxing
+    ({!Columnar}).  For framed input (v2 and v3) a segment is cut at
+    every frame boundary (and whenever the buffer fills), so stream
+    segment boundaries — and therefore checkpoint boundaries —
+    coincide with the file's integrity-check units.
+
+    [backend] selects the byte source (segments are identical either
+    way): [`Mmap] (default) maps the whole file once
+    ({!Prefix_util.Bigio}) and decodes straight from the mapping — no
+    channel, no payload copies, and re-iteration costs no re-read;
+    [`Channel] is the buffered-[in_channel] decode path (what PR 8
+    shipped), kept for benchmarking and for inputs where mapping is
+    undesirable.  [`Mmap] falls back to reading the file into memory
+    when it cannot be mapped.
+
     Iterating raises [Failure] on corruption, [Sys_error] on open
     failure. *)
+
+val prefetched : ?spawn:((unit -> unit) -> unit -> unit) -> t -> t
+(** [prefetched t] overlaps decode with consumption: each pass spawns
+    a producer that runs [t]'s generator one segment ahead, handing
+    segments over through two alternating buffers (double-buffered
+    scratch), so segment N+1 decodes while segment N is being
+    consumed.  The emitted segment sequence is exactly [t]'s — same
+    order, contents and boundaries — so downstream reports are
+    byte-identical; memory is bounded by two extra segments.  [spawn]
+    overrides how the producer is started (e.g. on a
+    {!Prefix_parallel.Pool} worker via [Pool.submit]); it must run its
+    argument exactly once, possibly concurrently, and the returned
+    thunk must join it.  Defaults to [Domain.spawn]/[Domain.join].
+    Consumer exceptions abort the producer and re-raise; producer
+    exceptions (e.g. decode [Failure]) re-raise at the consumer after
+    the handed-over segments are drained. *)
 
 val to_columnar_file : ?frame_events:int -> t -> string -> unit
 (** Spool the stream into a columnar (v3) container, one frame per

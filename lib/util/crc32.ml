@@ -29,6 +29,19 @@ let sub_bytes data ~pos ~len =
   done;
   !crc lxor 0xFFFFFFFF
 
+(* Same loop over a bigstring region — the mmap-backed decode path
+   checks frame CRCs without copying the payload out of the mapping. *)
+let sub_big (data : Bigio.t) ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigio.length data then
+    invalid_arg "Crc32.sub_big";
+  let t = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    let b = Char.code (Bigio.unsafe_get data i) in
+    crc := (!crc lsr 8) lxor t.((!crc lxor b) land 0xff)
+  done;
+  !crc lxor 0xFFFFFFFF
+
 let bytes data = sub_bytes data ~pos:0 ~len:(Bytes.length data)
 
 let string s = bytes (Bytes.unsafe_of_string s)

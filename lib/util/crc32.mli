@@ -13,6 +13,10 @@ val sub_bytes : bytes -> pos:int -> len:int -> int
 
 val sub_string : string -> pos:int -> len:int -> int
 
+val sub_big : Bigio.t -> pos:int -> len:int -> int
+(** CRC over a mapped-file region; raises [Invalid_argument] when the
+    slice is out of bounds. *)
+
 val update : int -> int -> int
 (** [update crc byte] advances a raw (pre-finalization) accumulator —
     exposed for incremental hashing; most callers want the whole-buffer

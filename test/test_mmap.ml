@@ -1,0 +1,419 @@
+(* Tests for the zero-copy (mmap) decode path and the replay pipeline:
+
+   - [Bigio]: mapped and read-fallback loads are byte-identical, empty
+     files yield the empty region, slicing is bounds-checked;
+   - differential decode: for every container version (v1, v2, v3) the
+     bigstring decoders ([Binfmt.iter_big], [Columnar.iter_big], the
+     [`Mmap] stream backend) observe exactly the events, frame cuts,
+     strict rejections and lenient lost ranges of the channel decoders
+     — on clean files, qcheck event soup and corrupted bytes alike;
+   - pipeline equivalence: [Stream.prefetched] emits its inner
+     stream's exact segment sequence, [Executor.run_stream_many]
+     matches per-policy [Executor.run_stream] outcome-for-outcome, and
+     [Executor.probe_widening] never changes an outcome. *)
+
+open Prefix_trace
+module Bigio = Prefix_util.Bigio
+module Executor = Prefix_runtime.Executor
+module Policy = Prefix_runtime.Policy
+
+let costs = Executor.default_config.costs
+
+let baseline heap = Policy.baseline costs heap
+
+let workload_trace () =
+  let wl = Prefix_workloads.Registry.find "libc" in
+  wl.generate ~scale:Prefix_workloads.Workload.Profiling ~seed:7 ()
+
+let with_file data k =
+  let path = Filename.temp_file "prefix_mmap" ".pfxt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_bytes oc data;
+      close_out oc;
+      k path)
+
+(* ---- Bigio ---- *)
+
+let test_bigio_load_equivalence () =
+  let data = Binfmt.to_bytes_framed (workload_trace ()) in
+  with_file data (fun path ->
+      let mapped = Bigio.load path in
+      let copied = Bigio.load ~mmap:false path in
+      Alcotest.(check int) "mapped length" (Bytes.length data) (Bigio.length mapped);
+      Alcotest.(check int) "copied length" (Bytes.length data) (Bigio.length copied);
+      Alcotest.(check bytes) "mapped bytes" data (Bigio.to_bytes mapped);
+      Alcotest.(check bytes) "copied bytes" data (Bigio.to_bytes copied))
+
+let test_bigio_empty () =
+  with_file Bytes.empty (fun path ->
+      Alcotest.(check int) "mapped empty" 0 (Bigio.length (Bigio.load path));
+      Alcotest.(check int) "copied empty" 0
+        (Bigio.length (Bigio.load ~mmap:false path)))
+
+let test_bigio_sub_string () =
+  with_file (Bytes.of_string "hello, mapping") (fun path ->
+      List.iter
+        (fun mmap ->
+          let b = Bigio.load ~mmap path in
+          Alcotest.(check string) "slice" "lo, map" (Bigio.sub_string b ~pos:3 ~len:7);
+          Alcotest.(check char) "get" 'h' (Bigio.get b 0);
+          List.iter
+            (fun (pos, len) ->
+              match Bigio.sub_string b ~pos ~len with
+              | _ -> Alcotest.failf "slice (%d, %d) out of bounds accepted" pos len
+              | exception Invalid_argument _ -> ())
+            [ (-1, 2); (0, 15); (14, 1); (7, max_int) ])
+        [ true; false ])
+
+let test_bigio_missing_file () =
+  match Bigio.load "/nonexistent/prefix-bigio-test" with
+  | _ -> Alcotest.fail "loaded a nonexistent file"
+  | exception Sys_error _ -> ()
+
+(* ---- differential decode: channel vs mapping ---- *)
+
+(* Collect what a v1/v2 decode observes, tagging frame cuts, so the
+   comparison covers segmentation, not just the event list. *)
+type obs = Ev of Event.t | Frame
+
+let binfmt_channel_obs path =
+  let acc = ref [] in
+  let r =
+    Binfmt.iter_file ~on_frame:(fun () -> acc := Frame :: !acc) path
+      ~f:(fun e -> acc := Ev e :: !acc)
+  in
+  (r, List.rev !acc)
+
+let binfmt_big_obs big =
+  let acc = ref [] in
+  let r =
+    Binfmt.iter_big ~on_frame:(fun () -> acc := Frame :: !acc) big
+      ~f:(fun e -> acc := Ev e :: !acc)
+  in
+  (r, List.rev !acc)
+
+let check_binfmt_same what data =
+  with_file data (fun path ->
+      let ch = binfmt_channel_obs path in
+      List.iter
+        (fun mmap ->
+          let bg = binfmt_big_obs (Bigio.load ~mmap path) in
+          if ch <> bg then
+            Alcotest.failf "%s (mmap:%b): channel and bigstring decodes differ"
+              what mmap)
+        [ true; false ])
+
+let test_binfmt_big_clean () =
+  let trace = workload_trace () in
+  check_binfmt_same "v1" (Binfmt.to_bytes trace);
+  check_binfmt_same "v2" (Binfmt.to_bytes_framed trace);
+  check_binfmt_same "v2, small frames" (Binfmt.to_bytes_framed ~frame_events:17 trace);
+  check_binfmt_same "empty trace" (Binfmt.to_bytes_framed (Trace.of_list []))
+
+let test_big_version () =
+  let trace = workload_trace () in
+  List.iter
+    (fun (what, data, version) ->
+      with_file data (fun path ->
+          Alcotest.(check (result int string)) what (Ok version)
+            (Binfmt.big_version (Bigio.load path));
+          Alcotest.(check (result int string)) (what ^ " = file_version")
+            (Binfmt.file_version path)
+            (Binfmt.big_version (Bigio.load path))))
+    [ ("v1", Binfmt.to_bytes trace, Binfmt.version);
+      ("v2", Binfmt.to_bytes_framed trace, Binfmt.version_framed);
+      ( "v3",
+        Columnar.to_bytes (Packed.of_trace trace),
+        Columnar.version_columnar ) ]
+
+let columnar_channel_frames path =
+  let acc = ref [] in
+  let r = Columnar.iter_file path ~f:(fun p -> acc := Packed.to_trace p :: !acc) in
+  (r, List.rev_map Trace.to_list !acc)
+
+let columnar_big_frames big =
+  let acc = ref [] in
+  let r = Columnar.iter_big big ~f:(fun p -> acc := Packed.to_trace p :: !acc) in
+  (r, List.rev_map Trace.to_list !acc)
+
+let check_columnar_same what data =
+  with_file data (fun path ->
+      let ch = columnar_channel_frames path in
+      List.iter
+        (fun mmap ->
+          let bg = columnar_big_frames (Bigio.load ~mmap path) in
+          if ch <> bg then
+            Alcotest.failf "%s (mmap:%b): channel and bigstring decodes differ"
+              what mmap)
+        [ true; false ])
+
+let test_columnar_big_clean () =
+  let p = Packed.of_trace (workload_trace ()) in
+  check_columnar_same "v3" (Columnar.to_bytes p);
+  check_columnar_same "v3, small frames" (Columnar.to_bytes ~frame_events:23 p);
+  check_columnar_same "v3, empty" (Columnar.to_bytes (Packed.of_trace (Trace.of_list [])))
+
+let soup_gen =
+  QCheck.Gen.(
+    let ev =
+      oneof
+        [ (fun st ->
+            (Event.Alloc
+               { obj = int_range (-50) 50 st; site = int_range (-5) 5 st;
+                 ctx = int_range (-5) 5 st; size = int_range (-200) 200 st;
+                 thread = int_range (-2) 2 st } : Event.t));
+          (fun st ->
+            Event.Access
+              { obj = int_range (-50) 50 st; offset = int_range (-200) 200 st;
+                write = bool st; thread = int_range (-2) 2 st });
+          (fun st -> Event.Free { obj = int_range (-50) 50 st; thread = int_range (-2) 2 st });
+          (fun st ->
+            Event.Realloc
+              { obj = int_range (-50) 50 st; new_size = int_range (-200) 200 st;
+                thread = int_range (-2) 2 st });
+          (fun st ->
+            Event.Compute { instrs = int_range (-100) 100 st; thread = int_range (-2) 2 st }) ]
+    in
+    list_size (int_range 0 300) ev)
+
+(* Corruption differential: flip bytes / truncate, then require the
+   channel and bigstring strict decoders to agree on the full
+   observation — same events, same frame cuts, same rejection (by
+   message) or acceptance. *)
+let corrupt_gen base =
+  let n = Bytes.length base in
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 0 6) (pair (int_range 0 (max 0 (n - 1))) (int_range 0 255)))
+      (int_range 0 n))
+
+let corrupted base (flips, keep) =
+  let data = Bytes.sub base 0 keep in
+  List.iter (fun (pos, v) -> if pos < keep then Bytes.set data pos (Char.chr v)) flips;
+  data
+
+let prop_binfmt_big_differential =
+  let base = Binfmt.to_bytes_framed ~frame_events:32 (workload_trace ()) in
+  QCheck.Test.make ~name:"binfmt bigstring decode ≡ channel decode under corruption"
+    ~count:250
+    (QCheck.make (corrupt_gen base))
+    (fun c ->
+      with_file (corrupted base c) (fun path ->
+          binfmt_channel_obs path = binfmt_big_obs (Bigio.load path)))
+
+let prop_columnar_big_differential =
+  let base =
+    Columnar.to_bytes ~frame_events:32 (Packed.of_trace (workload_trace ()))
+  in
+  QCheck.Test.make
+    ~name:"columnar bigstring decode ≡ channel decode under corruption" ~count:250
+    (QCheck.make (corrupt_gen base))
+    (fun c ->
+      with_file (corrupted base c) (fun path ->
+          columnar_channel_frames path = columnar_big_frames (Bigio.load path)))
+
+(* The v2 writer encodes ids/sizes as unsigned varints, so feed it
+   non-negative soup (the signed extremes are covered by the columnar
+   round-trip tests). *)
+let unsigned_soup_gen =
+  QCheck.Gen.(
+    let ev =
+      oneof
+        [ (fun st ->
+            (Event.Alloc
+               { obj = int_range 0 50 st; site = int_range 0 5 st;
+                 ctx = int_range 0 5 st; size = int_range 1 200 st;
+                 thread = int_range 0 2 st } : Event.t));
+          (fun st ->
+            Event.Access
+              { obj = int_range 0 50 st; offset = int_range 0 200 st;
+                write = bool st; thread = int_range 0 2 st });
+          (fun st -> Event.Free { obj = int_range 0 50 st; thread = int_range 0 2 st });
+          (fun st ->
+            Event.Realloc
+              { obj = int_range 0 50 st; new_size = int_range 1 200 st;
+                thread = int_range 0 2 st });
+          (fun st ->
+            Event.Compute { instrs = int_range 0 100 st; thread = int_range 0 2 st }) ]
+    in
+    list_size (int_range 0 300) ev)
+
+let prop_stream_backends_agree =
+  QCheck.Test.make ~name:"stream `Mmap backend ≡ `Channel backend (v2 and v3)"
+    ~count:120 (QCheck.make unsigned_soup_gen)
+    (fun es ->
+      let trace = Trace.of_list es in
+      let same data =
+        with_file data (fun path ->
+            let segs backend =
+              let acc = ref [] in
+              Stream.iter_segments
+                (Stream.of_binary_file ~segment_events:64 ~backend path)
+                (fun ~base seg -> acc := (base, Trace.to_list (Packed.to_trace seg)) :: !acc);
+              List.rev !acc
+            in
+            segs `Mmap = segs `Channel)
+      in
+      same (Binfmt.to_bytes_framed ~frame_events:48 trace)
+      && same (Columnar.to_bytes ~frame_events:48 (Packed.of_trace trace)))
+
+(* ---- pipeline equivalence ---- *)
+
+let test_prefetched_segments () =
+  let trace = workload_trace () in
+  let stream = Stream.of_trace ~segment_events:700 trace in
+  let collect s =
+    let acc = ref [] in
+    Stream.iter_segments s (fun ~base seg ->
+        acc := (base, Trace.to_list (Packed.to_trace seg)) :: !acc);
+    List.rev !acc
+  in
+  let plain = collect stream in
+  let pre = Stream.prefetched stream in
+  Alcotest.(check bool) "same segments" true (collect pre = plain);
+  (* Re-iteration spawns a fresh producer; the hand-off scratch must not
+     leak state between passes. *)
+  Alcotest.(check bool) "same segments on re-iteration" true (collect pre = plain)
+
+let test_prefetched_replay_equal () =
+  let p = Packed.of_trace (workload_trace ()) in
+  let path = Filename.temp_file "prefix_prefetch" ".pfxt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Columnar.write_file path p;
+      let plain = Executor.run_stream ~policy:baseline (Stream.of_binary_file path) in
+      let pre =
+        Executor.run_stream ~policy:baseline
+          (Stream.prefetched (Stream.of_binary_file path))
+      in
+      Alcotest.(check bool) "metrics" true
+        (plain.Executor.metrics = pre.Executor.metrics);
+      Alcotest.(check bool) "recovery" true
+        (plain.Executor.recovery = pre.Executor.recovery))
+
+let test_prefetched_consumer_abort () =
+  let stream = Stream.of_trace ~segment_events:100 (workload_trace ()) in
+  let pre = Stream.prefetched stream in
+  (match
+     Stream.iter_segments pre (fun ~base:_ _ -> failwith "consumer bails")
+   with
+  | () -> Alcotest.fail "consumer exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "re-raised" "consumer bails" m);
+  (* The stream stays usable after an aborted pass. *)
+  let n = ref 0 in
+  Stream.iter_segments pre (fun ~base:_ seg -> n := !n + Packed.length seg);
+  Alcotest.(check int) "events after abort" (Trace.length (workload_trace ())) !n
+
+let six_policies () =
+  let trace = workload_trace () in
+  let stats = Trace_stats.analyze_packed (Packed.of_trace trace) in
+  let cls = Policy.no_classification in
+  let hds_plan = Prefix_runtime.Hds_policy.plan_of_trace stats trace in
+  let halo_plan = Prefix_halo.Halo.plan_of_trace stats trace in
+  let plan v = Prefix_core.Pipeline.plan_with_stats ~variant:v stats trace in
+  let plan_hot = plan Prefix_core.Plan.Hot in
+  let plan_hds = plan Prefix_core.Plan.Hds in
+  [ (fun heap -> Policy.baseline costs heap);
+    (fun heap -> Prefix_runtime.Hds_policy.policy costs heap hds_plan cls);
+    (fun heap -> Prefix_runtime.Halo_policy.policy costs heap halo_plan cls);
+    (fun heap -> Prefix_runtime.Prefix_policy.policy costs heap plan_hot cls);
+    (fun heap -> Prefix_runtime.Prefix_policy.policy costs heap plan_hds cls);
+    baseline ]
+
+let test_run_stream_many_equal () =
+  let p = Packed.of_trace (workload_trace ()) in
+  let policies = six_policies () in
+  let path = Filename.temp_file "prefix_fanout" ".pfxt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Columnar.write_file ~frame_events:700 path p;
+      let stream = Stream.of_binary_file path in
+      let fanned = Executor.run_stream_many ~policies stream in
+      Alcotest.(check int) "outcome count" (List.length policies) (List.length fanned);
+      List.iteri
+        (fun i (policy, (o : Executor.outcome)) ->
+          let solo = Executor.run_stream ~policy stream in
+          Alcotest.(check bool) (Printf.sprintf "policy %d metrics" i) true
+            (solo.Executor.metrics = o.Executor.metrics);
+          Alcotest.(check bool) (Printf.sprintf "policy %d recovery" i) true
+            (solo.Executor.recovery = o.Executor.recovery))
+        (List.combine policies fanned))
+
+let prop_run_stream_many_strict_raises_same =
+  QCheck.Test.make ~name:"run_stream_many ≡ run_stream on strict anomaly detection"
+    ~count:40 (QCheck.make soup_gen)
+    (fun es ->
+      let p = Packed.of_trace (Trace.of_list es) in
+      let stream = Stream.of_packed ~segment_events:64 p in
+      let solo =
+        match Executor.run_stream ~policy:baseline stream with
+        | (o : Executor.outcome) -> Ok o.Executor.metrics
+        | exception Invalid_argument m -> Error m
+      in
+      let fanned =
+        match Executor.run_stream_many ~policies:[ baseline; baseline ] stream with
+        | [ a; b ] ->
+          if a.Executor.metrics = b.Executor.metrics then Ok a.Executor.metrics
+          else Error "fanned sessions diverge"
+        | _ -> Error "wrong outcome arity"
+        | exception Invalid_argument m -> Error m
+      in
+      solo = fanned)
+
+let test_probe_widening_equal () =
+  List.iter
+    (fun name ->
+      let wl = Prefix_workloads.Registry.find name in
+      let p =
+        Packed.of_trace (wl.generate ~scale:Prefix_workloads.Workload.Profiling ~seed:5 ())
+      in
+      let outcome on =
+        Executor.probe_widening := on;
+        Fun.protect
+          ~finally:(fun () -> Executor.probe_widening := true)
+          (fun () -> Executor.run_packed ~policy:baseline p)
+      in
+      let wide = outcome true and narrow = outcome false in
+      Alcotest.(check bool) (name ^ ": metrics") true
+        (wide.Executor.metrics = narrow.Executor.metrics);
+      Alcotest.(check bool) (name ^ ": recovery") true
+        (wide.Executor.recovery = narrow.Executor.recovery))
+    [ "libc"; "mcf"; "swissmap" ]
+
+let suite =
+  [ ( "bigio",
+      [ Alcotest.test_case "mmap and read-fallback loads agree" `Quick
+          test_bigio_load_equivalence;
+        Alcotest.test_case "empty file loads as the empty region" `Quick
+          test_bigio_empty;
+        Alcotest.test_case "sub_string slices and bounds-checks" `Quick
+          test_bigio_sub_string;
+        Alcotest.test_case "missing file raises Sys_error" `Quick
+          test_bigio_missing_file ] );
+    ( "mmap-decode",
+      [ Alcotest.test_case "binfmt bigstring ≡ channel on clean v1/v2" `Quick
+          test_binfmt_big_clean;
+        Alcotest.test_case "big_version sniffs every container" `Quick
+          test_big_version;
+        Alcotest.test_case "columnar bigstring ≡ channel on clean v3" `Quick
+          test_columnar_big_clean;
+        QCheck_alcotest.to_alcotest prop_binfmt_big_differential;
+        QCheck_alcotest.to_alcotest prop_columnar_big_differential;
+        QCheck_alcotest.to_alcotest prop_stream_backends_agree ] );
+    ( "replay-pipeline",
+      [ Alcotest.test_case "prefetched emits identical segments" `Quick
+          test_prefetched_segments;
+        Alcotest.test_case "prefetched replay ≡ plain replay" `Quick
+          test_prefetched_replay_equal;
+        Alcotest.test_case "prefetched re-raises consumer exceptions" `Quick
+          test_prefetched_consumer_abort;
+        Alcotest.test_case "run_stream_many ≡ per-policy run_stream" `Quick
+          test_run_stream_many_equal;
+        QCheck_alcotest.to_alcotest prop_run_stream_many_strict_raises_same;
+        Alcotest.test_case "probe widening never changes outcomes" `Quick
+          test_probe_widening_equal ] ) ]

@@ -46,12 +46,21 @@
 
    And `pipeline [--benches a,b] [--scale long|huge] [--out FILE]`:
    spool each benchmark's evaluation trace into a columnar v3
-   container, then replay all six harness policies from it two ways —
-   six independent decode+replay passes (the per-policy path) vs one
+   container, then replay all seven harness policies from it two ways —
+   seven independent decode+replay passes (the per-policy path) vs one
    decode-once fan-out over a prefetch-pipelined stream — print
    events/s for both, and write BENCH_pipeline.json; exits non-zero if
-   any of the twelve streamed outcomes differs from the materialized
+   any of the fourteen streamed outcomes differs from the materialized
    packed replay.
+
+   And `block [--benches a,b] [--out FILE]`: replay each benchmark's
+   Profiling-scale trace under baseline, the Immix-style Block policy,
+   and PreFix:HDS+Hot planned twice — modulo-N recycling vs greedy
+   interval coloring — print simulated cycles, recycling evictions and
+   events/s, and write BENCH_block.json; exits non-zero if any replay
+   breaks the footprint invariants (placement must never change the
+   memory-reference stream, and interval coloring must never evict
+   more than modulo does).
 
    Every BENCH_*.json carries a provenance header (ocaml_version,
    word_size, reps, scale) so stored artifacts remain interpretable.
@@ -761,7 +770,7 @@ let run_checkpoint_bench ~benches ~out =
    when [jobs >= 2] — mirroring the harness gate: on a single
    hardware thread a producer domain just contends with the consumer.
 
-   Differential: all twelve streamed outcomes must be structurally
+   Differential: all fourteen streamed outcomes must be structurally
    identical to [Executor.run_packed] on the materialized trace; any
    divergence fails the run.  The JSON carries the 1.3x geomean target
    the roadmap gates on next to the measured geomean. *)
@@ -796,7 +805,7 @@ let run_pipeline_bench ~benches ~scale ~jobs ~out =
   let all_equal = ref true in
   let speedups = ref [] in
   Printf.printf
-    "=== decode-once pipelined replay vs per-policy columnar (%s scale, 6 \
+    "=== decode-once pipelined replay vs per-policy columnar (%s scale, 7 \
      policies) ===\n"
     (Prefix_workloads.Workload.scale_name scale);
   Printf.printf "%-10s %10s %14s %14s %8s  %s\n" "bench" "events"
@@ -813,11 +822,14 @@ let run_pipeline_bench ~benches ~scale ~jobs ~out =
       let plan_hot = plan Plan.Hot in
       let plan_hds = plan Plan.Hds in
       let plan_hdshot = plan Plan.HdsHot in
+      let block_plan = Prefix_runtime.Block_policy.plan_of_trace ptrace in
       let cls = Policy.no_classification in
       let policies =
         [ ("baseline", fun heap -> Policy.baseline costs heap);
           ("HDS", fun heap -> Prefix_runtime.Hds_policy.policy costs heap hds_plan cls);
           ("HALO", fun heap -> Prefix_runtime.Halo_policy.policy costs heap halo_plan cls);
+          ("Block",
+           fun heap -> Prefix_runtime.Block_policy.policy costs heap block_plan cls);
           ("PreFix-Hot", fun heap -> Prefix_runtime.Prefix_policy.policy costs heap plan_hot cls);
           ("PreFix-HDS", fun heap -> Prefix_runtime.Prefix_policy.policy costs heap plan_hds cls);
           ("PreFix-HDS+Hot",
@@ -880,7 +892,7 @@ let run_pipeline_bench ~benches ~scale ~jobs ~out =
           check_all "decode-once" (decode_once ());
           let t_old = time_ns per_policy in
           let t_new = time_ns decode_once in
-          let total = 6 * events in
+          let total = 7 * events in
           let rate t = if t > 0. then float_of_int total /. t else 0. in
           let speedup = if t_new > 0. then t_old /. t_new else 0. in
           speedups := speedup :: !speedups;
@@ -913,6 +925,144 @@ let run_pipeline_bench ~benches ~scale ~jobs ~out =
     geomean (List.length !speedups) out;
   if not !all_equal then begin
     prerr_endline "bench: pipelined replay outcomes differ from run_packed";
+    exit 1
+  end
+
+(* Interval-colored vs modulo-N recycling, plus the Block policy itself.
+   Each benchmark's Profiling-scale trace (the input whose liveness the
+   interval pass saw, so coloring covers every instance) is replayed
+   under four policies: baseline, Block, and PreFix:HDS+Hot planned with
+   --slots modulo and --slots interval.  All four replays are
+   deterministic, so the gate is on simulated metrics, not wall time:
+
+   - footprint invariants: placement never changes the memory-reference
+     stream (all four replays must agree on mem_refs), and interval
+     coloring — which provably never double-books a slot the profile
+     covers — must not evict more than modulo-N does;
+   - the headline: cycles(modulo) / cycles(interval), geomean'd, which
+     shows the coloring win on lifetime-skewed workloads.
+
+   Wall-clock events/s for the two PreFix replays is reported too
+   (best-of-reps), but only the metric gate can fail the run. *)
+let run_block_bench ~benches ~out =
+  let module Packed = Prefix_trace.Packed in
+  let module Executor = Prefix_runtime.Executor in
+  let module Policy = Prefix_runtime.Policy in
+  let module Pipeline = Prefix_core.Pipeline in
+  let module Plan = Prefix_core.Plan in
+  let module Trace_stats = Prefix_trace.Trace_stats in
+  let costs = Executor.default_config.costs in
+  let reps = 5 in
+  let time_ns f =
+    (* Best of [reps] after one warmup — replays are deterministic, so
+       min is the least-noise estimator. *)
+    ignore (f ());
+    let best = ref Int64.max_int in
+    for _ = 1 to reps do
+      let t0 = Prefix_obs.Clock.now_ns () in
+      ignore (f ());
+      let dt = Int64.sub (Prefix_obs.Clock.now_ns ()) t0 in
+      if dt < !best then best := dt
+    done;
+    Int64.to_float !best /. 1e9
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    ("{\n" ^ provenance_json ~reps ~scale:"profiling" ^ "  \"benches\": [");
+  let all_equal = ref true in
+  let speedups = ref [] in
+  Printf.printf
+    "=== block policy + interval-colored vs modulo-N recycling (Profiling \
+     scale) ===\n";
+  Printf.printf "%-10s %10s %11s %14s %14s %8s  %s\n" "bench" "events"
+    "evictions" "modulo cyc" "interval cyc" "speedup" "invariants";
+  List.iteri
+    (fun bi name ->
+      let wl = Prefix_workloads.Registry.find name in
+      let trace = wl.generate ~scale:Profiling ~seed:7 () in
+      let packed = Packed.of_trace trace in
+      let events = Packed.length packed in
+      let stats = Trace_stats.analyze_packed packed in
+      let plan_with mode =
+        Pipeline.plan_with_stats
+          ~config:{ Pipeline.default_config with slot_mode = mode }
+          ~variant:Plan.HdsHot stats trace
+      in
+      let plan_mod = plan_with Pipeline.Modulo in
+      let plan_int = plan_with Pipeline.Interval in
+      let block_plan = Prefix_runtime.Block_policy.plan_of_trace trace in
+      let cls = Policy.no_classification in
+      (* Replay capturing the policy record, for its eviction counters. *)
+      let replay mk =
+        let p = ref None in
+        let policy heap =
+          let pol = mk heap in
+          p := Some pol;
+          pol
+        in
+        let o = Executor.run_packed ~policy packed in
+        (o, Option.get !p)
+      in
+      let base_o, _ = replay (fun heap -> Policy.baseline costs heap) in
+      let block_o, _ =
+        replay (fun heap ->
+            Prefix_runtime.Block_policy.policy costs heap block_plan cls)
+      in
+      let prefix_replay plan () =
+        replay (fun heap -> Prefix_runtime.Prefix_policy.policy costs heap plan cls)
+      in
+      let mod_o, mod_p = prefix_replay plan_mod () in
+      let int_o, int_p = prefix_replay plan_int () in
+      let cyc (o : Executor.outcome) = o.metrics.cycles.total_cycles in
+      let refs (o : Executor.outcome) = o.metrics.mem_refs in
+      let mod_ev = mod_p.Policy.stats.recycle_evictions in
+      let int_ev = int_p.Policy.stats.recycle_evictions in
+      let refs_equal =
+        refs mod_o = refs base_o && refs int_o = refs base_o
+        && refs block_o = refs base_o
+      in
+      let ok = refs_equal && int_ev <= mod_ev in
+      if not ok then all_equal := false;
+      let speedup = if cyc int_o > 0. then cyc mod_o /. cyc int_o else 0. in
+      speedups := speedup :: !speedups;
+      let t_mod = time_ns (fun () -> prefix_replay plan_mod ()) in
+      let t_int = time_ns (fun () -> prefix_replay plan_int ()) in
+      let rate t = if t > 0. then float_of_int events /. t else 0. in
+      let block_pct =
+        100. *. (cyc block_o -. cyc base_o) /. Float.max 1. (cyc base_o)
+      in
+      Printf.printf "%-10s %10d %5d->%-5d %14.0f %14.0f %7.3fx  %s\n" name events
+        mod_ev int_ev (cyc mod_o) (cyc int_o) speedup
+        (if ok then "ok" else "VIOLATED");
+      if bi > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"bench\": %S, \"events\": %d, \"baseline_cycles\": %.0f, \
+            \"block_cycles\": %.0f, \"block_vs_baseline_pct\": %.2f, \
+            \"modulo_cycles\": %.0f, \"interval_cycles\": %.0f, \
+            \"cycle_speedup\": %.4f, \"modulo_evictions\": %d, \
+            \"interval_evictions\": %d, \"modulo_events_per_sec\": %.0f, \
+            \"interval_events_per_sec\": %.0f, \"invariants_ok\": %b }"
+           name events (cyc base_o) (cyc block_o) block_pct (cyc mod_o)
+           (cyc int_o) speedup mod_ev int_ev (rate t_mod) (rate t_int) ok))
+    benches;
+  let geomean =
+    match !speedups with
+    | [] -> 1.
+    | ss ->
+      exp (List.fold_left (fun a s -> a +. log (max 1e-9 s)) 0. ss
+           /. float_of_int (List.length ss))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       " ],\n  \"geomean_cycle_speedup\": %.4f,\n  \"all_equal\": %b\n}\n"
+       geomean !all_equal);
+  Prefix_util.Fsio.atomic_write_string out (Buffer.contents buf);
+  Printf.printf
+    "geomean interval-over-modulo cycle speedup %.3fx over %d benches; wrote %s\n"
+    geomean (List.length !speedups) out;
+  if not !all_equal then begin
+    prerr_endline "bench: block/interval replay broke a footprint invariant";
     exit 1
   end
 
@@ -1028,6 +1178,20 @@ let () =
         ~scale:Prefix_workloads.Workload.Long ~out:"BENCH_pipeline.json" rest
     in
     run_pipeline_bench ~benches ~scale ~jobs ~out
+  | "block" :: rest ->
+    let rec parse ~benches ~out = function
+      | "--benches" :: bs :: rest ->
+        parse ~benches:(String.split_on_char ',' bs) ~out rest
+      | "--out" :: f :: rest -> parse ~benches ~out:f rest
+      | [] -> (benches, out)
+      | a :: _ ->
+        Printf.eprintf "bench: block: unknown argument %S\n" a;
+        exit 2
+    in
+    let benches, out =
+      parse ~benches:Prefix_workloads.Registry.names ~out:"BENCH_block.json" rest
+    in
+    run_block_bench ~benches ~out
   | "telemetry" :: rest ->
     let rec parse ~benches ~out = function
       | "--benches" :: bs :: rest ->
@@ -1072,6 +1236,6 @@ let () =
           Printf.printf "unknown experiment %S; available: %s, micro\n" id
             (String.concat ", " (List.map (fun (e : R.experiment) -> e.id) R.all
                                   @ [ "csv"; "reps"; "throughput"; "stream";
-                                      "columnar"; "pipeline"; "telemetry";
-                                      "checkpoint" ])))
+                                      "columnar"; "pipeline"; "block";
+                                      "telemetry"; "checkpoint" ])))
       ids

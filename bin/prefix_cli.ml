@@ -4,7 +4,7 @@
      list                      benchmarks and experiments
      trace <bench>             generate and dump a workload trace
      plan <bench>              show the PreFix plans for a benchmark
-     run <bench>               replay a benchmark under all six policies
+     run <bench>               replay a benchmark under all seven policies
      stats <bench>             replay and print span timings + metrics
      fuzz                      fault-injection campaign over corrupted traces
      experiment <id>...        reproduce specific tables/figures
@@ -70,6 +70,19 @@ let set_streaming stream segment_events =
 let seed_arg =
   let doc = "Deterministic seed." in
   Arg.(value & opt int 7 & info [ "seed" ] ~doc)
+
+let slots_arg =
+  let doc =
+    "Recycling-slot assignment for the PreFix plans: 'modulo' (default, the \
+     paper's (id-1) mod N rotation, Figure 7) or 'interval' (greedy coloring \
+     of profiled liveness intervals — overlapping lifetimes never share a \
+     slot when the profile covers them; unprofiled instances fall back to \
+     modulo)."
+  in
+  Arg.(value
+       & opt (enum [ ("modulo", Pipeline.Modulo); ("interval", Pipeline.Interval) ])
+           Pipeline.Modulo
+       & info [ "slots" ] ~docv:"MODE" ~doc)
 
 let verbose_arg =
   let doc = "Print progress to stderr (same as --log-level info)." in
@@ -326,7 +339,7 @@ let trace_cmd =
 (* --- plan *)
 
 let plan_cmd =
-  let run name seed =
+  let run name seed slots =
     match get_workload name with
     | Error e -> prerr_endline e; 1
     | Ok w ->
@@ -335,7 +348,9 @@ let plan_cmd =
       List.iter
         (fun variant ->
           let plan =
-            Pipeline.plan_with_stats ~config:Harness.pipeline_config ~variant stats trace
+            Pipeline.plan_with_stats
+              ~config:{ Harness.pipeline_config with slot_mode = slots }
+              ~variant stats trace
           in
           Format.printf "%a@." Plan.pp_summary plan;
           List.iter
@@ -344,7 +359,12 @@ let plan_cmd =
                 (String.concat ";" (List.map string_of_int cp.counter_sites))
                 Prefix_core.Context.pp cp.pattern
                 (match cp.recycle with
-                | Some rb -> Printf.sprintf "recycling %d slots of %d B" rb.n_slots rb.slot_bytes
+                | Some rb ->
+                  Printf.sprintf "recycling %d slots of %d B%s" rb.n_slots rb.slot_bytes
+                    (if rb.assignment = [] then ""
+                     else
+                       Printf.sprintf " (%d interval-colored instances)"
+                         (List.length rb.assignment))
                 | None -> Printf.sprintf "%d placements" (List.length cp.placements)))
             plan.counters;
           print_newline ())
@@ -352,7 +372,7 @@ let plan_cmd =
       0
   in
   Cmd.v (Cmd.info "plan" ~doc:"Show the PreFix plans built from a profiling run")
-    Term.(const run $ bench_arg $ seed_arg)
+    Term.(const run $ bench_arg $ seed_arg $ slots_arg)
 
 (* --- run *)
 
@@ -401,21 +421,22 @@ let stream_container_arg =
 
 let decode_once_arg =
   let doc =
-    "With --stream: replay all six policies as consumers of a single decode \
+    "With --stream: replay all seven policies as consumers of a single decode \
      pass over the evaluation stream (decode once, replay many) instead of \
      re-decoding it per policy.  The report is byte-identical either way."
   in
   Arg.(value & flag & info [ "decode-once" ] ~doc)
 
 let run_cmd =
-  let run name scale stream segment_events stream_container decode_once jobs
-      verbose log_level obs_out telemetry telemetry_interval checkpoint
+  let run name scale stream segment_events stream_container decode_once slots
+      jobs verbose log_level obs_out telemetry telemetry_interval checkpoint
       checkpoint_every deadline_s max_rss_mb =
     setup_logs log_level verbose;
     Harness.set_jobs jobs;
     set_streaming stream segment_events;
     Harness.set_stream_container stream_container;
     Harness.set_decode_once decode_once;
+    Harness.set_slot_mode slots;
     Harness.set_eval_scale scale;
     match get_workload name with
     | Error e -> prerr_endline e; 1
@@ -458,12 +479,12 @@ let run_cmd =
     let doc = "Evaluation-run scale: 'long' (default) or 'huge' (~10x)." in
     Arg.(value & opt scale_conv Workload.Long & info [ "scale" ] ~doc)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all six policies")
+  Cmd.v (Cmd.info "run" ~doc:"Replay one benchmark under all seven policies")
     Term.(const run $ bench_arg $ eval_scale_arg $ stream_arg
           $ segment_events_arg $ stream_container_arg $ decode_once_arg
-          $ jobs_arg $ verbose_arg $ log_level_arg $ obs_out_arg $ telemetry_arg
-          $ telemetry_interval_arg $ checkpoint_arg $ checkpoint_every_arg
-          $ deadline_arg $ max_rss_arg)
+          $ slots_arg $ jobs_arg $ verbose_arg $ log_level_arg $ obs_out_arg
+          $ telemetry_arg $ telemetry_interval_arg $ checkpoint_arg
+          $ checkpoint_every_arg $ deadline_arg $ max_rss_arg)
 
 (* --- resume *)
 
@@ -535,7 +556,7 @@ let stats_cmd =
       with_obs obs_out @@ fun () ->
       with_telemetry telemetry telemetry_interval @@ fun () ->
       let r = Harness.find w.name in
-      Printf.printf "%s: %d profiling events, %d long events, 6 policies replayed\n\n"
+      Printf.printf "%s: %d profiling events, %d long events, 7 policies replayed\n\n"
         w.name
         (Prefix_trace.Trace.length r.profiling_trace)
         r.long_events;
@@ -589,14 +610,15 @@ let fuzz_cmd =
   let policies_arg =
     Arg.(value & opt (list policy_conv) Campaign.all_policies
          & info [ "policies" ] ~docv:"P1,P2,.."
-             ~doc:"Policies to replay under (hds, halo, prefix).")
+             ~doc:"Policies to replay under (hds, halo, block, prefix).")
   in
   let region_cap_arg =
     Arg.(value & opt (some int) None
          & info [ "region-cap" ] ~docv:"BYTES"
              ~doc:
-               "Cap each HDS/HALO region at $(docv) during the lenient replay \
-                so exhaustion degrades to malloc fallback.")
+               "Cap each HDS/HALO region (and the Block policy's block space) \
+                at $(docv) during the lenient replay so exhaustion degrades \
+                to malloc fallback.")
   in
   let crash_arg =
     let doc =
@@ -890,7 +912,7 @@ let top_cmd =
           ~wall_interval_ns:250_000_000L ~on_sample:render ();
         let r = Harness.find w.name in
         Prefix_obs.Recorder.disable ();
-        Printf.printf "%d samples over %d events x 6 policies (%s)\n" !n_samples
+        Printf.printf "%d samples over %d events x 7 policies (%s)\n" !n_samples
           r.Harness.long_events w.name;
         0
   in

@@ -1,0 +1,329 @@
+module Allocator = Prefix_heap.Allocator
+
+type state = Free | Recycled | Full
+
+let state_name = function Free -> "free" | Recycled -> "recycled" | Full -> "full"
+
+type config = {
+  block_bytes : int;
+  line_bytes : int;
+  recycle_free_lines : float;
+  max_bytes : int option;
+}
+
+let default_config =
+  { block_bytes = 32 * 1024; line_bytes = 256; recycle_free_lines = 0.25; max_bytes = None }
+
+type block = {
+  b_base : int;
+  mutable b_state : state;
+  line_objs : int array; (* live objects touching each line *)
+  line_bytes_ : int array; (* live bytes charged to each line *)
+  mutable b_live_objects : int;
+  mutable b_live_bytes : int;
+  mutable b_free_lines : int;
+  mutable cursor : int; (* next bump offset within the block *)
+  mutable limit : int; (* end of the hole being bumped into *)
+  mutable scan : int; (* next line to examine for holes this cycle *)
+}
+
+type t = {
+  heap : Allocator.t;
+  cfg : config;
+  lines_per_block : int;
+  recycle_lines : int; (* free-line threshold for Full -> Recycled *)
+  mutable all : block list; (* every block, newest first *)
+  mutable current : block option;
+  mutable recycled_q : block list;
+  mutable free_q : block list;
+  objs : (int, int * block) Hashtbl.t; (* addr -> (charged bytes, block) *)
+  mutable total_block_bytes : int;
+  mutable live_objects : int;
+  mutable live_bytes : int;
+  mutable peak_bytes_ : int;
+  mutable blocks_acquired : int;
+  mutable lines_reclaimed_ : int;
+  mutable holes_reused_ : int;
+}
+
+let align = 16
+
+let round_up n = (n + align - 1) / align * align
+
+let create ?(config = default_config) heap =
+  if config.block_bytes <= 0 || config.line_bytes <= 0 then
+    invalid_arg "Blockalloc.create: block and line sizes must be positive";
+  if config.block_bytes mod config.line_bytes <> 0 then
+    invalid_arg "Blockalloc.create: block_bytes must be a multiple of line_bytes";
+  if config.line_bytes mod align <> 0 then
+    invalid_arg "Blockalloc.create: line_bytes must be 16-byte aligned";
+  if config.recycle_free_lines < 0. || config.recycle_free_lines > 1. then
+    invalid_arg "Blockalloc.create: recycle_free_lines outside [0, 1]";
+  (match config.max_bytes with
+  | Some m when m <= 0 -> invalid_arg "Blockalloc.create: max_bytes must be positive"
+  | _ -> ());
+  let lines_per_block = config.block_bytes / config.line_bytes in
+  { heap;
+    cfg = config;
+    lines_per_block;
+    recycle_lines =
+      max 1 (int_of_float (ceil (config.recycle_free_lines *. float_of_int lines_per_block)));
+    all = [];
+    current = None;
+    recycled_q = [];
+    free_q = [];
+    objs = Hashtbl.create 256;
+    total_block_bytes = 0;
+    live_objects = 0;
+    live_bytes = 0;
+    peak_bytes_ = 0;
+    blocks_acquired = 0;
+    lines_reclaimed_ = 0;
+    holes_reused_ = 0 }
+
+let fresh_block t =
+  let within_cap =
+    match t.cfg.max_bytes with
+    | Some m -> t.total_block_bytes + t.cfg.block_bytes <= m
+    | None -> true
+  in
+  if not within_cap then None
+  else begin
+    let base = Allocator.malloc t.heap t.cfg.block_bytes in
+    let b =
+      { b_base = base;
+        b_state = Free;
+        line_objs = Array.make t.lines_per_block 0;
+        line_bytes_ = Array.make t.lines_per_block 0;
+        b_live_objects = 0;
+        b_live_bytes = 0;
+        b_free_lines = t.lines_per_block;
+        cursor = 0;
+        limit = t.cfg.block_bytes;
+        scan = t.lines_per_block;
+        (* a virgin block is one whole hole; nothing left to scan *) }
+    in
+    t.all <- b :: t.all;
+    t.total_block_bytes <- t.total_block_bytes + t.cfg.block_bytes;
+    t.blocks_acquired <- t.blocks_acquired + 1;
+    Some b
+  end
+
+(* Position [b] at its next hole of >= [want] contiguous free bytes
+   (whole free lines), advancing the per-cycle scan cursor.  Lines whose
+   objects have all been released count as free again — Immix-style
+   line-granular reclamation. *)
+let advance_hole t b want =
+  let lines_needed = (want + t.cfg.line_bytes - 1) / t.cfg.line_bytes in
+  let rec find l =
+    if l >= t.lines_per_block then false
+    else if b.line_objs.(l) <> 0 then find (l + 1)
+    else begin
+      let r = ref l in
+      while !r < t.lines_per_block && b.line_objs.(!r) = 0 && !r - l < lines_needed do
+        incr r
+      done;
+      if !r - l >= lines_needed then begin
+        b.cursor <- l * t.cfg.line_bytes;
+        (* extend the hole to its full run of free lines *)
+        let e = ref !r in
+        while !e < t.lines_per_block && b.line_objs.(!e) = 0 do
+          incr e
+        done;
+        b.limit <- !e * t.cfg.line_bytes;
+        b.scan <- !e;
+        t.holes_reused_ <- t.holes_reused_ + 1;
+        true
+      end
+      else find !r
+    end
+  in
+  find b.scan
+
+(* A block leaving the allocation target position: classify it by what
+   its lines say right now, so releases that happened while it was
+   current are not lost (a stranded-Full block would otherwise need one
+   more release to re-enter circulation). *)
+let retire t b =
+  if b.b_live_objects = 0 then begin
+    b.b_state <- Free;
+    b.cursor <- 0;
+    b.limit <- t.cfg.block_bytes;
+    b.scan <- t.lines_per_block;
+    t.free_q <- b :: t.free_q
+  end
+  else if b.b_free_lines >= t.recycle_lines then begin
+    b.b_state <- Recycled;
+    t.recycled_q <- t.recycled_q @ [ b ]
+  end
+  else b.b_state <- Full
+
+(* Take the next allocation target: recycled blocks first (their free
+   lines are reclaimed space), then whole free blocks, then a fresh
+   block from the heap. *)
+let next_block t want =
+  let rec from_recycled () =
+    match t.recycled_q with
+    | b :: rest ->
+      t.recycled_q <- rest;
+      b.scan <- 0;
+      b.cursor <- 0;
+      b.limit <- 0;
+      if advance_hole t b want then Some b
+      else begin
+        (* no hole fits this request; park it as Full again *)
+        b.b_state <- Full;
+        from_recycled ()
+      end
+    | [] -> (
+      match t.free_q with
+      | b :: rest ->
+        t.free_q <- rest;
+        b.cursor <- 0;
+        b.limit <- t.cfg.block_bytes;
+        b.scan <- t.lines_per_block;
+        Some b
+      | [] -> fresh_block t)
+  in
+  from_recycled ()
+
+let count_alloc t b addr want =
+  let first = (addr - b.b_base) / t.cfg.line_bytes in
+  let last = (addr - b.b_base + want - 1) / t.cfg.line_bytes in
+  for l = first to last do
+    if b.line_objs.(l) = 0 then b.b_free_lines <- b.b_free_lines - 1;
+    b.line_objs.(l) <- b.line_objs.(l) + 1;
+    let lo = max (l * t.cfg.line_bytes) (addr - b.b_base) in
+    let hi = min ((l + 1) * t.cfg.line_bytes) (addr - b.b_base + want) in
+    b.line_bytes_.(l) <- b.line_bytes_.(l) + (hi - lo)
+  done;
+  b.b_live_objects <- b.b_live_objects + 1;
+  b.b_live_bytes <- b.b_live_bytes + want;
+  t.live_objects <- t.live_objects + 1;
+  t.live_bytes <- t.live_bytes + want;
+  if t.live_bytes > t.peak_bytes_ then t.peak_bytes_ <- t.live_bytes;
+  Hashtbl.replace t.objs addr (want, b)
+
+let try_alloc t size =
+  if size <= 0 then invalid_arg "Blockalloc.alloc: size must be positive";
+  let want = round_up size in
+  if want > t.cfg.block_bytes then None
+  else begin
+    let rec place () =
+      match t.current with
+      | Some b when b.limit - b.cursor >= want ->
+        let addr = b.b_base + b.cursor in
+        b.cursor <- b.cursor + want;
+        count_alloc t b addr want;
+        Some addr
+      | Some b ->
+        if advance_hole t b want then place ()
+        else begin
+          t.current <- None;
+          retire t b;
+          place ()
+        end
+      | None -> (
+        match next_block t want with
+        | Some b ->
+          t.current <- Some b;
+          place ()
+        | None -> None)
+    in
+    place ()
+  end
+
+let alloc t size =
+  match try_alloc t size with
+  | Some addr -> addr
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Blockalloc.alloc: exhausted (%d block bytes, cap %d)"
+         t.total_block_bytes
+         (Option.value ~default:0 t.cfg.max_bytes))
+
+let is_current t b = match t.current with Some c -> c == b | None -> false
+
+let release t addr =
+  match Hashtbl.find_opt t.objs addr with
+  | None -> invalid_arg (Printf.sprintf "Blockalloc.release: %#x is not live" addr)
+  | Some (want, b) ->
+    Hashtbl.remove t.objs addr;
+    let first = (addr - b.b_base) / t.cfg.line_bytes in
+    let last = (addr - b.b_base + want - 1) / t.cfg.line_bytes in
+    for l = first to last do
+      b.line_objs.(l) <- b.line_objs.(l) - 1;
+      let lo = max (l * t.cfg.line_bytes) (addr - b.b_base) in
+      let hi = min ((l + 1) * t.cfg.line_bytes) (addr - b.b_base + want) in
+      b.line_bytes_.(l) <- b.line_bytes_.(l) - (hi - lo);
+      if b.line_objs.(l) = 0 then begin
+        b.b_free_lines <- b.b_free_lines + 1;
+        t.lines_reclaimed_ <- t.lines_reclaimed_ + 1
+      end
+    done;
+    b.b_live_objects <- b.b_live_objects - 1;
+    b.b_live_bytes <- b.b_live_bytes - want;
+    t.live_objects <- t.live_objects - 1;
+    t.live_bytes <- t.live_bytes - want;
+    if not (is_current t b) then begin
+      if b.b_live_objects = 0 then begin
+        (* whole block free: back to the free queue, rewound *)
+        if b.b_state = Recycled then
+          t.recycled_q <- List.filter (fun x -> not (x == b)) t.recycled_q;
+        b.b_state <- Free;
+        b.cursor <- 0;
+        b.limit <- t.cfg.block_bytes;
+        b.scan <- t.lines_per_block;
+        t.free_q <- b :: t.free_q
+      end
+      else if b.b_state = Full && b.b_free_lines >= t.recycle_lines then begin
+        b.b_state <- Recycled;
+        t.recycled_q <- t.recycled_q @ [ b ]
+      end
+    end
+
+let charged_size t addr = Option.map fst (Hashtbl.find_opt t.objs addr)
+
+let contains t addr = Hashtbl.mem t.objs addr
+
+let in_range t addr =
+  List.exists (fun b -> addr >= b.b_base && addr < b.b_base + t.cfg.block_bytes) t.all
+
+let live_objects t = t.live_objects
+let live_bytes t = t.live_bytes
+let peak_bytes t = t.peak_bytes_
+let block_bytes_total t = t.total_block_bytes
+let blocks_acquired t = t.blocks_acquired
+let lines_reclaimed t = t.lines_reclaimed_
+let holes_reused t = t.holes_reused_
+
+let block_count t = List.length t.all
+
+let state_counts t =
+  let free = ref 0 and recycled = ref 0 and full = ref 0 in
+  List.iter
+    (fun b ->
+      match b.b_state with
+      | Free -> incr free
+      | Recycled -> incr recycled
+      | Full -> incr full)
+    t.all;
+  (!free, !recycled, !full)
+
+let blocks t = List.map (fun b -> (b.b_base, t.cfg.block_bytes)) t.all
+
+(* Exact per-block accounting, exposed for tests and the campaign's
+   footprint leg: (base, state, live objects, live bytes, free lines). *)
+let block_stats t =
+  List.map
+    (fun b -> (b.b_base, b.b_state, b.b_live_objects, b.b_live_bytes, b.b_free_lines))
+    t.all
+
+let dispose t =
+  List.iter (fun b -> Allocator.free t.heap b.b_base) t.all;
+  t.all <- [];
+  t.current <- None;
+  t.recycled_q <- [];
+  t.free_q <- [];
+  t.total_block_bytes <- 0;
+  Hashtbl.reset t.objs

@@ -1,0 +1,96 @@
+(** Block-structured bump-pointer allocation in the style of
+    Immix/Nofl (Wingo, "Nofl: A Precise Immix"): the heap hands out
+    fixed-size blocks, each subdivided into lines; objects bump-allocate
+    within a block and never move.  A released object decrements the
+    live counts of the lines it spans; a line whose count reaches zero
+    is reclaimed, and a full block whose free-line density crosses the
+    configured threshold re-enters circulation as a {e recycled} block
+    whose holes (runs of free lines) are bump-allocated into.
+
+    Accounting is exact per block — live objects, live bytes and free
+    lines — on top of the same charge-on-alloc / credit-on-release
+    discipline as {!Prefix_runtime.Region} ([live_bytes] and
+    [peak_bytes] always reflect rounded charged sizes). *)
+
+type state =
+  | Free  (** no live objects; whole block reusable from the start *)
+  | Recycled  (** free-line density over threshold; holes reusable *)
+  | Full  (** bump cursor exhausted, too few free lines to recycle *)
+
+val state_name : state -> string
+
+type config = {
+  block_bytes : int;  (** block size (default 32 KiB) *)
+  line_bytes : int;
+      (** line granule (default 256 B); must divide [block_bytes] and
+          be 16-byte aligned *)
+  recycle_free_lines : float;
+      (** fraction of a block's lines that must be free before a Full
+          block becomes Recycled (default 0.25) *)
+  max_bytes : int option;
+      (** cap on total block bytes taken from the heap; [None] =
+          unbounded *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Prefix_heap.Allocator.t -> t
+(** Raises [Invalid_argument] on inconsistent geometry. *)
+
+val try_alloc : t -> int -> int option
+(** Bump-allocate (16-byte aligned).  [None] when the request exceeds
+    [block_bytes] or acquiring a fresh block would exceed [max_bytes] —
+    the graceful-degradation path.  Raises on non-positive sizes. *)
+
+val alloc : t -> int -> int
+(** Like {!try_alloc} but raises [Invalid_argument] on exhaustion. *)
+
+val release : t -> int -> unit
+(** Release a live address, crediting exactly the bytes charged at
+    allocation (the address keys the charged size — callers cannot
+    desynchronize accounting by passing a stale size).  Raises
+    [Invalid_argument] for addresses not currently live. *)
+
+val charged_size : t -> int -> int option
+(** Rounded bytes charged for a live address, or [None]. *)
+
+val contains : t -> int -> bool
+(** Whether the address is a currently-live block allocation. *)
+
+val in_range : t -> int -> bool
+(** Whether the address falls inside any block's byte range (live or
+    not) — distinguishes a double free of block space from a foreign
+    heap address. *)
+
+val live_objects : t -> int
+val live_bytes : t -> int
+
+val peak_bytes : t -> int
+(** High-water mark of {!live_bytes}. *)
+
+val block_bytes_total : t -> int
+val blocks_acquired : t -> int
+
+val lines_reclaimed : t -> int
+(** Cumulative count of line transitions live -> free. *)
+
+val holes_reused : t -> int
+(** Number of free-line runs the bump cursor re-entered. *)
+
+val block_count : t -> int
+
+val state_counts : t -> int * int * int
+(** (free, recycled, full) block counts; the current allocation target
+    is counted under its queue-entry state. *)
+
+val blocks : t -> (int * int) list
+(** (base, size) of every block, newest first. *)
+
+val block_stats : t -> (int * state * int * int * int) list
+(** Per-block exact accounting: (base, state, live objects, live
+    bytes, free lines). *)
+
+val dispose : t -> unit
+(** Return every block to the heap. *)

@@ -9,6 +9,10 @@ module Log = (val Logs.src_log Prefix_obs.Log.pipeline)
    can show where pipeline time goes. *)
 let stage name f = Span.with_ ~cat:"pipeline" name f
 
+type slot_mode = Modulo | Interval
+
+let slot_mode_name = function Modulo -> "modulo" | Interval -> "interval"
+
 type config = {
   coverage : float;
   detector : Detector.config;
@@ -16,6 +20,7 @@ type config = {
   counter_sharing : bool;
   recycling : bool;
   recycle_config : Recycle.config;
+  slot_mode : slot_mode;
   max_prealloc_bytes : int option;
   promote_site_threshold : float;
   promote_site_min_allocs : int;
@@ -30,6 +35,7 @@ let default_config =
     counter_sharing = true;
     recycling = true;
     recycle_config = Recycle.default_config;
+    slot_mode = Modulo;
     max_prealloc_bytes = None;
     promote_site_threshold = 0.8;
     promote_site_min_allocs = 8;
@@ -260,6 +266,17 @@ let plan_with_stats ?(config = default_config) ~variant stats trace =
       Lifetimes.regroup stats ~trace_len:(Trace.length trace) direct_order
     else direct_order
   in
+  (* Liveness intervals back the interval-colored slot maps; extracted
+     once (lazily) from the profiling trace only when a recycling group
+     will consume them. *)
+  let profile_intervals =
+    lazy (stage "liveness-intervals" (fun () -> Intervals.of_trace trace))
+  in
+  let hybrid_ctx_of_group (g : Counters.group) =
+    match g.sites with
+    | [ s ] -> Option.join (List.assoc_opt s site_hybrid)
+    | _ -> None
+  in
   (* Offsets: direct placements first, then one block per recycled group. *)
   let offsets, recycle_blocks =
     stage "offset-assignment" (fun () ->
@@ -274,9 +291,20 @@ let plan_with_stats ?(config = default_config) ~variant stats trace =
                   Offsets.extend !offsets ~count:d.n_slots ~size:d.slot_bytes
                 in
                 offsets := off;
+                let assignment =
+                  match cfg.slot_mode with
+                  | Modulo -> []
+                  | Interval ->
+                    Intervals.slot_assignment (Lazy.force profile_intervals)
+                      ~sites:g.sites ?required_ctx:(hybrid_ctx_of_group g)
+                      ~n_slots:d.n_slots ()
+                in
                 Some
                   ( g.counter,
-                    { Plan.first_slot = first; n_slots = d.n_slots; slot_bytes = d.slot_bytes } ))
+                    { Plan.first_slot = first;
+                      n_slots = d.n_slots;
+                      slot_bytes = d.slot_bytes;
+                      assignment } ))
             group_recycle
         in
         (!offsets, recycle_blocks))

@@ -7,6 +7,16 @@
     as "all ids" sites) → counter sharing → recycling analysis →
     offset assignment → plan. *)
 
+type slot_mode =
+  | Modulo  (** Figure 7: slot = (id - 1) mod N *)
+  | Interval
+      (** greedy interval-graph coloring over profiled liveness
+          intervals ({!Intervals.slot_assignment}); instances outside
+          the profile fall back to modulo *)
+
+val slot_mode_name : slot_mode -> string
+(** ["modulo"] / ["interval"] — the CLI's [--slots] values. *)
+
 type config = {
   coverage : float;  (** hot-object coverage target (default 0.95) *)
   detector : Prefix_hds.Detector.config;
@@ -14,6 +24,9 @@ type config = {
   counter_sharing : bool;  (** default true *)
   recycling : bool;  (** default true *)
   recycle_config : Recycle.config;
+  slot_mode : slot_mode;
+      (** how recycling blocks map instance ids to slots (default
+          [Modulo], the paper's scheme) *)
   max_prealloc_bytes : int option;
       (** cap on the preallocated region (§1: "controlled by limiting
           the size of the preallocated memory") *)

@@ -5,7 +5,12 @@ let variant_name = function
   | Hds -> "PreFix:HDS"
   | HdsHot -> "PreFix:HDS+Hot"
 
-type recycle_block = { first_slot : int; n_slots : int; slot_bytes : int }
+type recycle_block = {
+  first_slot : int;
+  n_slots : int;
+  slot_bytes : int;
+  assignment : (int * int) list;
+}
 
 type counter_plan = {
   counter : int;
@@ -83,7 +88,26 @@ let validate t =
             for i = r.first_slot to r.first_slot + r.n_slots - 1 do
               Hashtbl.replace used i ()
             done;
-            Ok ()
+            let seen_ids = Hashtbl.create 16 in
+            List.fold_left
+              (fun acc (id, rel) ->
+                let* () = acc in
+                if id < 1 then
+                  Error
+                    (Printf.sprintf "counter %d: non-positive recycle instance id" cp.counter)
+                else if Hashtbl.mem seen_ids id then
+                  Error
+                    (Printf.sprintf "counter %d: recycle instance %d assigned twice" cp.counter
+                       id)
+                else if rel < 0 || rel >= r.n_slots then
+                  Error
+                    (Printf.sprintf "counter %d: recycle slot %d outside block of %d"
+                       cp.counter rel r.n_slots)
+                else begin
+                  Hashtbl.replace seen_ids id ();
+                  Ok ()
+                end)
+              (Ok ()) r.assignment
           end)
       (Ok ()) t.counters
   in

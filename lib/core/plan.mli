@@ -16,6 +16,13 @@ type recycle_block = {
   first_slot : int;  (** index of the block's first slot *)
   n_slots : int;
   slot_bytes : int;
+  assignment : (int * int) list;
+      (** interval-colored slot map: (instance id under the counter,
+          slot index {e relative to} [first_slot]).  Instances not
+          listed — and the whole block when the list is empty — fall
+          back to Figure 7's [(id-1) mod n_slots].  Built by
+          {!Intervals.slot_assignment} when the pipeline runs with
+          [`Interval] slot mode. *)
 }
 
 type counter_plan = {

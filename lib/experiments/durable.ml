@@ -14,7 +14,7 @@
 
    Work that is cheap and deterministic — trace generation, profiling
    analysis, planning — is recomputed on every resume; only the
-   long-run passes (statistics, classification, six policy replays)
+   long-run passes (statistics, classification, seven policy replays)
    checkpoint.  Stream-detection ([class]) has no mid-phase snapshot:
    interrupted, it restarts from the beginning of that phase.
 
@@ -69,7 +69,9 @@ let scale_of_name s =
 let config_digest () =
   Digest.to_hex
     (Digest.string
-       (Marshal.to_string (Harness.exec_config, Harness.pipeline_config) []))
+       (Marshal.to_string
+          (Harness.exec_config, Harness.effective_pipeline_config ())
+          []))
 
 let trace_digest profiling_trace =
   let buf = Buffer.create 4096 in
@@ -317,8 +319,9 @@ let run_benchmark cfg (wl : Workload.t) : Harness.result =
   in
   let costs = Harness.exec_config.costs in
   let plan_of variant =
-    Pipeline.plan_with_stats ~config:Harness.pipeline_config ~variant
-      profiling_stats profiling_trace
+    Pipeline.plan_with_stats
+      ~config:(Harness.effective_pipeline_config ())
+      ~variant profiling_stats profiling_trace
   in
   let plan_hot = plan_of Plan.Hot in
   let plan_hds = plan_of Plan.Hds in
@@ -328,6 +331,7 @@ let run_benchmark cfg (wl : Workload.t) : Harness.result =
       ~detector:Harness.pipeline_config.detector profiling_stats profiling_trace
   in
   let halo_plan = Prefix_halo.Halo.plan_of_trace profiling_stats profiling_trace in
+  let block_plan = Prefix_runtime.Block_policy.plan_of_trace profiling_trace in
   let replay name policy plan =
     let o = durable_replay cfg ~mon ~meta bdir ~name ~policy mk_stream in
     { Harness.metrics = o.Executor.metrics; plan }
@@ -343,6 +347,11 @@ let run_benchmark cfg (wl : Workload.t) : Harness.result =
   let halo =
     replay "halo"
       (fun heap -> Prefix_runtime.Halo_policy.policy costs heap halo_plan cls)
+      None
+  in
+  let block =
+    replay "block"
+      (fun heap -> Prefix_runtime.Block_policy.policy costs heap block_plan cls)
       None
   in
   let prefix_run name plan =
@@ -362,6 +371,7 @@ let run_benchmark cfg (wl : Workload.t) : Harness.result =
     baseline;
     hds;
     halo;
+    block;
     prefix_hot;
     prefix_hds;
     prefix_hdshot;
@@ -494,6 +504,7 @@ let render (r : Harness.result) =
   line "baseline" r.baseline;
   line "HDS [8]" r.hds;
   line "HALO" r.halo;
+  line "Block" r.block;
   line "PreFix:Hot" r.prefix_hot;
   line "PreFix:HDS" r.prefix_hds;
   line "PreFix:HDS+Hot" r.prefix_hdshot;

@@ -19,8 +19,8 @@ let table3_csv () =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     (csv_line
-       [ "benchmark"; "hds_pct"; "halo_pct"; "hot_pct"; "hdsv_pct"; "hdshot_pct"; "best_pct";
-         "paper_hds_pct"; "paper_halo_pct"; "paper_best_pct" ]);
+       [ "benchmark"; "hds_pct"; "halo_pct"; "block_pct"; "hot_pct"; "hdsv_pct";
+         "hdshot_pct"; "best_pct"; "paper_hds_pct"; "paper_halo_pct"; "paper_best_pct" ]);
   List.iter
     (fun (r : Harness.result) ->
       let d p = Harness.time_delta r p in
@@ -28,9 +28,9 @@ let table3_csv () =
       let pp = Paper_data.find_table3 r.wl.name in
       Buffer.add_string buf
         (csv_line
-           [ r.wl.name; fmt (d r.hds); fmt (d r.halo); fmt (d r.prefix_hot);
-             fmt (d r.prefix_hds); fmt (d r.prefix_hdshot); fmt (d best);
-             opt pp.hds_pct; opt pp.halo_pct; fmt pp.best_pct ]))
+           [ r.wl.name; fmt (d r.hds); fmt (d r.halo); fmt (d r.block);
+             fmt (d r.prefix_hot); fmt (d r.prefix_hds); fmt (d r.prefix_hdshot);
+             fmt (d best); opt pp.hds_pct; opt pp.halo_pct; fmt pp.best_pct ]))
     (Harness.run_all ());
   Buffer.contents buf
 
@@ -70,8 +70,8 @@ let capture_csv () =
                  string_of_int m.M.region_hot_objects; string_of_int m.M.region_hds_objects;
                  string_of_int m.M.calls_avoided; string_of_int m.M.peak_bytes ]))
         [ ("baseline", r.baseline); ("hds", r.hds); ("halo", r.halo);
-          ("prefix_hot", r.prefix_hot); ("prefix_hds", r.prefix_hds);
-          ("prefix_hdshot", r.prefix_hdshot) ])
+          ("block", r.block); ("prefix_hot", r.prefix_hot);
+          ("prefix_hds", r.prefix_hds); ("prefix_hdshot", r.prefix_hdshot) ])
     (Harness.run_all ());
   Buffer.contents buf
 

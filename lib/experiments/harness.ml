@@ -6,6 +6,7 @@ module Policy = Prefix_runtime.Policy
 module Hds_policy = Prefix_runtime.Hds_policy
 module Halo_policy = Prefix_runtime.Halo_policy
 module Prefix_policy = Prefix_runtime.Prefix_policy
+module Block_policy = Prefix_runtime.Block_policy
 module Trace_stats = Prefix_trace.Trace_stats
 module Detector = Prefix_hds.Detector
 module Hds = Prefix_hds.Hds
@@ -27,6 +28,7 @@ type result = {
   baseline : policy_run;
   hds : policy_run;
   halo : policy_run;
+  block : policy_run;
   prefix_hot : policy_run;
   prefix_hds : policy_run;
   prefix_hdshot : policy_run;
@@ -66,7 +68,15 @@ let set_eval_scale s = eval_scale := s
 let stream_container : [ `Generator | `Columnar ] ref = ref `Generator
 let set_stream_container c = stream_container := c
 
-(* Decode-once fan-out: replay all six policies as consumers of a
+(* Recycling-slot assignment mode for the PreFix plans: Figure 7's
+   modulo-N rotation, or greedy interval coloring over profiled
+   liveness (the CLI's --slots flag).  Configured once at startup like
+   the other evaluation knobs. *)
+let slot_mode = ref Pipeline.Modulo
+let set_slot_mode m = slot_mode := m
+let effective_pipeline_config () = { pipeline_config with Pipeline.slot_mode = !slot_mode }
+
+(* Decode-once fan-out: replay all seven policies as consumers of a
    single decode pass ({!Executor.run_stream_many}) instead of
    re-decoding the evaluation stream per policy.  Off by default (the
    per-policy path is the long-standing reference); reports are
@@ -188,7 +198,7 @@ let run_benchmark_spooling (wl : Workload.t) ~spooled_path =
               wl.generate ~scale:eval_scale ~seed:(seed + 1) () ))
       in
       (* Pack once; the packed form is read-only and shared by analysis
-         and all six policy replays below (and by any pooled experiment
+         and all seven policy replays below (and by any pooled experiment
          that replays this benchmark's long trace again). *)
       let long_packed =
         Span.with_ ~cat:"harness" "pack-traces" (fun () ->
@@ -241,27 +251,31 @@ let run_benchmark_spooling (wl : Workload.t) ~spooled_path =
   (* Profile-side plans. *)
   Log.info (fun m -> m "%s: planning" wl.name);
   let plan_of variant =
-    Pipeline.plan_with_stats ~config:pipeline_config ~variant profiling_stats profiling_trace
+    Pipeline.plan_with_stats
+      ~config:(effective_pipeline_config ())
+      ~variant profiling_stats profiling_trace
   in
   let plan_hot = plan_of Plan.Hot in
   let plan_hds = plan_of Plan.Hds in
   let plan_hdshot = plan_of Plan.HdsHot in
   let hds_plan = Hds_policy.plan_of_trace ~detector:pipeline_config.detector profiling_stats profiling_trace in
   let halo_plan = Prefix_halo.Halo.plan_of_trace profiling_stats profiling_trace in
+  let block_plan = Block_policy.plan_of_trace profiling_trace in
   (* Long-run replays. *)
-  let baseline, hds, halo, prefix_hot, prefix_hds, prefix_hdshot =
+  let baseline, hds, halo, block, prefix_hot, prefix_hds, prefix_hdshot =
     match long_source with
     | Streamed _ when !decode_once ->
       (* Decode-once fan-out: one pass over the evaluation stream hands
-         each decoded segment to all six policy sessions before the next
-         segment is decoded.  Sessions are independent, so the six
-         outcomes — and hence the report — are byte-identical to the
-         sequential per-policy replays below. *)
+         each decoded segment to all seven policy sessions before the
+         next segment is decoded.  Sessions are independent, so the
+         seven outcomes — and hence the report — are byte-identical to
+         the sequential per-policy replays below. *)
       Log.info (fun m -> m "%s: replaying all policies (decode-once)" wl.name);
       let policies =
         [ (fun heap -> Policy.baseline costs heap);
           (fun heap -> Hds_policy.policy costs heap hds_plan cls);
           (fun heap -> Halo_policy.policy costs heap halo_plan cls);
+          (fun heap -> Block_policy.policy costs heap block_plan cls);
           (fun heap -> Prefix_policy.policy costs heap plan_hot cls);
           (fun heap -> Prefix_policy.policy costs heap plan_hds cls);
           (fun heap -> Prefix_policy.policy costs heap plan_hdshot cls) ]
@@ -272,10 +286,11 @@ let run_benchmark_spooling (wl : Workload.t) ~spooled_path =
       Prefix_obs.Recorder.poll ~label:("benchmark:" ^ wl.name) ();
       let run plan (o : Executor.outcome) = { metrics = o.metrics; plan } in
       (match outcomes with
-      | [ b; h; hl; p_hot; p_hds; p_hdshot ] ->
+      | [ b; h; hl; blk; p_hot; p_hds; p_hdshot ] ->
         ( run None b,
           run None h,
           run None hl,
+          run None blk,
           run (Some plan_hot) p_hot,
           run (Some plan_hds) p_hds,
           run (Some plan_hdshot) p_hdshot )
@@ -297,12 +312,21 @@ let run_benchmark_spooling (wl : Workload.t) ~spooled_path =
       let baseline = replay "baseline" (fun heap -> Policy.baseline costs heap) None in
       let hds = replay "HDS" (fun heap -> Hds_policy.policy costs heap hds_plan cls) None in
       let halo = replay "HALO" (fun heap -> Halo_policy.policy costs heap halo_plan cls) None in
+      let block =
+        replay "Block" (fun heap -> Block_policy.policy costs heap block_plan cls) None
+      in
       let prefix_run plan =
         replay (Plan.variant_name plan.Plan.variant)
           (fun heap -> Prefix_policy.policy costs heap plan cls)
           (Some plan)
       in
-      (baseline, hds, halo, prefix_run plan_hot, prefix_run plan_hds, prefix_run plan_hdshot)
+      ( baseline,
+        hds,
+        halo,
+        block,
+        prefix_run plan_hot,
+        prefix_run plan_hds,
+        prefix_run plan_hdshot )
   in
   { wl;
     profiling_trace;
@@ -313,6 +337,7 @@ let run_benchmark_spooling (wl : Workload.t) ~spooled_path =
     baseline;
     hds;
     halo;
+    block;
     prefix_hot;
     prefix_hds;
     prefix_hdshot;

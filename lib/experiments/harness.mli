@@ -2,8 +2,9 @@
 
     Every table and figure derives from the same set of runs: for each
     benchmark we profile on the short input, build the plans, and replay
-    the long input under six policies (baseline, HDS [8], HALO, and the
-    three PreFix variants).  [run_benchmark] performs that once;
+    the long input under seven policies (baseline, HDS [8], HALO, the
+    Immix-style Block policy, and the three PreFix variants).
+    [run_benchmark] performs that once;
     [run_all] memoizes across experiments so `bench/main.exe` replays
     each (benchmark, policy) pair exactly once however many tables ask
     for it. *)
@@ -15,7 +16,7 @@ type policy_run = { metrics : Metrics.t; plan : Plan.t option }
 
 type long_source =
   | Materialized of Prefix_trace.Packed.t
-      (** evaluation trace packed once, shared read-only by the six
+      (** evaluation trace packed once, shared read-only by the seven
           policy replays and by experiments that replay it again *)
   | Streamed of (unit -> Prefix_trace.Stream.t)
       (** bounded-memory mode: each call re-runs the deterministic
@@ -31,6 +32,7 @@ type result = {
   baseline : policy_run;
   hds : policy_run;
   halo : policy_run;
+  block : policy_run;  (** Immix/Nofl-style block policy (interval-planned) *)
   prefix_hot : policy_run;
   prefix_hds : policy_run;
   prefix_hdshot : policy_run;
@@ -56,7 +58,7 @@ val seed : int
 val set_streaming : bool -> unit
 (** When true, [run_benchmark] evaluates the long run via
     {!Prefix_trace.Stream}: generation, analysis, stream detection and
-    all six policy replays hold one segment of trace memory at a time,
+    all seven policy replays hold one segment of trace memory at a time,
     and results are identical to the materialized path (the CLI's
     [--stream] flag).  Configure before the first run — the memo cache
     does not distinguish modes. *)
@@ -80,12 +82,22 @@ val set_eval_scale : Prefix_workloads.Workload.scale -> unit
     streaming engine's target, ~10x longer). *)
 
 val set_decode_once : bool -> unit
-(** When true (and streaming), the six policy replays run as consumers
+(** When true (and streaming), the seven policy replays run as consumers
     of a single decode pass ({!Prefix_runtime.Executor.run_stream_many})
     instead of each re-decoding the evaluation stream — one decode for
-    six replays.  Reports are byte-identical to the per-policy path (CI
-    diffs them).  Off by default; the CLI's [--decode-once] flag.
+    seven replays.  Reports are byte-identical to the per-policy path
+    (CI diffs them).  Off by default; the CLI's [--decode-once] flag.
     Configure before the first run. *)
+
+val set_slot_mode : Prefix_core.Pipeline.slot_mode -> unit
+(** Recycling-slot assignment mode for the PreFix plans: [Modulo]
+    (default, Figure 7's rotation) or [Interval] (greedy coloring of
+    profiled liveness intervals).  The CLI's [--slots] flag.  Configure
+    before the first run — the memo cache does not distinguish modes. *)
+
+val effective_pipeline_config : unit -> Prefix_core.Pipeline.config
+(** {!pipeline_config} with the configured {!set_slot_mode} applied —
+    what [run_benchmark] actually plans with. *)
 
 val pipeline_config : Prefix_core.Pipeline.config
 (** The configuration used for every benchmark's plans. *)

@@ -12,11 +12,15 @@ module Halo_policy = Prefix_runtime.Halo_policy
 module Prefix_policy = Prefix_runtime.Prefix_policy
 module Tablefmt = Prefix_util.Tablefmt
 
-type policy_id = Hds | Halo | Prefix
+type policy_id = Hds | Halo | Block | Prefix
 
-let all_policies = [ Hds; Halo; Prefix ]
+let all_policies = [ Hds; Halo; Block; Prefix ]
 
-let policy_name = function Hds -> "HDS" | Halo -> "HALO" | Prefix -> "PreFix"
+let policy_name = function
+  | Hds -> "HDS"
+  | Halo -> "HALO"
+  | Block -> "Block"
+  | Prefix -> "PreFix"
 
 let policy_of_name s =
   match List.find_opt (fun p -> String.lowercase_ascii (policy_name p) = String.lowercase_ascii s) all_policies with
@@ -105,6 +109,11 @@ let bench_ctx ?(policies = all_policies) ?(stream = false) name =
     | Halo ->
       let plan = Prefix_halo.Halo.plan_of_trace stats trace in
       fun mode cap heap -> Halo_policy.policy ~mode ?region_cap:cap costs heap plan Policy.no_classification
+    | Block ->
+      let plan = Prefix_runtime.Block_policy.plan_of_trace trace in
+      fun mode cap heap ->
+        Prefix_runtime.Block_policy.policy ~mode ?block_cap:cap costs heap plan
+          Policy.no_classification
     | Prefix ->
       let plan = Pipeline.plan_with_stats ~variant:Plan.HdsHot stats trace in
       fun mode _cap heap -> Prefix_policy.policy ~mode costs heap plan Policy.no_classification

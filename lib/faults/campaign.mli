@@ -13,7 +13,7 @@
       from {!Prefix_trace.Sanitizer.sanitize} must replay cleanly under
       the fail-fast strict executor. *)
 
-type policy_id = Hds | Halo | Prefix
+type policy_id = Hds | Halo | Block | Prefix
 
 val all_policies : policy_id list
 
@@ -28,8 +28,9 @@ type config = {
   seeds : int;  (** fault seeds [0 .. seeds-1] per combination *)
   rate : float;  (** fraction of candidate events corrupted per injection *)
   region_cap : int option;
-      (** per-region byte cap for HDS/HALO pools during the lenient
-          replay, to exercise exhaustion -> malloc degradation *)
+      (** per-region byte cap for HDS/HALO pools (and the Block
+          policy's block space) during the lenient replay, to exercise
+          exhaustion -> malloc degradation *)
   stream : bool;
       (** replay the clean reference leg through
           {!Prefix_runtime.Executor.run_stream} instead of the packed
@@ -37,7 +38,7 @@ type config = {
 }
 
 val default_config : config
-(** All 13 benchmarks, all three policies, every fault kind, 8 seeds,
+(** All 13 benchmarks, all four policies, every fault kind, 8 seeds,
     1% rate, no region cap, materialized clean leg. *)
 
 type run = {

@@ -50,8 +50,14 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 (* Maximum centroid weight for [total] samples: ceil(2 total / cap),
-   at least 1. *)
-let weight_limit t total = max 1 ((2 * total + t.cap - 1) / t.cap)
+   at least 1.  While [total <= cap] the limit is pinned at 1: the
+   centroid arrays hold [2 * cap] entries, so every sample can stay a
+   singleton and small-count quantiles are exact.  The unpinned ceil
+   jumps to 2 as soon as [total > cap / 2], coalescing neighbours it
+   had room to keep — cap 8 with samples [0;0;10;10;10;10;10] answered
+   q=1/6 with 2.5 instead of 0. *)
+let weight_limit t total =
+  if total <= t.cap then 1 else max 1 ((2 * total + t.cap - 1) / t.cap)
 
 (* Merge the sorted centroids with the (sorted) staged samples, then
    greedily coalesce adjacent entries while staying under the weight
@@ -137,20 +143,30 @@ let quantile_locked t q =
   else begin
     compress t;
     let r = q *. float_of_int (t.total - 1) in
-    (* midpoint rank of centroid i = cum_before + (w - 1) / 2 *)
+    (* midpoint rank of centroid i = cum_before + (w - 1) / 2.  Below
+       the first midpoint we interpolate from the exact minimum (rank
+       0) and above the last from the exact maximum (rank total-1),
+       instead of answering flat means — the extrema are tracked
+       exactly, so the tails should approach them. *)
     let rec find i cum prev_mid prev_mean =
-      if i >= t.n_centroids then prev_mean
+      if i >= t.n_centroids then begin
+        let last = float_of_int (t.total - 1) in
+        if last <= prev_mid then prev_mean
+        else
+          prev_mean
+          +. ((r -. prev_mid) /. (last -. prev_mid) *. (t.hi -. prev_mean))
+      end
       else
         let w = float_of_int t.weights.(i) in
         let mid = float_of_int cum +. ((w -. 1.) /. 2.) in
         if r <= mid then
-          if i = 0 || mid = prev_mid then t.means.(i)
+          if mid <= prev_mid then t.means.(i)
           else
             let frac = (r -. prev_mid) /. (mid -. prev_mid) in
             prev_mean +. (frac *. (t.means.(i) -. prev_mean))
         else find (i + 1) (cum + t.weights.(i)) mid t.means.(i)
     in
-    let v = find 0 0 neg_infinity nan in
+    let v = find 0 0 0. t.lo in
     let v = if Float.is_nan v then t.hi else v in
     Float.max t.lo (Float.min t.hi v)
   end

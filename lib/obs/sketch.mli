@@ -40,9 +40,13 @@ val max_value : t -> float
 
 val quantile : t -> float -> float
 (** [quantile t q] with [q] in [0, 1]: estimated value at rank
-    [q * (count - 1)], linear interpolation between centroid midpoints,
-    clamped to the exact [min]/[max].  [nan] when the sketch is empty;
-    raises [Invalid_argument] when [q] is outside [0, 1] or NaN. *)
+    [q * (count - 1)], linear interpolation between centroid midpoints
+    (and toward the exact [min]/[max] beyond the first/last midpoint),
+    clamped to the exact [min]/[max].  [q = 0.] and [q = 1.] return
+    the exact extrema; while [count <= capacity] every sample is
+    retained as a singleton centroid, so all quantiles are exact.
+    [nan] when the sketch is empty; raises [Invalid_argument] when [q]
+    is outside [0, 1] or NaN. *)
 
 val quantiles : t -> float list -> (float * float) list
 (** [(q, quantile t q)] for each requested [q], in one lock. *)

@@ -150,6 +150,8 @@ let rows t =
 
 let last t = if t.n_rows = 0 then None else Option.map (pad t) t.rows.(t.n_rows - 1)
 
+let fills t = List.init t.n_rows (fun i -> t.fills.(i))
+
 let clear t =
   Array.fill t.rows 0 t.cap None;
   Array.fill t.fills 0 t.cap 0;

@@ -59,6 +59,12 @@ val rows : t -> row list
 
 val last : t -> row option
 
+val fills : t -> int list
+(** Raw samples accumulated in each slot, oldest first (parallel to
+    {!rows}).  Coarsening merges slots but conserves the total: the
+    sum always equals the number of {!append}s since creation /
+    {!clear}. *)
+
 val coarsenings : t -> int
 (** How many times the history has been halved (0 = full rate). *)
 

@@ -1,0 +1,152 @@
+module Allocator = Prefix_heap.Allocator
+module Blockalloc = Prefix_blockpolicy.Blockalloc
+module Intervals = Prefix_core.Intervals
+module Metric = Prefix_obs.Metric
+
+type plan = { block_sites : int list; prealloc_bytes : int }
+
+type plan_config = {
+  min_allocs : int;
+  min_freed_fraction : float;
+  max_obj_bytes : int;
+  headroom : float;
+}
+
+let default_plan_config =
+  { min_allocs = 8; min_freed_fraction = 0.5; max_obj_bytes = 16 * 1024; headroom = 1.25 }
+
+(* Sites worth redirecting into blocks: enough allocations to matter,
+   mostly freed (objects that die reclaim their lines — a site whose
+   objects survive to the end would pin blocks forever), and small
+   enough to bump inside a block. *)
+let plan_of_intervals ?(config = default_plan_config) ivs =
+  let per_site = Hashtbl.create 64 in
+  Array.iter
+    (fun (iv : Intervals.interval) ->
+      let allocs, freed, max_size =
+        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt per_site iv.iv_site)
+      in
+      Hashtbl.replace per_site iv.iv_site
+        ( allocs + 1,
+          (freed + if iv.iv_freed then 1 else 0),
+          max max_size iv.iv_size ))
+    (Intervals.intervals ivs);
+  let block_sites =
+    Hashtbl.fold
+      (fun site (allocs, freed, max_size) acc ->
+        if
+          allocs >= config.min_allocs
+          && float_of_int freed >= config.min_freed_fraction *. float_of_int allocs
+          && max_size <= config.max_obj_bytes
+        then site :: acc
+        else acc)
+      per_site []
+    |> List.sort compare
+  in
+  let prealloc_bytes =
+    if block_sites = [] then 0
+    else
+      int_of_float
+        (ceil
+           (config.headroom
+           *. float_of_int (Intervals.peak_live_bytes ivs ~sites:(Some block_sites))))
+  in
+  { block_sites; prealloc_bytes }
+
+let plan_of_trace ?config trace = plan_of_intervals ?config (Intervals.of_trace trace)
+
+let policy ?(mode = Policy.Strict) ?(config = Blockalloc.default_config) ?block_cap
+    (costs : Costs.t) heap plan (cls : Policy.classification) =
+  let stats = Policy.fresh_stats () in
+  let config =
+    match block_cap with Some _ -> { config with Blockalloc.max_bytes = block_cap } | None -> config
+  in
+  let blocks = Blockalloc.create ~config heap in
+  let site_set = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace site_set s ()) plan.block_sites;
+  let exhausted = Metric.counter "policy.block_exhausted" in
+  let oversize = Metric.counter "policy.block_oversize" in
+  Metric.set_max (Metric.gauge "policy.block_planned_bytes") (float_of_int plan.prealloc_bytes);
+  let fallback_malloc size =
+    stats.mgmt_instrs <- stats.mgmt_instrs + costs.malloc_instrs;
+    Allocator.malloc heap size
+  in
+  { Policy.name = "Block";
+    alloc =
+      (fun ~obj ~site ~ctx:_ ~size ->
+        if not (Hashtbl.mem site_set site) then fallback_malloc size
+        else begin
+          (* Bump allocation: a pointer add plus line bookkeeping. *)
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.place_instrs + 2;
+          match Blockalloc.try_alloc blocks size with
+          | Some addr ->
+            stats.calls_avoided <- stats.calls_avoided + 1;
+            stats.region_objects <- stats.region_objects + 1;
+            if cls.is_hot obj then stats.region_hot_objects <- stats.region_hot_objects + 1;
+            if cls.is_hds obj then stats.region_hds_objects <- stats.region_hds_objects + 1;
+            addr
+          | None ->
+            if size > config.Blockalloc.block_bytes then begin
+              (* Too big for any block — a plain heap object by design,
+                 in both modes. *)
+              Metric.incr oversize;
+              fallback_malloc size
+            end
+            else begin
+              match mode with
+              | Policy.Strict -> Blockalloc.alloc blocks size (* raises: cap exceeded *)
+              | Policy.Lenient ->
+                stats.degraded_fallbacks <- stats.degraded_fallbacks + 1;
+                Metric.incr exhausted;
+                fallback_malloc size
+            end
+        end);
+    dealloc =
+      (fun ~obj:_ ~addr ~size:_ ->
+        if Blockalloc.contains blocks addr then begin
+          (* Line-count decrements; the heap free call is avoided. *)
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.arena_free_instrs + 2;
+          stats.calls_avoided <- stats.calls_avoided + 1;
+          Blockalloc.release blocks addr
+        end
+        else if mode = Policy.Lenient && Blockalloc.in_range blocks addr then
+          (* Double free of block space (corrupted trace): count and
+             skip rather than hand a block-interior address to the
+             heap. *)
+          stats.degraded_fallbacks <- stats.degraded_fallbacks + 1
+        else begin
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.free_instrs;
+          Allocator.free heap addr
+        end);
+    realloc =
+      (fun ~obj:_ ~addr ~old_size ~new_size ->
+        match Blockalloc.charged_size blocks addr with
+        | Some charged ->
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.arena_free_instrs;
+          if new_size <= charged then begin
+            stats.calls_avoided <- stats.calls_avoided + 1;
+            addr
+          end
+          else begin
+            (* Objects never move within blocks; growth moves out, and
+               the old space's lines are reclaimed. *)
+            let fresh = fallback_malloc new_size in
+            stats.mgmt_instrs <-
+              stats.mgmt_instrs + (old_size / 16 * costs.memcpy_instrs_per_16b);
+            Blockalloc.release blocks addr;
+            fresh
+          end
+        | None ->
+          stats.mgmt_instrs <- stats.mgmt_instrs + costs.realloc_instrs;
+          Allocator.realloc heap addr new_size);
+    finish =
+      (fun () ->
+        stats.region_peak_bytes <- Blockalloc.peak_bytes blocks;
+        Metric.add (Metric.counter "policy.block_lines_reclaimed")
+          (Blockalloc.lines_reclaimed blocks);
+        Metric.add (Metric.counter "policy.block_holes_reused")
+          (Blockalloc.holes_reused blocks);
+        Metric.add (Metric.counter "policy.block_blocks") (Blockalloc.blocks_acquired blocks);
+        Blockalloc.dispose blocks);
+    stats;
+    regions = (fun () -> Blockalloc.blocks blocks) }

@@ -1,0 +1,54 @@
+(** The Block policy: an Immix/Nofl-style bump-pointer competitor to
+    HDS/HALO/PreFix, driven by precise trace liveness.
+
+    Profiled sites whose objects are numerous, mostly freed and
+    block-sized are redirected into a {!Prefix_blockpolicy.Blockalloc}
+    block space: allocation is a bump (plus line bookkeeping), frees
+    reclaim lines, and blocks whose free-line density crosses the
+    threshold are recycled hole by hole.  The plan comes from the
+    liveness-interval layout pass ({!Prefix_core.Intervals}) — the same
+    pass that colors PreFix's recycling slots. *)
+
+type plan = {
+  block_sites : int list;  (** sites redirected into block space *)
+  prealloc_bytes : int;
+      (** peak concurrently-live bytes over those sites (with
+          headroom) — the footprint blocks must provision for *)
+}
+
+type plan_config = {
+  min_allocs : int;  (** minimum profiled allocations (default 8) *)
+  min_freed_fraction : float;
+      (** minimum fraction of the site's objects that are freed
+          (default 0.5) — unfreed objects pin lines forever *)
+  max_obj_bytes : int;
+      (** largest object a block site may allocate (default 16 KiB) *)
+  headroom : float;  (** sizing margin on peak bytes (default 1.25) *)
+}
+
+val default_plan_config : plan_config
+
+val plan_of_intervals : ?config:plan_config -> Prefix_core.Intervals.t -> plan
+
+val plan_of_trace : ?config:plan_config -> Prefix_trace.Trace.t -> plan
+(** Extract intervals from the profiling trace and plan from them. *)
+
+val policy :
+  ?mode:Policy.mode ->
+  ?config:Prefix_blockpolicy.Blockalloc.config ->
+  ?block_cap:int ->
+  Costs.t ->
+  Prefix_heap.Allocator.t ->
+  plan ->
+  Policy.classification ->
+  Policy.t
+(** In [Lenient] mode a cap-exhausted block space degrades to plain
+    malloc (counted in [degraded_fallbacks] and the
+    [policy.block_exhausted] metric) and double frees of block space
+    are skipped; [Strict] raises on both.  Oversized allocations
+    (larger than a block) go to the heap in both modes
+    ([policy.block_oversize]).  [block_cap] overrides
+    [config.max_bytes].  [finish] records the block space's peak bytes
+    in [stats.region_peak_bytes] and exports the line-reclamation
+    counters ([policy.block_lines_reclaimed], [policy.block_holes_reused],
+    [policy.block_blocks]). *)

@@ -27,7 +27,6 @@ let policy ?(mode = Policy.Strict) ?region_cap (costs : Costs.t) heap (plan : Ha
         Metric.incr exhausted;
         Allocator.malloc heap size)
   in
-  let in_any_pool addr = Array.exists (fun p -> Region.contains p addr) pools in
   { Policy.name = "HALO";
     alloc =
       (fun ~obj ~site:_ ~ctx ~size ->
@@ -61,15 +60,18 @@ let policy ?(mode = Policy.Strict) ?region_cap (costs : Costs.t) heap (plan : Ha
     realloc =
       (fun ~obj:_ ~addr ~old_size ~new_size ->
         stats.mgmt_instrs <- stats.mgmt_instrs + costs.realloc_instrs;
-        if in_any_pool addr then begin
+        match Array.find_opt (fun p -> Region.contains p addr) pools with
+        | Some pool ->
           if new_size <= old_size then addr
           else begin
+            (* Move out of the pool; release the old block back to its
+               pool's free lists (the seed leaked it). *)
             stats.mgmt_instrs <-
               stats.mgmt_instrs + (old_size / 16 * costs.memcpy_instrs_per_16b);
+            Region.release pool addr old_size;
             Allocator.malloc heap new_size
           end
-        end
-        else Allocator.realloc heap addr new_size);
+        | None -> Allocator.realloc heap addr new_size);
     finish =
       (fun () ->
         stats.region_peak_bytes <-

@@ -63,9 +63,13 @@ let policy ?(mode = Policy.Strict) ?region_cap (costs : Costs.t) heap plan
         if Region.contains region addr then begin
           if new_size <= old_size then addr
           else begin
-            (* Move out of the region; copy cost applies. *)
+            (* Move out of the region; copy cost applies, and the old
+               block goes back to the region's free lists — the seed
+               leaked it, leaving [allocated_bytes] permanently
+               inflated by every grown object. *)
             stats.mgmt_instrs <-
               stats.mgmt_instrs + (old_size / 16 * costs.memcpy_instrs_per_16b);
+            Region.release region addr old_size;
             Allocator.malloc heap new_size
           end
         end

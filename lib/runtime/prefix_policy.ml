@@ -18,6 +18,7 @@ type counter_state = {
   pattern : Context.pattern;
   placements : (int, int) Hashtbl.t; (* instance id -> slot *)
   recycle : Plan.recycle_block option;
+  recycle_assign : (int, int) Hashtbl.t; (* instance id -> relative slot *)
   required_ctx : int option; (* hybrid gate (§2.2.2) *)
 }
 
@@ -40,11 +41,20 @@ let policy ?(mode = Policy.Strict) (costs : Costs.t) heap (plan : Plan.t)
     (fun (cp : Plan.counter_plan) ->
       let placements = Hashtbl.create (List.length cp.placements) in
       List.iter (fun (id, slot) -> Hashtbl.replace placements id slot) cp.placements;
+      let recycle_assign =
+        match cp.recycle with
+        | Some { assignment = (_ :: _) as a; _ } ->
+          let h = Hashtbl.create (List.length a) in
+          List.iter (fun (id, rel) -> Hashtbl.replace h id rel) a;
+          h
+        | _ -> Hashtbl.create 1
+      in
       Hashtbl.replace counter_states cp.counter
         { count = 0;
           pattern = cp.pattern;
           placements;
           recycle = cp.recycle;
+          recycle_assign;
           required_ctx = cp.required_ctx })
     plan.counters;
   let note_captured obj =
@@ -86,9 +96,15 @@ let policy ?(mode = Policy.Strict) (costs : Costs.t) heap (plan : Plan.t)
           let id = st.count in
           match st.recycle with
           | Some block -> (
-            (* Figure 7: Map = (Counter - 1) mod N. *)
-            stats.mgmt_instrs <- stats.mgmt_instrs + 4 (* mod + occupancy check *);
-            let slot = block.first_slot + ((id - 1) mod block.n_slots) in
+            (* Figure 7: Map = (Counter - 1) mod N — unless the plan
+               carries an interval-colored assignment for this id. *)
+            stats.mgmt_instrs <- stats.mgmt_instrs + 4 (* map + occupancy check *);
+            let rel =
+              match Hashtbl.find_opt st.recycle_assign id with
+              | Some rel -> rel
+              | None -> (id - 1) mod block.n_slots
+            in
+            let slot = block.first_slot + rel in
             match try_place obj slot size with
             | Some addr -> addr
             | None ->

@@ -12,6 +12,7 @@ type t = {
   mutable bytes : int;
   mutable peak_bytes : int;
   free_lists : (int, int list ref) Hashtbl.t; (* rounded size -> addrs *)
+  charged : (int, int) Hashtbl.t; (* live addr -> rounded bytes charged at alloc *)
 }
 
 let create ?max_bytes heap ~chunk_bytes =
@@ -27,7 +28,8 @@ let create ?max_bytes heap ~chunk_bytes =
     objects = 0;
     bytes = 0;
     peak_bytes = 0;
-    free_lists = Hashtbl.create 8 }
+    free_lists = Hashtbl.create 8;
+    charged = Hashtbl.create 64 }
 
 let align = 16
 
@@ -47,9 +49,10 @@ let pop_free t want =
    or free-list reuse), - on every release.  The seed only counted
    [bytes] on the bump path, so the live-bytes figure drifted up and
    disagreed with [objects]. *)
-let count_alloc t want =
+let count_alloc t addr want =
   t.objects <- t.objects + 1;
   t.bytes <- t.bytes + want;
+  Hashtbl.replace t.charged addr want;
   if t.bytes > t.peak_bytes then t.peak_bytes <- t.bytes
 
 let try_alloc t size =
@@ -57,7 +60,7 @@ let try_alloc t size =
   let want = round_up size in
   match pop_free t want with
   | Some addr ->
-    count_alloc t want;
+    count_alloc t addr want;
     Some addr
   | None ->
     let chunk =
@@ -84,7 +87,7 @@ let try_alloc t size =
     | Some chunk ->
       let addr = chunk.base + chunk.used in
       chunk.used <- chunk.used + want;
-      count_alloc t want;
+      count_alloc t addr want;
       Some addr
 
 let alloc t size =
@@ -99,13 +102,24 @@ let alloc t size =
 let contains t addr =
   List.exists (fun c -> addr >= c.base && addr < c.base + c.size) t.chunks
 
-let release t addr size =
-  let want = round_up size in
-  (match Hashtbl.find_opt t.free_lists want with
-  | Some l -> l := addr :: !l
-  | None -> Hashtbl.replace t.free_lists want (ref [ addr ]));
-  t.objects <- t.objects - 1;
-  t.bytes <- t.bytes - want
+(* The caller's [size] is deliberately not trusted: after an in-region
+   realloc-shrink the policy frees with the {e new} size, but the block
+   still occupies the bytes charged at alloc time.  Keying the free
+   list and the byte decrement off the caller's size let [bytes] drift
+   above the true live total and parked the block in a too-small size
+   class.  Addresses with no charge record (already released) are
+   ignored rather than pushed onto a free list twice — double-listing
+   would hand the same address to two later allocations. *)
+let release t addr _size =
+  match Hashtbl.find_opt t.charged addr with
+  | None -> ()
+  | Some want ->
+    Hashtbl.remove t.charged addr;
+    (match Hashtbl.find_opt t.free_lists want with
+    | Some l -> l := addr :: !l
+    | None -> Hashtbl.replace t.free_lists want (ref [ addr ]));
+    t.objects <- t.objects - 1;
+    t.bytes <- t.bytes - want
 
 let chunks t = List.map (fun c -> (c.base, c.size)) t.chunks
 
@@ -118,4 +132,5 @@ let dispose t =
   List.iter (fun c -> Allocator.free t.heap c.base) t.chunks;
   t.chunks <- [];
   t.chunk_total <- 0;
-  Hashtbl.reset t.free_lists
+  Hashtbl.reset t.free_lists;
+  Hashtbl.reset t.charged

@@ -32,7 +32,13 @@ val release : t -> int -> int -> unit
     size-class free lists for reuse by later [alloc]s of the same
     rounded size (how HDS's hot-object RAM and HALO's pools manage
     frees — space is reused within the region but never returned to
-    the heap before [dispose]). *)
+    the heap before [dispose]).  The free-list class and the byte
+    decrement come from the size {e charged at allocation time}, not
+    from [size] — a block shrunk by an in-region realloc still frees
+    at its original rounded size, keeping {!allocated_bytes} equal to
+    the sum of live charges.  Releasing an address the region does not
+    currently own (never allocated, or already released) is a no-op
+    rather than a free-list corruption. *)
 
 val chunks : t -> (int * int) list
 (** (base, size) of every chunk, newest first. *)

@@ -115,11 +115,11 @@ let test_instrument_tables_fixed_only () =
 let test_instrument_recycle_flat () =
   let recycled =
     { Plan.counter = 0; counter_sites = [ 1 ]; pattern = Context.All { upto = None };
-      placements = []; recycle = Some { first_slot = 0; n_slots = 100; slot_bytes = 64 };
+      placements = []; recycle = Some { first_slot = 0; n_slots = 100; slot_bytes = 64; assignment = [] };
       required_ctx = None }
   in
   let small =
-    { recycled with recycle = Some { first_slot = 0; n_slots = 2; slot_bytes = 64 } }
+    { recycled with recycle = Some { first_slot = 0; n_slots = 2; slot_bytes = 64; assignment = [] } }
   in
   Alcotest.(check int) "recycling cost independent of N" (added small) (added recycled)
 

@@ -311,7 +311,7 @@ let test_campaign_smoke () =
       region_cap = Some 65536 }
   in
   let s = Campaign.run cfg in
-  Alcotest.(check int) "runs" (1 * 3 * 2 * 2) (List.length s.runs);
+  Alcotest.(check int) "runs" (1 * 4 * 2 * 2) (List.length s.runs);
   Alcotest.(check (list string)) "no exceptions" [] (Campaign.exceptions s);
   Alcotest.(check bool) "ok" true (Campaign.ok s);
   (* every corrupted trace was structurally anomalous and rejected *)

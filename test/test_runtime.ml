@@ -114,6 +114,73 @@ let test_region_byte_accounting () =
   Alcotest.(check int) "release is symmetric" 32 (Region.allocated_bytes r);
   Alcotest.(check int) "peak survives releases" 96 (Region.peak_bytes r)
 
+let test_region_release_charged_size () =
+  (* Regression: [release] keyed the free list and the byte decrement
+     off the caller-passed size.  After an in-region realloc-shrink the
+     policy frees with the smaller size, so [allocated_bytes] drifted
+     up by the difference and the block landed in the wrong size
+     class.  The charge recorded at alloc time must win. *)
+  let heap = Allocator.create () in
+  let r = Region.create heap ~chunk_bytes:512 in
+  let a = Region.alloc r 100 in
+  Alcotest.(check int) "charged rounded size" 112 (Region.allocated_bytes r);
+  (* the policy shrank the object to 40 bytes, then freed it *)
+  Region.release r a 40;
+  Alcotest.(check int) "release credits the charge, not the hint" 0
+    (Region.allocated_bytes r);
+  Alcotest.(check int) "objects zero" 0 (Region.allocated_objects r);
+  (* the block went back to its true size class *)
+  let b = Region.alloc r 100 in
+  Alcotest.(check int) "reused from the charged class" a b;
+  (* double release is a no-op, not a double-credit *)
+  Region.release r b 100;
+  Region.release r b 100;
+  Alcotest.(check int) "double release no-op (objects)" 0 (Region.allocated_objects r);
+  Alcotest.(check int) "double release no-op (bytes)" 0 (Region.allocated_bytes r);
+  (* the address is on the free list exactly once *)
+  let c = Region.alloc r 100 in
+  let d = Region.alloc r 100 in
+  Alcotest.(check int) "first alloc reuses" b c;
+  Alcotest.(check bool) "second alloc bumps fresh" true (d <> c)
+
+let prop_region_accounting =
+  (* Random alloc/shrinking-release scripts against a live-set model:
+     [allocated_bytes] is always the sum of live rounded sizes, and
+     [peak_bytes] is a monotone high-water mark of it. *)
+  QCheck.Test.make ~count:100 ~name:"region bytes = sum of live rounded sizes"
+    QCheck.(small_list (pair bool (int_range 1 300)))
+    (fun script ->
+      let heap = Allocator.create () in
+      let r = Region.create heap ~chunk_bytes:1024 in
+      let round16 n = (n + 15) / 16 * 16 in
+      let live = ref [] (* (addr, rounded size) newest first *) in
+      let peak_seen = ref 0 in
+      List.iter
+        (fun (is_alloc, size) ->
+          (if is_alloc || !live = [] then begin
+             let addr = Region.alloc r size in
+             live := (addr, round16 size) :: !live
+           end
+           else begin
+             match !live with
+             | (addr, sz) :: rest ->
+               live := rest;
+               (* free with a deliberately smaller size hint *)
+               Region.release r addr (max 1 (sz / 2))
+             | [] -> ()
+           end);
+          let expect = List.fold_left (fun a (_, s) -> a + s) 0 !live in
+          if Region.allocated_bytes r <> expect then
+            Alcotest.failf "bytes %d <> live sum %d" (Region.allocated_bytes r) expect;
+          if Region.allocated_objects r <> List.length !live then
+            Alcotest.fail "object count diverged";
+          if Region.peak_bytes r < !peak_seen then Alcotest.fail "peak decreased";
+          peak_seen := Region.peak_bytes r;
+          if Region.peak_bytes r < Region.allocated_bytes r then
+            Alcotest.fail "peak below live bytes")
+        script;
+      true)
+
 (* ---- Baseline policy ---- *)
 
 let test_baseline_costs () =
@@ -252,7 +319,7 @@ let test_prefix_recycling_modulo () =
       ~pattern:(Context.All { upto = None })
       ~placements:[]
       ~slots:[ slot 0 64; slot 64 64 ]
-      ~recycle:(Some { Plan.first_slot = 0; n_slots = 2; slot_bytes = 64 })
+      ~recycle:(Some { Plan.first_slot = 0; n_slots = 2; slot_bytes = 64; assignment = [] })
   in
   let p = Prefix_policy.policy costs heap plan Policy.no_classification in
   let arena = Option.get (Prefix_policy.arena_of p) in
@@ -441,7 +508,10 @@ let suite =
         Alcotest.test_case "arena double occupy/release" `Quick
           test_arena_double_occupy_release;
         Alcotest.test_case "dispose" `Quick test_region_dispose;
-        Alcotest.test_case "byte accounting" `Quick test_region_byte_accounting ] );
+        Alcotest.test_case "byte accounting" `Quick test_region_byte_accounting;
+        Alcotest.test_case "release uses charged size" `Quick
+          test_region_release_charged_size;
+        QCheck_alcotest.to_alcotest prop_region_accounting ] );
     ( "policies",
       [ Alcotest.test_case "baseline costs" `Quick test_baseline_costs;
         Alcotest.test_case "HDS redirects whole site" `Quick test_hds_policy_redirects_whole_site;

@@ -90,6 +90,44 @@ let test_sketch_basics () =
   Sketch.reset sk;
   check ci "reset empties" 0 (Sketch.count sk)
 
+(* Regression: while [count <= capacity] every sample stays a singleton
+   centroid, so quantiles must be exact order statistics.  The seed's
+   weight limit jumped to 2 as soon as count exceeded capacity/2 —
+   cap 8 with [0;0;10;10;10;10;10] answered q=1/6 with 2.5, not 0. *)
+let test_sketch_exact_small () =
+  let sk = Sketch.create ~capacity:8 () in
+  List.iter (Sketch.add sk) [ 0.; 0.; 10.; 10.; 10.; 10.; 10. ];
+  check (Alcotest.float 0.) "q=1/6 is the second-smallest sample" 0.
+    (Sketch.quantile sk (1. /. 6.));
+  check (Alcotest.float 0.) "q=0 exact min" 0. (Sketch.quantile sk 0.);
+  check (Alcotest.float 0.) "q=1 exact max" 10. (Sketch.quantile sk 1.);
+  (* every integer rank is exact below capacity (up to the float
+     rounding in q * (n-1) itself) *)
+  let sorted = [| 0.; 0.; 10.; 10.; 10.; 10.; 10. |] in
+  Array.iteri
+    (fun r v ->
+      check (Alcotest.float 1e-9) (Printf.sprintf "rank %d exact" r) v
+        (Sketch.quantile sk (float_of_int r /. 6.)))
+    sorted
+
+let prop_sketch_exact_under_capacity =
+  QCheck.Test.make ~count:80 ~name:"sketch exact while count <= capacity"
+    QCheck.(pair (int_range 8 64) (list_of_size Gen.(int_range 1 64) (int_bound 1_000)))
+    (fun (cap, ints) ->
+      QCheck.assume (List.length ints <= cap);
+      let sk = Sketch.create ~capacity:cap () in
+      List.iter (fun v -> Sketch.add sk (float_of_int v)) ints;
+      let sorted = Array.of_list (List.map float_of_int (List.sort compare ints)) in
+      let n = Array.length sorted in
+      Array.iteri
+        (fun r v ->
+          let q = if n = 1 then 0.5 else float_of_int r /. float_of_int (n - 1) in
+          let est = Sketch.quantile sk q in
+          if Float.abs (est -. v) > 1e-6 then
+            Alcotest.failf "n=%d cap=%d rank %d: est %g <> exact %g" n cap r est v)
+        sorted;
+      true)
+
 let prop_sketch_rank_error =
   QCheck.Test.make ~count:60 ~name:"sketch quantiles within rank error bound"
     QCheck.(pair (list_of_size Gen.(int_range 1 800) (int_bound 10_000)) (int_range 8 96))
@@ -156,6 +194,97 @@ let test_timeseries_coarsening () =
   let c_new = Timeseries.add_column ts ~name:"late" Timeseries.Inst in
   let r0 = List.hd (Timeseries.rows ts) in
   check cb "late column reads nan in old rows" true (Float.is_nan r0.r_values.(c_new))
+
+(* Regression: coarsening an odd number of slots keeps the trailing row
+   (and its fill) as-is instead of dropping or double-counting it. *)
+let test_timeseries_odd_coarsen () =
+  let ts = Timeseries.create ~capacity:9 () in
+  let c = Timeseries.add_column ts ~name:"v" Timeseries.Inst in
+  for i = 1 to 10 do
+    let values = Array.make 1 nan in
+    values.(c) <- float_of_int i;
+    Timeseries.append ts ~ts_ns:(Int64.of_int i) ~ev:i ~label:"" values
+  done;
+  (* 9 full slots coarsen on the 10th append: four pairs plus the odd
+     ninth row, then the fresh sample opens a new slot. *)
+  check ci "coarsened once" 1 (Timeseries.coarsenings ts);
+  check ci "rows after odd coarsen" 6 (Timeseries.length ts);
+  check (Alcotest.list ci) "fills: pairs, odd survivor, fresh tail"
+    [ 2; 2; 2; 2; 1; 1 ] (Timeseries.fills ts);
+  let vals =
+    List.map (fun (r : Timeseries.row) -> r.r_values.(c)) (Timeseries.rows ts)
+  in
+  check (Alcotest.list (Alcotest.float 0.)) "odd row merged as itself"
+    [ 1.5; 3.5; 5.5; 7.5; 9.; 10. ] vals
+
+(* Regression: rows recorded before a column existed are narrower than
+   the current schema; merging a missing (nan) cell with a recorded one
+   must keep the recorded value, for both kinds. *)
+let test_timeseries_ragged_columns () =
+  let ts = Timeseries.create ~capacity:8 () in
+  let a = Timeseries.add_column ts ~name:"a" Timeseries.Inst in
+  for i = 1 to 3 do
+    let values = Array.make 1 nan in
+    values.(a) <- float_of_int i;
+    Timeseries.append ts ~ts_ns:(Int64.of_int i) ~ev:i ~label:"" values
+  done;
+  let b = Timeseries.add_column ts ~name:"b" Timeseries.Cum in
+  for i = 4 to 8 do
+    let values = Array.make 2 nan in
+    values.(a) <- float_of_int i;
+    values.(b) <- float_of_int (10 * i);
+    Timeseries.append ts ~ts_ns:(Int64.of_int i) ~ev:i ~label:"" values
+  done;
+  (* 9th append coarsens; the pair (3, 4) straddles the schema growth *)
+  let values = Array.make 2 nan in
+  values.(a) <- 9.;
+  values.(b) <- 90.;
+  Timeseries.append ts ~ts_ns:9L ~ev:9 ~label:"" values;
+  check ci "coarsened once" 1 (Timeseries.coarsenings ts);
+  let rows = Array.of_list (Timeseries.rows ts) in
+  check ci "rows" 5 (Array.length rows);
+  (* rows: (1,2) (3,4) (5,6) (7,8) (9) *)
+  check cb "b nan before it existed" true (Float.is_nan rows.(0).r_values.(b));
+  check (Alcotest.float 0.) "nan-merge keeps the recorded value" 40.
+    rows.(1).r_values.(b);
+  check (Alcotest.float 0.) "inst averages across the straddle" 3.5
+    rows.(1).r_values.(a);
+  check (Alcotest.float 0.) "cum keeps later across pair" 60. rows.(2).r_values.(b);
+  check (Alcotest.float 0.) "inst still averages" 5.5 rows.(2).r_values.(a);
+  check (Alcotest.float 0.) "fresh tail" 90. rows.(4).r_values.(b)
+
+(* Coarsening conserves raw samples: however many times the ring halves,
+   the fills sum to the append count and the fill-weighted mean of an
+   Inst column equals the mean of everything ever appended. *)
+let prop_timeseries_conservation =
+  QCheck.Test.make ~count:60 ~name:"timeseries coarsening conserves samples"
+    QCheck.(pair (int_range 8 24) (int_range 0 2_000))
+    (fun (cap, n) ->
+      let ts = Timeseries.create ~capacity:cap () in
+      let c = Timeseries.add_column ts ~name:"x" Timeseries.Inst in
+      for i = 1 to n do
+        let values = Array.make 1 nan in
+        values.(c) <- float_of_int i;
+        Timeseries.append ts ~ts_ns:(Int64.of_int i) ~ev:i ~label:"" values
+      done;
+      let fills = Timeseries.fills ts in
+      let rows = Timeseries.rows ts in
+      let total = List.fold_left ( + ) 0 fills in
+      if total <> n then Alcotest.failf "fills sum %d <> %d appends" total n;
+      if Timeseries.length ts > cap then Alcotest.fail "ring exceeded capacity";
+      let weighted =
+        List.fold_left2
+          (fun acc w (r : Timeseries.row) ->
+            acc +. (float_of_int w *. r.r_values.(c)))
+          0. fills rows
+      in
+      let exact = float_of_int (n * (n + 1)) /. 2. in
+      if Float.abs (weighted -. exact) > 1e-6 *. Float.max 1. exact then
+        Alcotest.failf "weighted sum %g <> exact %g (n=%d cap=%d)" weighted exact n cap;
+      (* event indices stay strictly increasing oldest-first *)
+      let evs = List.map (fun (r : Timeseries.row) -> r.r_ev) rows in
+      if List.sort compare evs <> evs then Alcotest.fail "event order broken";
+      true)
 
 let test_timeseries_long_run_bounded () =
   let ts = Timeseries.create ~capacity:16 () in
@@ -439,8 +568,13 @@ let suite =
         Alcotest.test_case "clock monotonic across domains" `Quick
           test_clock_monotonic_domains;
         Alcotest.test_case "sketch basics" `Quick test_sketch_basics;
+        Alcotest.test_case "sketch exact at small counts" `Quick test_sketch_exact_small;
+        QCheck_alcotest.to_alcotest prop_sketch_exact_under_capacity;
         QCheck_alcotest.to_alcotest prop_sketch_rank_error;
         QCheck_alcotest.to_alcotest prop_sketch_merge;
+        Alcotest.test_case "timeseries odd-slot coarsen" `Quick test_timeseries_odd_coarsen;
+        Alcotest.test_case "timeseries ragged columns" `Quick test_timeseries_ragged_columns;
+        QCheck_alcotest.to_alcotest prop_timeseries_conservation;
         Alcotest.test_case "timeseries coarsening semantics" `Quick
           test_timeseries_coarsening;
         Alcotest.test_case "timeseries bounded over 10k appends" `Quick
